@@ -1,0 +1,6 @@
+"""Benchmark harness package (pytest-benchmark based).
+
+One ``bench_*.py`` module per table/figure of the paper plus engine and
+ablation benchmarks; see ``conftest.py`` for the environment variables that
+control the circuit subset.
+"""

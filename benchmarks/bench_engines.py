@@ -1,0 +1,106 @@
+"""Engine benchmarks: FASSTA vs FULLSSTA vs Monte Carlo (the nested-engine rationale).
+
+Section 4 of the paper justifies its nested architecture — a slow, accurate
+discrete-pdf engine (FULLSSTA) in the outer loop and a fast moment engine
+(FASSTA) in the inner loop — by the cost of evaluating full pdfs for every
+candidate gate size.  These benchmarks measure all three analysis engines on
+the same circuit so that the speed gap (and the accuracy cost) backing that
+design choice is visible, and write the comparison to
+``benchmarks/results/engines.txt``.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from benchmarks.conftest import write_result
+from repro.circuits.registry import build_benchmark
+from repro.core.baseline import MeanDelaySizer
+from repro.core.fassta import FASSTA
+from repro.core.fullssta import FULLSSTA
+from repro.montecarlo.mc import MonteCarloTimer
+
+CIRCUIT = "c880"
+
+
+@pytest.fixture(scope="module")
+def prepared_circuit(substrates):
+    _, delay_model, _ = substrates
+    circuit = build_benchmark(CIRCUIT)
+    MeanDelaySizer(delay_model).optimize(circuit)
+    return circuit
+
+
+@pytest.mark.benchmark(group="engines")
+def test_fassta_full_circuit(benchmark, substrates, prepared_circuit):
+    _, delay_model, variation_model = substrates
+    engine = FASSTA(delay_model, variation_model)
+    rv = benchmark(lambda: engine.analyze(prepared_circuit).output_rv)
+    assert rv.mean > 0
+
+
+@pytest.mark.benchmark(group="engines")
+def test_fullssta_full_circuit(benchmark, substrates, prepared_circuit):
+    _, delay_model, variation_model = substrates
+    engine = FULLSSTA(delay_model, variation_model)
+    rv = benchmark(lambda: engine.analyze(prepared_circuit).output_rv)
+    assert rv.mean > 0
+
+
+@pytest.mark.benchmark(group="engines")
+def test_montecarlo_1000_samples(benchmark, substrates, prepared_circuit):
+    _, delay_model, variation_model = substrates
+    timer = MonteCarloTimer(delay_model, variation_model)
+    result = benchmark.pedantic(
+        lambda: timer.run(prepared_circuit, num_samples=1000, seed=0),
+        rounds=1,
+        iterations=1,
+    )
+    assert result.sigma > 0
+
+
+@pytest.mark.benchmark(group="engines")
+def test_engine_comparison_summary(benchmark, substrates, prepared_circuit):
+    """Accuracy/speed summary of the three engines on one circuit."""
+    _, delay_model, variation_model = substrates
+
+    def compare():
+        rows = []
+        for name, run in (
+            ("FASSTA", lambda: FASSTA(delay_model, variation_model).analyze(prepared_circuit).output_rv),
+            ("FULLSSTA", lambda: FULLSSTA(delay_model, variation_model).analyze(prepared_circuit).output_rv),
+        ):
+            start = time.perf_counter()
+            rv = run()
+            elapsed = time.perf_counter() - start
+            rows.append((name, rv.mean, rv.sigma, elapsed))
+        start = time.perf_counter()
+        mc = MonteCarloTimer(delay_model, variation_model).run(
+            prepared_circuit, num_samples=2000, seed=0
+        )
+        rows.append(("MonteCarlo-2000", mc.mean, mc.sigma, time.perf_counter() - start))
+        return rows
+
+    rows = benchmark.pedantic(compare, rounds=1, iterations=1)
+    lines = [
+        f"Timing-engine comparison on {CIRCUIT} ({prepared_circuit.num_gates()} gates)",
+        "",
+        f"{'engine':18s} {'mean (ps)':>10s} {'sigma (ps)':>11s} {'runtime (ms)':>13s}",
+    ]
+    for name, mean, sigma, elapsed in rows:
+        lines.append(f"{name:18s} {mean:10.1f} {sigma:11.2f} {elapsed * 1e3:13.1f}")
+    fassta_time = rows[0][3]
+    fullssta_time = rows[1][3]
+    lines.append("")
+    lines.append(
+        f"FASSTA speedup over FULLSSTA: {fullssta_time / max(fassta_time, 1e-9):.1f}x "
+        "(this gap is why the inner loop uses FASSTA)"
+    )
+    report = "\n".join(lines)
+    print("\n" + report)
+    write_result("engines.txt", report)
+
+    # The architectural claim: the moment engine is significantly faster.
+    assert fassta_time < fullssta_time

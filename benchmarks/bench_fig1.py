@@ -1,0 +1,51 @@
+"""Regenerate Figure 1: circuit output-delay PDF at different optimization points.
+
+The paper's Fig. 1 plots the output-delay pdf of a circuit optimized purely
+for mean delay ("original", the widest curve) against two statistically
+optimized variants whose pdfs are visibly narrower.  This benchmark
+regenerates the three curves with FULLSSTA for one ALU-class circuit and
+writes them (plus an ASCII rendering) to ``benchmarks/results/fig1.txt``.
+
+Shape check: every variance-optimized curve must have a smaller standard
+deviation than the original, with sigma shrinking (weakly) as lambda grows.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import write_result
+from repro.analysis.experiments import run_fig1
+from repro.analysis.report import format_pdf_curve
+
+CIRCUIT = "alu2"
+LAMS = (3.0, 9.0)
+
+
+@pytest.mark.benchmark(group="fig1")
+def test_regenerate_fig1(benchmark):
+    curves = benchmark.pedantic(
+        lambda: run_fig1(CIRCUIT, lams=LAMS), rounds=1, iterations=1
+    )
+
+    lines = [f"Figure 1 reproduction: output-delay pdfs for {CIRCUIT}", ""]
+    lines.append(
+        f"original    : mean {curves.original.mean():8.1f} ps   "
+        f"sigma {curves.original.std():6.2f} ps"
+    )
+    for lam, pdf in sorted(curves.optimized.items()):
+        lines.append(
+            f"lambda={lam:<4g}: mean {pdf.mean():8.1f} ps   sigma {pdf.std():6.2f} ps"
+        )
+    lines.append("")
+    for label, points in curves.series().items():
+        lines.append(format_pdf_curve(points, width=40, label=f"--- {label} ---"))
+        lines.append("")
+    report = "\n".join(lines)
+    print("\n" + report)
+    write_result("fig1.txt", report)
+
+    # Shape assertions: optimization narrows the output pdf.
+    sigma_original = curves.original.std()
+    for lam, pdf in curves.optimized.items():
+        assert pdf.std() <= sigma_original + 1e-9, (lam, pdf.std(), sigma_original)

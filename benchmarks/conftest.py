@@ -1,0 +1,64 @@
+"""Shared configuration for the benchmark harness.
+
+Every figure/table of the paper has a ``bench_*.py`` module here.  The
+benchmarks serve two purposes:
+
+* **regeneration** — they produce the same rows/series the paper reports
+  (written to ``benchmarks/results/*.txt`` and printed when run with ``-s``),
+* **timing** — pytest-benchmark measures the runtime of the key kernels
+  (optimizer passes, SSTA engines, max approximations).
+
+The paper's full Table 1 covers 13 circuits up to ~3000 gates; regenerating
+all of it takes tens of minutes in pure Python, so by default the harness
+runs a representative subset and the full sweep is opt-in:
+
+* ``REPRO_BENCH_FULL=1``      — run every Table 1 circuit at both lambdas.
+* ``REPRO_BENCH_CIRCUITS=a,b``— run an explicit comma-separated circuit list.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.circuits.registry import BENCHMARK_NAMES
+
+#: Subset used by default so the harness finishes in a few minutes.
+DEFAULT_CIRCUITS = ["alu1", "alu2", "alu3", "c432", "c499"]
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def selected_circuits() -> list:
+    """Circuit list controlled by the REPRO_BENCH_* environment variables."""
+    explicit = os.environ.get("REPRO_BENCH_CIRCUITS")
+    if explicit:
+        names = [name.strip() for name in explicit.split(",") if name.strip()]
+        unknown = [n for n in names if n not in BENCHMARK_NAMES and n != "c17"]
+        if unknown:
+            raise ValueError(f"unknown benchmark circuits requested: {unknown}")
+        return names
+    if os.environ.get("REPRO_BENCH_FULL") == "1":
+        return list(BENCHMARK_NAMES)
+    return list(DEFAULT_CIRCUITS)
+
+
+def write_result(name: str, text: str) -> Path:
+    """Persist a regenerated table/series under benchmarks/results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / name
+    path.write_text(text + "\n")
+    return path
+
+
+@pytest.fixture(scope="session")
+def substrates():
+    """(library, delay_model, variation_model) shared across benchmarks."""
+    from repro.library.delay_model import LookupTableDelayModel
+    from repro.library.synthetic90nm import make_synthetic_90nm_library
+    from repro.variation.model import VariationModel
+
+    library = make_synthetic_90nm_library()
+    return library, LookupTableDelayModel(library), VariationModel()

@@ -1,0 +1,49 @@
+#!/usr/bin/env python3
+"""Mean/variance trade-off sweep — the paper's Fig. 4.
+
+Re-sizes one circuit at several values of the Eq. 7 weight lambda and prints
+the normalized (mean, sigma) points, reproducing the shape of the paper's
+Fig. 4 plot for C432: as lambda grows, sigma/mu0 falls while mean/mu0 creeps
+up, until the unsystematic variation floor is reached and larger lambda buys
+nothing more.
+
+Usage::
+
+    python examples/tradeoff_sweep.py [benchmark] [lambda ...]
+
+e.g. ``python examples/tradeoff_sweep.py c432 0 3 6 9``.
+"""
+
+import sys
+
+from repro.analysis.experiments import run_fig4_sweep
+from repro.analysis.report import format_fig4
+
+
+def main() -> None:
+    benchmark = sys.argv[1] if len(sys.argv) > 1 else "c432"
+    lams = [float(x) for x in sys.argv[2:]] or [0.0, 3.0, 6.0, 9.0]
+
+    print(f"Sweeping lambda over {lams} on {benchmark!r} (this re-runs the "
+          "optimizer once per lambda)...\n")
+    points = run_fig4_sweep(benchmark, lams=lams)
+    print(format_fig4(points))
+
+    print("\nASCII mean-sigma plot (x = mean/mu0, y = sigma/mu0):")
+    xs = [p.normalized_mean for p in points]
+    ys = [p.normalized_sigma for p in points]
+    y_max = max(ys) or 1.0
+    rows = 12
+    for row in range(rows, -1, -1):
+        threshold = y_max * row / rows
+        line = f"{threshold:7.3f} | "
+        for x, y in zip(xs, ys):
+            line += " X " if abs(y - threshold) <= y_max / (2 * rows) else "   "
+        print(line)
+    labels = "          " + "".join(f"{x:5.2f}" for x in xs)
+    print(labels + "   (mean / mu0, one column per lambda "
+          f"{', '.join(f'{p.lam:g}' for p in points)})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,47 @@
+"""Experiment harnesses, metrics and text reporting.
+
+* :mod:`repro.analysis.metrics` — the per-circuit quantities Table 1 reports
+  (sigma/mu, percentage deltas, area) computed from flow results.
+* :mod:`repro.analysis.experiments` — runners that regenerate Table 1,
+  Figure 1 (output-delay pdfs), Figure 3 (WNSS trace example) and Figure 4
+  (mean-sigma trade-off sweep).
+* :mod:`repro.analysis.report` — plain-text table formatting used by the
+  examples and benchmark harnesses.
+"""
+
+from repro.analysis.metrics import Table1Row, summarize_rows
+from repro.analysis.experiments import (
+    Fig1Curves,
+    Fig4Point,
+    run_table1_row,
+    run_table1,
+    run_fig1,
+    run_fig3_example,
+    run_fig4_sweep,
+)
+from repro.analysis.report import format_table, format_table1, format_fig4
+from repro.analysis.timing_yield import (
+    YieldReport,
+    period_for_yield,
+    timing_yield,
+    yield_improvement,
+)
+
+__all__ = [
+    "YieldReport",
+    "period_for_yield",
+    "timing_yield",
+    "yield_improvement",
+    "Table1Row",
+    "summarize_rows",
+    "Fig1Curves",
+    "Fig4Point",
+    "run_table1_row",
+    "run_table1",
+    "run_fig1",
+    "run_fig3_example",
+    "run_fig4_sweep",
+    "format_table",
+    "format_table1",
+    "format_fig4",
+]

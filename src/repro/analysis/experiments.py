@@ -1,0 +1,256 @@
+"""Experiment runners for every table and figure of the paper.
+
+* Table 1 — :func:`run_table1_row` / :func:`run_table1`
+* Figure 1 — :func:`run_fig1` (output-delay pdfs of the original design and
+  of variance-optimized designs)
+* Figure 3 — :func:`run_fig3_example` (WNSS tracing on the paper's 6-gate
+  example)
+* Figure 4 — :func:`run_fig4_sweep` (normalized mean vs sigma trade-off of
+  one circuit across lambda values)
+
+The runners deliberately return plain dataclasses/lists rather than printing
+so they can be reused from tests, benchmarks and the examples; the text
+rendering lives in :mod:`repro.analysis.report`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.metrics import Table1Row
+from repro.circuits.registry import BENCHMARK_NAMES, build_benchmark
+from repro.core.clark import variance_sensitivities
+from repro.core.discrete_pdf import DiscretePDF
+from repro.core.fullssta import FULLSSTA
+from repro.core.rv import NormalDelay
+from repro.core.sizer import SizerConfig
+from repro.core.wnss import WNSSTracer
+from repro.flow import FlowResult, run_sizing_flow
+from repro.library.delay_model import LookupTableDelayModel
+from repro.library.synthetic90nm import make_synthetic_90nm_library
+from repro.netlist.circuit import Circuit
+from repro.variation.model import VariationModel
+
+
+def _default_substrates():
+    library = make_synthetic_90nm_library()
+    delay_model = LookupTableDelayModel(library)
+    variation_model = VariationModel()
+    return library, delay_model, variation_model
+
+
+# ---------------------------------------------------------------------------
+# Table 1
+# ---------------------------------------------------------------------------
+def run_table1_row(
+    circuit_name: str,
+    lam: float,
+    sizer_config: Optional[SizerConfig] = None,
+    monte_carlo_samples: int = 0,
+) -> Table1Row:
+    """Run the paper's flow for one circuit at one lambda and return its row."""
+    circuit = build_benchmark(circuit_name)
+    library, delay_model, variation_model = _default_substrates()
+    flow = run_sizing_flow(
+        circuit,
+        lam=lam,
+        library=library,
+        delay_model=delay_model,
+        variation_model=variation_model,
+        sizer_config=sizer_config,
+        monte_carlo_samples=monte_carlo_samples,
+    )
+    return Table1Row.from_flow(circuit_name, flow)
+
+
+def run_table1(
+    circuit_names: Optional[Sequence[str]] = None,
+    lams: Sequence[float] = (3.0, 9.0),
+    sizer_config: Optional[SizerConfig] = None,
+) -> List[Table1Row]:
+    """Regenerate Table 1 for the given circuits and lambda values.
+
+    Running the full 13-circuit set takes a while on the larger circuits; the
+    benchmarks default to a representative subset and the full sweep is
+    enabled with an environment variable (see ``benchmarks/bench_table1.py``).
+    """
+    rows: List[Table1Row] = []
+    for name in circuit_names or BENCHMARK_NAMES:
+        for lam in lams:
+            config = sizer_config
+            if config is not None:
+                config = SizerConfig(
+                    lam=lam,
+                    subcircuit_depth=config.subcircuit_depth,
+                    max_iterations=config.max_iterations,
+                    min_relative_gain=config.min_relative_gain,
+                    sigma_target=config.sigma_target,
+                    pdf_samples=config.pdf_samples,
+                    freeze_no_gain_gates=config.freeze_no_gain_gates,
+                )
+            rows.append(run_table1_row(name, lam, config))
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Figure 1 — output delay pdfs at different optimization points
+# ---------------------------------------------------------------------------
+@dataclass
+class Fig1Curves:
+    """Output-delay pdfs of the original and optimized designs."""
+
+    circuit: str
+    original: DiscretePDF
+    optimized: Dict[float, DiscretePDF] = field(default_factory=dict)
+
+    def series(self) -> Dict[str, Tuple[Tuple[float, float], ...]]:
+        """All curves as name -> ((delay, probability), ...) pairs for plotting."""
+        out = {"original": self.original.as_tuples()}
+        for lam, pdf in sorted(self.optimized.items()):
+            out[f"lambda={lam:g}"] = pdf.as_tuples()
+        return out
+
+
+def run_fig1(
+    circuit_name: str = "c432",
+    lams: Sequence[float] = (3.0, 9.0),
+    sizer_config: Optional[SizerConfig] = None,
+    pdf_samples: int = 31,
+) -> Fig1Curves:
+    """Regenerate Figure 1: the circuit-output delay pdf before/after optimization.
+
+    The original curve is the mean-delay-optimized design (widest spread);
+    each optimized curve is the same circuit re-sized at one lambda.  A finer
+    pdf sampling than the optimizer's default is used purely for plotting.
+    """
+    library, delay_model, variation_model = _default_substrates()
+    plot_engine = FULLSSTA(delay_model, variation_model, num_samples=pdf_samples)
+
+    # Original (mean-delay optimized) design.
+    base_circuit = build_benchmark(circuit_name)
+    from repro.core.baseline import MeanDelaySizer
+
+    MeanDelaySizer(delay_model).optimize(base_circuit)
+    original_pdf = plot_engine.analyze(base_circuit).output_pdf
+    original_sizes = base_circuit.sizes()
+
+    curves = Fig1Curves(circuit=circuit_name, original=original_pdf)
+    for lam in lams:
+        circuit = base_circuit.copy()
+        circuit.apply_sizes(original_sizes)
+        config = sizer_config or SizerConfig(lam=lam)
+        if config.lam != lam:
+            config = SizerConfig(lam=lam)
+        from repro.core.sizer import StatisticalGreedySizer
+
+        StatisticalGreedySizer(delay_model, variation_model, config).optimize(circuit)
+        curves.optimized[lam] = plot_engine.analyze(circuit).output_pdf
+    return curves
+
+
+# ---------------------------------------------------------------------------
+# Figure 3 — WNSS tracing example
+# ---------------------------------------------------------------------------
+def run_fig3_example(coupling: float = 0.12) -> Dict[str, object]:
+    """Reproduce the paper's Fig. 3 WNSS-tracing decision.
+
+    The figure shows a node X whose two input arrivals are (357, 32) and
+    (392, 35) — too close for the dominance test — while deeper in the cone
+    the candidate arrivals are (320, 27) vs (310, 45) and (190, 41).  The
+    statistical tracer must weigh variance contributions, not just means.
+    This runner rebuilds that situation and reports which inputs the tracer
+    picks and why.
+    """
+    arrivals = {
+        "arc_a": NormalDelay(320.0, 27.0),
+        "arc_b": NormalDelay(310.0, 45.0),
+        "arc_c": NormalDelay(357.0, 32.0),
+        "arc_d": NormalDelay(392.0, 35.0),
+        "arc_e": NormalDelay(190.0, 41.0),
+    }
+    tracer = WNSSTracer(coupling=coupling, lam=3.0)
+
+    # Decision at node X: inputs (357, 32) vs (392, 35).
+    choice_x, method_x = tracer.pick_dominant_input(
+        {"arc_c": arrivals["arc_c"], "arc_d": arrivals["arc_d"]}
+    )
+    # Decision one level up: inputs (320, 27) vs (310, 45): close means, very
+    # different sigmas — the sensitivity comparison must prefer the noisier arc.
+    choice_y, method_y = tracer.pick_dominant_input(
+        {"arc_a": arrivals["arc_a"], "arc_b": arrivals["arc_b"]}
+    )
+    # And a clearly dominated pair: (392, 35) vs (190, 41).
+    choice_z, method_z = tracer.pick_dominant_input(
+        {"arc_d": arrivals["arc_d"], "arc_e": arrivals["arc_e"]}
+    )
+
+    sens = variance_sensitivities(320.0, 27.0, 310.0, 45.0, coupling)
+    return {
+        "arrivals": arrivals,
+        "node_x": {"chosen": choice_x, "method": method_x},
+        "node_y": {"chosen": choice_y, "method": method_y},
+        "node_z": {"chosen": choice_z, "method": method_z},
+        "sensitivities_y": {"arc_a": sens[0], "arc_b": sens[1]},
+    }
+
+
+# ---------------------------------------------------------------------------
+# Figure 4 — mean/sigma trade-off sweep
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class Fig4Point:
+    """One point of the Fig. 4 normalized mean vs sigma plot."""
+
+    lam: float
+    mean: float
+    sigma: float
+    normalized_mean: float
+    normalized_sigma: float
+    area: float
+
+
+def run_fig4_sweep(
+    circuit_name: str = "c432",
+    lams: Sequence[float] = (0.0, 3.0, 6.0, 9.0),
+    sizer_config: Optional[SizerConfig] = None,
+) -> List[Fig4Point]:
+    """Regenerate Figure 4: (mu, sigma) of one circuit across lambda values.
+
+    Values are normalized to the original (mean-optimized, lambda = 0) design
+    point, as in the paper's plot: the x axis is mu / mu_original, the y axis
+    sigma / mu_original.
+    """
+    library, delay_model, variation_model = _default_substrates()
+    fullssta = FULLSSTA(delay_model, variation_model)
+
+    base_circuit = build_benchmark(circuit_name)
+    from repro.core.baseline import MeanDelaySizer
+    from repro.core.sizer import StatisticalGreedySizer
+
+    MeanDelaySizer(delay_model).optimize(base_circuit)
+    base_sizes = base_circuit.sizes()
+    original_rv = fullssta.analyze(base_circuit).output_rv
+    mu0 = original_rv.mean if original_rv.mean else 1.0
+
+    points: List[Fig4Point] = []
+    for lam in lams:
+        circuit = base_circuit.copy()
+        circuit.apply_sizes(base_sizes)
+        if lam > 0:
+            config = sizer_config or SizerConfig(lam=lam)
+            if config.lam != lam:
+                config = SizerConfig(lam=lam)
+            StatisticalGreedySizer(delay_model, variation_model, config).optimize(circuit)
+        rv = fullssta.analyze(circuit).output_rv
+        points.append(
+            Fig4Point(
+                lam=lam,
+                mean=rv.mean,
+                sigma=rv.sigma,
+                normalized_mean=rv.mean / mu0,
+                normalized_sigma=rv.sigma / mu0,
+                area=delay_model.circuit_area(circuit),
+            )
+        )
+    return points

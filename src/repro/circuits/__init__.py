@@ -1,0 +1,43 @@
+"""Parametric benchmark-circuit generators.
+
+The paper evaluates on ISCAS-85 circuits and "various sized ALU circuits"
+synthesized with a commercial tool.  Those synthesized netlists are not
+redistributable, so this subpackage provides structural generators for the
+same circuit families (adders, array multipliers, 74181-style ALUs, parity
+and SEC/DED error-correction logic, priority/interrupt controllers and
+comparators) plus a registry that maps the paper's circuit names
+(``alu1`` ... ``c7552``) to generator configurations of comparable size and
+depth.  Real ``.bench`` netlists can also be loaded directly through
+:mod:`repro.netlist.bench` and dropped into the same flows.
+"""
+
+from repro.circuits.builder import CircuitBuilder
+from repro.circuits.adders import ripple_carry_adder, carry_select_adder
+from repro.circuits.multiplier import array_multiplier
+from repro.circuits.alu import alu
+from repro.circuits.ecc import parity_tree, sec_circuit
+from repro.circuits.control import priority_interrupt_controller, magnitude_comparator
+from repro.circuits.registry import (
+    BENCHMARK_NAMES,
+    PAPER_GATE_COUNTS,
+    build_benchmark,
+    benchmark_summary,
+    c17,
+)
+
+__all__ = [
+    "CircuitBuilder",
+    "ripple_carry_adder",
+    "carry_select_adder",
+    "array_multiplier",
+    "alu",
+    "parity_tree",
+    "sec_circuit",
+    "priority_interrupt_controller",
+    "magnitude_comparator",
+    "BENCHMARK_NAMES",
+    "PAPER_GATE_COUNTS",
+    "build_benchmark",
+    "benchmark_summary",
+    "c17",
+]

@@ -1,0 +1,104 @@
+"""Adder generators.
+
+Ripple-carry and carry-select adders are the basic datapath blocks used both
+as standalone benchmarks and as components of the larger composite circuits
+(the c7552-class adder/comparator, the ALUs).  A ripple-carry adder is also
+the canonical *deep* circuit: its carry chain gives long paths whose many
+independent gate delays average out, which is exactly the low-sigma/mu,
+hard-to-improve regime the paper observes for c6288.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.circuits.builder import CircuitBuilder
+from repro.netlist.circuit import Circuit
+
+
+def ripple_carry_adder(
+    width: int, name: Optional[str] = None, with_carry_in: bool = True
+) -> Circuit:
+    """``width``-bit ripple-carry adder: a + b (+ cin) -> sum, cout.
+
+    Gate count is roughly ``5 * width``.
+    """
+    if width < 1:
+        raise ValueError("width must be >= 1")
+    builder = CircuitBuilder(name or f"rca{width}")
+    a = builder.inputs("a", width)
+    b = builder.inputs("b", width)
+    carry = builder.input("cin") if with_carry_in else None
+
+    sums: List[str] = []
+    for i in range(width):
+        if carry is None:
+            s, carry = builder.half_adder(a[i], b[i])
+        else:
+            s, carry = builder.full_adder(a[i], b[i], carry)
+        sums.append(s)
+
+    for i, s in enumerate(sums):
+        builder.output(builder.buf(s, f"sum{i}"))
+    builder.output(builder.buf(carry, "cout"))
+    return builder.build()
+
+
+def _ripple_block(
+    builder: CircuitBuilder, a: List[str], b: List[str], cin: str
+) -> Tuple[List[str], str]:
+    """Internal ripple chain used by the carry-select adder."""
+    sums: List[str] = []
+    carry = cin
+    for ai, bi in zip(a, b):
+        s, carry = builder.full_adder(ai, bi, carry)
+        sums.append(s)
+    return sums, carry
+
+
+def carry_select_adder(
+    width: int, block_size: int = 4, name: Optional[str] = None
+) -> Circuit:
+    """``width``-bit carry-select adder with ``block_size``-bit blocks.
+
+    Each block computes its sums twice (carry-in 0 and carry-in 1) and muxes
+    the result with the actual incoming carry, trading area for a shorter
+    critical path — a good stress case for the sizer because the mux chain
+    concentrates timing criticality in few gates.
+    """
+    if width < 1:
+        raise ValueError("width must be >= 1")
+    if block_size < 1:
+        raise ValueError("block_size must be >= 1")
+    builder = CircuitBuilder(name or f"csa{width}")
+    a = builder.inputs("a", width)
+    b = builder.inputs("b", width)
+    cin = builder.input("cin")
+
+    # Constant nets for the speculative carries, derived from cin so the
+    # circuit stays purely combinational without constant sources.
+    zero = builder.and2(cin, builder.inv(cin))   # always 0
+    one = builder.or2(cin, builder.inv(cin))     # always 1
+
+    carry = cin
+    position = 0
+    sum_nets: List[str] = []
+    while position < width:
+        hi = min(position + block_size, width)
+        block_a = a[position:hi]
+        block_b = b[position:hi]
+        if position == 0:
+            sums, carry = _ripple_block(builder, block_a, block_b, carry)
+            sum_nets.extend(sums)
+        else:
+            sums0, carry0 = _ripple_block(builder, block_a, block_b, zero)
+            sums1, carry1 = _ripple_block(builder, block_a, block_b, one)
+            for s0, s1 in zip(sums0, sums1):
+                sum_nets.append(builder.mux2(s0, s1, carry))
+            carry = builder.mux2(carry0, carry1, carry)
+        position = hi
+
+    for i, s in enumerate(sum_nets):
+        builder.output(builder.buf(s, f"sum{i}"))
+    builder.output(builder.buf(carry, "cout"))
+    return builder.build()

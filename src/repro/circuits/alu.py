@@ -1,0 +1,79 @@
+"""74181-style ALU generator (the alu1-3 / c880 / c3540 class).
+
+The paper's "various sized ALU circuits" are relatively shallow datapaths
+with moderate gate counts — the class it reports as having the *largest*
+starting sigma/mu and the biggest (but most area-expensive) improvement.
+This generator builds a classic function-select ALU:
+
+* per-bit slice: operand conditioning (b XOR sub), logic unit (AND/OR/XOR/
+  NOR terms), arithmetic unit (propagate/generate + ripple carry), and a
+  two-level NAND-mux selecting among the functions;
+* global logic: carry-out, zero flag (wide NOR tree over the result) and an
+  overflow flag.
+
+Gate count is roughly ``16 * width + 2 * width`` (slice + flags).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.circuits.builder import CircuitBuilder
+from repro.netlist.circuit import Circuit
+
+
+def alu(width: int, name: Optional[str] = None, with_flags: bool = True) -> Circuit:
+    """``width``-bit function-select ALU.
+
+    Inputs: operands ``a``/``b``, carry-in ``cin``, function select ``s0``/``s1``
+    and mode/subtract control ``sub``.  Outputs: result bits ``f0..``, ``cout``
+    and (optionally) ``zero``/``ovf`` flags.
+    """
+    if width < 1:
+        raise ValueError("width must be >= 1")
+    builder = CircuitBuilder(name or f"alu{width}")
+    a = builder.inputs("a", width)
+    b = builder.inputs("b", width)
+    cin = builder.input("cin")
+    s0 = builder.input("s0")
+    s1 = builder.input("s1")
+    sub = builder.input("sub")
+
+    carry = cin
+    prev_carry = cin
+    results: List[str] = []
+    for i in range(width):
+        # Operand conditioning: bx = b XOR sub (one's complement for subtract).
+        bx = builder.xor2(b[i], sub)
+
+        # Logic unit.
+        and_term = builder.and2(a[i], bx)
+        or_term = builder.or2(a[i], bx)
+        xor_term = builder.xor2(a[i], bx)
+        nor_term = builder.nor2(a[i], bx)
+
+        # Arithmetic unit: sum and ripple carry via propagate/generate.
+        sum_term = builder.xor2(xor_term, carry)
+        g1 = builder.nand2(a[i], bx)
+        g2 = builder.nand2(xor_term, carry)
+        prev_carry = carry
+        carry = builder.nand2(g1, g2)
+
+        # Function select: s1 picks logic pair, s0 picks between pairs,
+        # with the arithmetic result replacing the AND term when s0=s1=1.
+        mux_low = builder.mux2(and_term, or_term, s1)
+        mux_high = builder.mux2(xor_term, nor_term, s1)
+        pre = builder.mux2(mux_low, mux_high, s0)
+        f = builder.mux2(pre, sum_term, builder.and2(s0, s1))
+        results.append(f)
+
+    for i, net in enumerate(results):
+        builder.output(builder.buf(net, f"f{i}"))
+    builder.output(builder.buf(carry, "cout"))
+
+    if with_flags:
+        zero = builder.inv(builder.or_tree(results, max_fanin=3))
+        builder.output(builder.buf(zero, "zero"))
+        ovf = builder.xor2(carry, prev_carry)
+        builder.output(builder.buf(ovf, "ovf"))
+    return builder.build()

@@ -1,0 +1,151 @@
+"""Helper for writing circuit generators.
+
+:class:`CircuitBuilder` wraps a :class:`~repro.netlist.circuit.Circuit` with
+unique-name generation and small combinational idioms (gate primitives,
+balanced reduction trees, full adders) so each generator reads like the
+datapath it describes rather than a pile of string formatting.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.netlist.circuit import Circuit
+from repro.netlist.gate import Gate, make_cell_type
+
+
+class CircuitBuilder:
+    """Fluent construction of combinational circuits."""
+
+    def __init__(self, name: str) -> None:
+        self.circuit = Circuit(name)
+        self._counter = 0
+
+    # -- naming ----------------------------------------------------------
+    def fresh_net(self, hint: str = "n") -> str:
+        """A new unique internal net name."""
+        self._counter += 1
+        return f"{hint}_{self._counter}"
+
+    def _fresh_gate_name(self, hint: str) -> str:
+        self._counter += 1
+        return f"{hint}{self._counter}"
+
+    # -- I/O ---------------------------------------------------------------
+    def input(self, net: str) -> str:
+        """Declare one primary input and return its net name."""
+        self.circuit.add_primary_input(net)
+        return net
+
+    def inputs(self, prefix: str, count: int) -> List[str]:
+        """Declare ``count`` primary inputs named ``prefix0 .. prefix{count-1}``."""
+        return [self.input(f"{prefix}{i}") for i in range(count)]
+
+    def output(self, net: str) -> str:
+        """Mark an existing net as a primary output."""
+        self.circuit.add_primary_output(net)
+        return net
+
+    def outputs(self, nets: Sequence[str]) -> List[str]:
+        for net in nets:
+            self.output(net)
+        return list(nets)
+
+    # -- primitive gates ---------------------------------------------------
+    def gate(self, function: str, inputs: Sequence[str], out: Optional[str] = None) -> str:
+        """Add one gate of ``function`` over ``inputs``; returns the output net."""
+        out = out or self.fresh_net(function.lower())
+        cell_type = make_cell_type(function, len(inputs))
+        self.circuit.add_gate(
+            Gate(
+                name=self._fresh_gate_name("g"),
+                cell_type=cell_type,
+                inputs=list(inputs),
+                output=out,
+            )
+        )
+        return out
+
+    def inv(self, a: str, out: Optional[str] = None) -> str:
+        return self.gate("INV", [a], out)
+
+    def buf(self, a: str, out: Optional[str] = None) -> str:
+        return self.gate("BUF", [a], out)
+
+    def and2(self, a: str, b: str, out: Optional[str] = None) -> str:
+        return self.gate("AND", [a, b], out)
+
+    def or2(self, a: str, b: str, out: Optional[str] = None) -> str:
+        return self.gate("OR", [a, b], out)
+
+    def nand2(self, a: str, b: str, out: Optional[str] = None) -> str:
+        return self.gate("NAND", [a, b], out)
+
+    def nor2(self, a: str, b: str, out: Optional[str] = None) -> str:
+        return self.gate("NOR", [a, b], out)
+
+    def xor2(self, a: str, b: str, out: Optional[str] = None) -> str:
+        return self.gate("XOR", [a, b], out)
+
+    def xnor2(self, a: str, b: str, out: Optional[str] = None) -> str:
+        return self.gate("XNOR", [a, b], out)
+
+    def mux2(self, a: str, b: str, sel: str, out: Optional[str] = None) -> str:
+        """2:1 mux built from NAND gates (output = sel ? b : a)."""
+        nsel = self.inv(sel)
+        t0 = self.nand2(a, nsel)
+        t1 = self.nand2(b, sel)
+        return self.nand2(t0, t1, out)
+
+    # -- reduction trees ----------------------------------------------------
+    def tree(self, function: str, nets: Sequence[str], max_fanin: int = 2) -> str:
+        """Balanced reduction tree of ``function`` over ``nets``.
+
+        ``max_fanin`` controls the gate width used at each tree level (2 for
+        XOR/XNOR, up to 4 for AND/OR/NAND/NOR when wide cells are desired).
+        """
+        nets = list(nets)
+        if not nets:
+            raise ValueError("tree() needs at least one net")
+        if len(nets) == 1:
+            return nets[0]
+        while len(nets) > 1:
+            next_level: List[str] = []
+            for i in range(0, len(nets), max_fanin):
+                group = nets[i:i + max_fanin]
+                if len(group) == 1:
+                    next_level.append(group[0])
+                else:
+                    next_level.append(self.gate(function, group))
+            nets = next_level
+        return nets[0]
+
+    def xor_tree(self, nets: Sequence[str]) -> str:
+        return self.tree("XOR", nets, max_fanin=2)
+
+    def and_tree(self, nets: Sequence[str], max_fanin: int = 3) -> str:
+        return self.tree("AND", nets, max_fanin=max_fanin)
+
+    def or_tree(self, nets: Sequence[str], max_fanin: int = 3) -> str:
+        return self.tree("OR", nets, max_fanin=max_fanin)
+
+    # -- arithmetic idioms ---------------------------------------------------
+    def half_adder(self, a: str, b: str) -> Tuple[str, str]:
+        """Returns ``(sum, carry)``."""
+        s = self.xor2(a, b)
+        c = self.and2(a, b)
+        return s, c
+
+    def full_adder(self, a: str, b: str, cin: str) -> Tuple[str, str]:
+        """Returns ``(sum, carry_out)`` using the classic 5-gate NAND/XOR form."""
+        p = self.xor2(a, b)
+        s = self.xor2(p, cin)
+        n1 = self.nand2(a, b)
+        n2 = self.nand2(p, cin)
+        cout = self.nand2(n1, n2)
+        return s, cout
+
+    # -- finishing ----------------------------------------------------------
+    def build(self) -> Circuit:
+        """Return the finished circuit (no copy; the builder should be discarded)."""
+        return self.circuit

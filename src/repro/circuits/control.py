@@ -1,0 +1,94 @@
+"""Control-style circuits: priority/interrupt controller and comparator.
+
+ISCAS-85 c432 is a 27-channel interrupt controller — essentially priority
+logic over channel requests gated by enables, followed by encoding — and
+c7552 contains a 32-bit adder/comparator.  These generators reproduce those
+structures: long AND/NOR priority chains (shallow fanin but long chains of
+small gates) and wide comparison trees.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.circuits.builder import CircuitBuilder
+from repro.netlist.circuit import Circuit
+
+
+def priority_interrupt_controller(
+    num_channels: int = 27, name: Optional[str] = None
+) -> Circuit:
+    """``num_channels``-channel priority interrupt controller (c432 class).
+
+    Inputs: per-channel request ``r`` and enable ``e`` plus a global mask
+    ``m``.  Outputs: per-group grant signals and an encoded channel id.
+    """
+    if num_channels < 2:
+        raise ValueError("num_channels must be >= 2")
+    builder = CircuitBuilder(name or f"pic{num_channels}")
+    requests = builder.inputs("r", num_channels)
+    enables = builder.inputs("e", num_channels)
+    mask = builder.input("m")
+
+    # Qualified requests.
+    qualified = [
+        builder.and2(builder.and2(requests[i], enables[i]), mask)
+        for i in range(num_channels)
+    ]
+
+    # Priority chain: channel i is granted iff it requests and no lower-index
+    # channel does.  The chain of NOR/AND gates gives the long, thin paths
+    # typical of control logic.
+    grants: List[str] = [qualified[0]]
+    blocked = qualified[0]
+    for i in range(1, num_channels):
+        not_blocked = builder.inv(blocked)
+        grants.append(builder.and2(qualified[i], not_blocked))
+        blocked = builder.or2(blocked, qualified[i])
+
+    # Encode the granted channel id (one-hot to binary with OR trees).
+    id_bits = max(1, (num_channels - 1).bit_length())
+    for bit in range(id_bits):
+        ones = [grants[i] for i in range(num_channels) if (i >> bit) & 1]
+        if not ones:
+            ones = [grants[0]]
+        builder.output(builder.buf(builder.or_tree(ones, max_fanin=3), f"id{bit}"))
+
+    # Any-interrupt flag and per-group (byte) summaries.
+    builder.output(builder.buf(builder.or_tree(grants, max_fanin=3), "irq"))
+    group = 0
+    for start in range(0, num_channels, 9):
+        chunk = grants[start:start + 9]
+        builder.output(
+            builder.buf(builder.or_tree(chunk, max_fanin=3), f"grp{group}")
+        )
+        group += 1
+    return builder.build()
+
+
+def magnitude_comparator(width: int, name: Optional[str] = None) -> Circuit:
+    """``width``-bit magnitude comparator: outputs eq, gt, lt (c7552 component)."""
+    if width < 1:
+        raise ValueError("width must be >= 1")
+    builder = CircuitBuilder(name or f"cmp{width}")
+    a = builder.inputs("a", width)
+    b = builder.inputs("b", width)
+
+    eq_bits = [builder.xnor2(a[i], b[i]) for i in range(width)]
+    gt_terms: List[str] = []
+    # a > b at bit i when a[i]=1, b[i]=0 and all higher bits are equal.
+    for i in range(width):
+        term = builder.and2(a[i], builder.inv(b[i]))
+        higher = eq_bits[i + 1:]
+        if higher:
+            term = builder.and2(term, builder.and_tree(higher, max_fanin=4))
+        gt_terms.append(term)
+
+    eq = builder.and_tree(eq_bits, max_fanin=4)
+    gt = builder.or_tree(gt_terms, max_fanin=3)
+    lt = builder.nor2(eq, gt)
+
+    builder.output(builder.buf(eq, "eq"))
+    builder.output(builder.buf(gt, "gt"))
+    builder.output(builder.buf(lt, "lt"))
+    return builder.build()

@@ -1,0 +1,120 @@
+"""Parity and single-error-correction circuits (the c499 / c1355 / c1908 class).
+
+ISCAS-85 c499 and c1355 are functionally the same 32-bit single-error-
+correcting (SEC) circuit — c1355 has its XOR gates expanded into NAND
+networks — and c1908 is a 16-bit SEC/DED translator.  The defining
+structural features are wide XOR (syndrome) trees feeding a decode stage of
+AND gates and a correction stage of XORs, which give these circuits their
+medium depth and heavy reconvergent fanout.
+
+``sec_circuit(32, 8)`` stands in for c499, ``sec_circuit(32, 8,
+expand_xor=True)`` for c1355, and ``sec_circuit(16, 6, ded=True)`` for c1908.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.circuits.builder import CircuitBuilder
+from repro.netlist.circuit import Circuit
+
+
+def parity_tree(width: int, name: Optional[str] = None) -> Circuit:
+    """``width``-input XOR parity tree (a small, shallow benchmark)."""
+    if width < 2:
+        raise ValueError("width must be >= 2")
+    builder = CircuitBuilder(name or f"parity{width}")
+    bits = builder.inputs("d", width)
+    builder.output(builder.buf(builder.xor_tree(bits), "parity"))
+    return builder.build()
+
+
+def _xor2_expanded(builder: CircuitBuilder, a: str, b: str) -> str:
+    """XOR built from four NAND2 gates (the c1355-style expansion)."""
+    n1 = builder.nand2(a, b)
+    n2 = builder.nand2(a, n1)
+    n3 = builder.nand2(b, n1)
+    return builder.nand2(n2, n3)
+
+
+def sec_circuit(
+    data_width: int,
+    check_bits: int,
+    name: Optional[str] = None,
+    expand_xor: bool = False,
+    ded: bool = False,
+) -> Circuit:
+    """Single-error-correcting (optionally double-error-detecting) circuit.
+
+    Parameters
+    ----------
+    data_width:
+        Number of data inputs to protect.
+    check_bits:
+        Number of received check-bit inputs / syndrome bits.
+    expand_xor:
+        Build every XOR from four NAND2 gates (the c1355 variant), roughly
+        tripling the gate count at the same function.
+    ded:
+        Add an overall-parity tree and a double-error-detect flag (the c1908
+        variant).
+    """
+    if data_width < 2:
+        raise ValueError("data_width must be >= 2")
+    if check_bits < 2:
+        raise ValueError("check_bits must be >= 2")
+    builder = CircuitBuilder(name or f"sec{data_width}_{check_bits}")
+    data = builder.inputs("d", data_width)
+    checks = builder.inputs("c", check_bits)
+
+    def xor_pairwise(nets: List[str]) -> str:
+        nets = list(nets)
+        while len(nets) > 1:
+            next_level = []
+            for i in range(0, len(nets) - 1, 2):
+                if expand_xor:
+                    next_level.append(_xor2_expanded(builder, nets[i], nets[i + 1]))
+                else:
+                    next_level.append(builder.xor2(nets[i], nets[i + 1]))
+            if len(nets) % 2:
+                next_level.append(nets[-1])
+            nets = next_level
+        return nets[0]
+
+    # Syndrome bits: each check bit covers the data bits whose index has the
+    # corresponding bit set (Hamming-style coverage).
+    syndromes: List[str] = []
+    for k in range(check_bits):
+        covered = [data[i] for i in range(data_width) if (i >> (k % check_bits.bit_length() or 1)) & 1 or (i + k) % check_bits == 0]
+        if len(covered) < 2:
+            covered = data[: max(2, data_width // 2)]
+        syndrome = xor_pairwise(covered + [checks[k]])
+        syndromes.append(syndrome)
+
+    # Decode stage: for every data bit, AND together the syndrome bits (or
+    # their complements) matching its position, in two levels to keep fanin
+    # realistic.
+    corrections: List[str] = []
+    inverted = [builder.inv(s) for s in syndromes]
+    for i in range(data_width):
+        terms = []
+        for k in range(check_bits):
+            terms.append(syndromes[k] if ((i >> (k % 31)) & 1) or (i + k) % 3 == 0 else inverted[k])
+        corrections.append(builder.and_tree(terms, max_fanin=4))
+
+    # Correction stage: corrected data = data XOR correction.
+    for i in range(data_width):
+        if expand_xor:
+            corrected = _xor2_expanded(builder, data[i], corrections[i])
+        else:
+            corrected = builder.xor2(data[i], corrections[i])
+        builder.output(builder.buf(corrected, f"q{i}"))
+
+    # Error-indication outputs.
+    any_error = builder.or_tree(syndromes, max_fanin=3)
+    builder.output(builder.buf(any_error, "err"))
+    if ded:
+        overall_parity = xor_pairwise(list(data) + list(checks))
+        double_error = builder.and2(any_error, builder.inv(overall_parity))
+        builder.output(builder.buf(double_error, "ded"))
+    return builder.build()

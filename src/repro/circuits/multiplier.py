@@ -1,0 +1,65 @@
+"""Array multiplier generator (the c6288 class).
+
+ISCAS-85 c6288 is a 16x16 array multiplier; the paper singles it out as the
+deepest circuit in the table, with the lowest starting sigma/mu ratio and
+the smallest improvement.  This generator reproduces that structure: an
+``n x n`` grid of partial-product AND gates reduced by rows of half/full
+adders, giving O(n^2) gates and O(n) logic depth.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.circuits.builder import CircuitBuilder
+from repro.netlist.circuit import Circuit
+
+
+def array_multiplier(width: int, name: Optional[str] = None) -> Circuit:
+    """``width`` x ``width`` unsigned array multiplier.
+
+    Gate count grows as ~``7 * width^2``; logic depth as ~``6 * width``.
+    ``array_multiplier(16)`` is the stand-in for c6288.
+    """
+    if width < 2:
+        raise ValueError("width must be >= 2")
+    builder = CircuitBuilder(name or f"mult{width}")
+    a = builder.inputs("a", width)
+    b = builder.inputs("b", width)
+
+    # Partial products pp[i][j] = a[j] & b[i].
+    partial: List[List[str]] = [
+        [builder.and2(a[j], b[i]) for j in range(width)] for i in range(width)
+    ]
+
+    # Row 0 passes straight through; subsequent rows are added with a
+    # ripple of half/full adders (carry-save style reduction).
+    products: List[str] = [partial[0][0]]
+    row_sums: List[str] = partial[0][1:]  # bits 1..width-1 of the running sum
+
+    for i in range(1, width):
+        new_sums: List[str] = []
+        carry: Optional[str] = None
+        for j in range(width):
+            addend = partial[i][j]
+            running = row_sums[j] if j < len(row_sums) else None
+            if running is None and carry is None:
+                # Only reachable for width < 2, which the constructor rejects.
+                s = addend
+            elif running is None:
+                # Top bit of the previous row does not exist: half-add with carry.
+                s, carry = builder.half_adder(addend, carry)
+            elif carry is None:
+                s, carry = builder.half_adder(addend, running)
+            else:
+                s, carry = builder.full_adder(addend, running, carry)
+            new_sums.append(s)
+        products.append(new_sums[0])
+        row_sums = new_sums[1:] + [carry]
+
+    # Remaining running-sum bits are the top product bits.
+    products.extend(row_sums)
+
+    for i, net in enumerate(products):
+        builder.output(builder.buf(net, f"p{i}"))
+    return builder.build()

@@ -1,0 +1,238 @@
+"""Command-line interface.
+
+``python -m repro.cli <command>`` (or the ``repro-sizer`` console script)
+exposes the main flows without writing any Python:
+
+* ``info``   — structural summary of a benchmark or ``.bench`` netlist;
+* ``sta``    — deterministic STA report (worst delay, critical path);
+* ``ssta``   — statistical STA report (FASSTA and FULLSSTA moments, optional
+  Monte-Carlo validation and timing yield at a clock period);
+* ``size``   — run the full flow (baseline mean-delay sizing followed by
+  StatisticalGreedy) and report the Table 1 metrics for one circuit;
+* ``table1`` — regenerate Table 1 rows for a list of circuits;
+* ``benchmarks`` — list the available benchmark circuits and their stand-in
+  gate counts versus the paper's.
+
+Circuits are named either by registry name (``alu2``, ``c432`` ...) or by a
+path to an ISCAS ``.bench`` file.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Optional, Tuple
+
+from repro.analysis.experiments import run_table1
+from repro.analysis.report import format_table, format_table1
+from repro.analysis.timing_yield import YieldReport
+from repro.circuits.registry import BENCHMARK_NAMES, PAPER_GATE_COUNTS, build_benchmark
+from repro.core.baseline import MeanDelaySizer
+from repro.core.fassta import FASSTA
+from repro.core.fullssta import FULLSSTA
+from repro.core.sizer import SizerConfig, StatisticalGreedySizer
+from repro.flow import run_sizing_flow
+from repro.library.delay_model import LookupTableDelayModel
+from repro.library.synthetic90nm import make_synthetic_90nm_library
+from repro.montecarlo.mc import MonteCarloTimer
+from repro.netlist.bench import parse_bench_file
+from repro.netlist.circuit import Circuit
+from repro.netlist.validate import validate_circuit
+from repro.sta.dsta import DeterministicSTA
+from repro.variation.model import VariationModel
+
+
+def load_circuit(name_or_path: str) -> Circuit:
+    """Resolve a circuit argument: registry name or path to a ``.bench`` file."""
+    path = Path(name_or_path)
+    if path.suffix == ".bench" or path.exists():
+        return parse_bench_file(path)
+    return build_benchmark(name_or_path)
+
+
+def _substrates(args) -> Tuple:
+    library = make_synthetic_90nm_library(sizes_per_cell=args.sizes_per_cell)
+    delay_model = LookupTableDelayModel(library)
+    variation_model = VariationModel(
+        proportional_alpha=args.alpha, random_sigma=args.random_sigma
+    )
+    return library, delay_model, variation_model
+
+
+def _add_common_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--sizes-per-cell", type=int, default=7,
+                        help="discrete sizes per cell type in the synthetic library")
+    parser.add_argument("--alpha", type=float, default=0.6,
+                        help="proportional variation coefficient of a minimum-size gate")
+    parser.add_argument("--random-sigma", type=float, default=2.0,
+                        help="unsystematic (size-independent) delay sigma in ps")
+
+
+# ---------------------------------------------------------------------------
+# Subcommands
+# ---------------------------------------------------------------------------
+def cmd_info(args) -> int:
+    circuit = load_circuit(args.circuit)
+    library, _, _ = _substrates(args)
+    stats = circuit.stats()
+    problems = validate_circuit(circuit, library, raise_on_error=False)
+    print(f"circuit        : {stats.name}")
+    print(f"gates          : {stats.num_gates}")
+    print(f"primary inputs : {stats.num_primary_inputs}")
+    print(f"primary outputs: {stats.num_primary_outputs}")
+    print(f"logic depth    : {stats.logic_depth}")
+    print(f"max fanout     : {stats.max_fanout}")
+    print(f"avg fanin      : {stats.avg_fanin:.2f}")
+    print(f"validation     : {'ok' if not problems else f'{len(problems)} problem(s)'}")
+    for problem in problems:
+        print(f"  - {problem}")
+    return 1 if problems else 0
+
+
+def cmd_sta(args) -> int:
+    circuit = load_circuit(args.circuit)
+    _, delay_model, _ = _substrates(args)
+    report = DeterministicSTA(delay_model).analyze(circuit, clock_period=args.period)
+    print(f"worst arrival : {report.worst_arrival:.1f} ps at {report.worst_output}")
+    print(f"clock period  : {report.clock_period:.1f} ps")
+    print(f"worst slack   : {report.wns:+.1f} ps")
+    print(f"total area    : {delay_model.circuit_area(circuit):.0f} um^2")
+    print(f"critical path ({len(report.critical_path)} gates):")
+    for name in report.critical_path:
+        gate = circuit.gate(name)
+        print(f"  {name:16s} {gate.cell_type:8s} size {gate.size_index}  "
+              f"delay {report.gate_delays[name]:7.1f} ps")
+    return 0
+
+
+def cmd_ssta(args) -> int:
+    circuit = load_circuit(args.circuit)
+    _, delay_model, variation_model = _substrates(args)
+    fast = FASSTA(delay_model, variation_model).analyze(circuit).output_rv
+    full = FULLSSTA(delay_model, variation_model).analyze(circuit).output_rv
+    print(f"FASSTA   : mean {fast.mean:9.1f} ps   sigma {fast.sigma:7.2f} ps   "
+          f"sigma/mu {fast.cv:.4f}")
+    print(f"FULLSSTA : mean {full.mean:9.1f} ps   sigma {full.sigma:7.2f} ps   "
+          f"sigma/mu {full.cv:.4f}")
+    if args.monte_carlo:
+        mc = MonteCarloTimer(delay_model, variation_model).run(
+            circuit, num_samples=args.monte_carlo, seed=args.seed
+        )
+        print(f"MonteCarlo({args.monte_carlo}): mean {mc.mean:9.1f} ps   "
+              f"sigma {mc.sigma:7.2f} ps   sigma/mu {mc.cv:.4f}")
+    if args.period is not None:
+        report = YieldReport.from_distribution(full, args.period)
+        print(f"timing yield at {args.period:.0f} ps : {100 * report.yield_fraction:.1f} %")
+        print(f"period for 99 % yield    : {report.period_for_99:.1f} ps")
+    return 0
+
+
+def cmd_size(args) -> int:
+    circuit = load_circuit(args.circuit)
+    library, delay_model, variation_model = _substrates(args)
+    config = SizerConfig(lam=args.lam, max_iterations=args.max_iterations)
+    result = run_sizing_flow(
+        circuit,
+        lam=args.lam,
+        library=library,
+        delay_model=delay_model,
+        variation_model=variation_model,
+        sizer_config=config,
+        monte_carlo_samples=args.monte_carlo,
+        run_baseline=not args.no_baseline,
+    )
+    print(f"circuit {circuit.name}: {circuit.num_gates()} gates, lambda={args.lam:g}")
+    print(f"  mean delay : {result.original_rv.mean:9.1f} -> {result.final_rv.mean:9.1f} ps "
+          f"({result.mean_increase_pct:+.1f} %)")
+    print(f"  sigma      : {result.original_rv.sigma:9.2f} -> {result.final_rv.sigma:9.2f} ps "
+          f"({-result.sigma_reduction_pct:+.1f} %)")
+    print(f"  sigma/mu   : {result.original_cv:9.4f} -> {result.final_cv:9.4f}")
+    print(f"  area       : {result.original_area:9.0f} -> {result.final_area:9.0f} um^2 "
+          f"({result.area_increase_pct:+.1f} %)")
+    print(f"  runtime    : {result.sizer_result.runtime_seconds:.1f} s "
+          f"({len(result.sizer_result.iterations)} passes)")
+    if result.mc_original and result.mc_final:
+        print(f"  MC sigma   : {result.mc_original.sigma:9.2f} -> {result.mc_final.sigma:9.2f} ps")
+    return 0
+
+
+def cmd_table1(args) -> int:
+    circuits = args.circuits or ["alu1", "alu2", "alu3", "c432", "c499"]
+    rows = run_table1(circuits, lams=tuple(args.lam))
+    print(format_table1(rows))
+    return 0
+
+
+def cmd_benchmarks(args) -> int:
+    headers = ["name", "paper gates", "generated gates", "depth"]
+    rows = []
+    for name in BENCHMARK_NAMES:
+        circuit = build_benchmark(name)
+        rows.append((name, PAPER_GATE_COUNTS[name], circuit.num_gates(), circuit.logic_depth()))
+    print(format_table(headers, rows))
+    return 0
+
+
+# ---------------------------------------------------------------------------
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-sizer",
+        description="Statistical gate sizing for process-variation tolerance "
+                    "(Neiroukh & Song, DATE 2005 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_info = sub.add_parser("info", help="structural summary of a circuit")
+    p_info.add_argument("circuit")
+    _add_common_options(p_info)
+    p_info.set_defaults(func=cmd_info)
+
+    p_sta = sub.add_parser("sta", help="deterministic STA report")
+    p_sta.add_argument("circuit")
+    p_sta.add_argument("--period", type=float, default=None, help="clock period in ps")
+    _add_common_options(p_sta)
+    p_sta.set_defaults(func=cmd_sta)
+
+    p_ssta = sub.add_parser("ssta", help="statistical STA report")
+    p_ssta.add_argument("circuit")
+    p_ssta.add_argument("--monte-carlo", type=int, default=0, metavar="N",
+                        help="validate with N Monte-Carlo samples")
+    p_ssta.add_argument("--period", type=float, default=None,
+                        help="report timing yield at this clock period (ps)")
+    p_ssta.add_argument("--seed", type=int, default=0)
+    _add_common_options(p_ssta)
+    p_ssta.set_defaults(func=cmd_ssta)
+
+    p_size = sub.add_parser("size", help="run the full statistical sizing flow")
+    p_size.add_argument("circuit")
+    p_size.add_argument("--lam", type=float, default=3.0, help="Eq. 7 sigma weight")
+    p_size.add_argument("--max-iterations", type=int, default=60)
+    p_size.add_argument("--monte-carlo", type=int, default=0, metavar="N")
+    p_size.add_argument("--no-baseline", action="store_true",
+                        help="skip the mean-delay baseline sizing step")
+    _add_common_options(p_size)
+    p_size.set_defaults(func=cmd_size)
+
+    p_table = sub.add_parser("table1", help="regenerate Table 1 rows")
+    p_table.add_argument("circuits", nargs="*", help="circuit names (default: small subset)")
+    p_table.add_argument("--lam", type=float, nargs="+", default=[3.0, 9.0])
+    _add_common_options(p_table)
+    p_table.set_defaults(func=cmd_table1)
+
+    p_bench = sub.add_parser("benchmarks", help="list available benchmark circuits")
+    _add_common_options(p_bench)
+    p_bench.set_defaults(func=cmd_benchmarks)
+
+    return parser
+
+
+def main(argv: Optional[list] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

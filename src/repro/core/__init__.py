@@ -1,0 +1,62 @@
+"""The paper's contribution: statistical timing engines, WNSS tracing and
+the StatisticalGreedy sizer.
+
+Module map (paper section in parentheses):
+
+* :mod:`repro.core.rv` — normal arrival-time random variables (§3).
+* :mod:`repro.core.clark` — Clark's max moments, the quadratic erf
+  approximation and the ±2.6-sigma dominance shortcuts (§4.3, Eqs. 1-6).
+* :mod:`repro.core.discrete_pdf` — discrete sampled PDFs with sum/max (§4.2).
+* :mod:`repro.core.fullssta` — the outer discrete-PDF SSTA engine (§4.2).
+* :mod:`repro.core.fassta` — the fast moment-based inner engine (§4.3).
+* :mod:`repro.core.wnss` — Worst-Negative-Statistical-Slack path tracing (§4.4).
+* :mod:`repro.core.subcircuit` — TFI/TFO subcircuit extraction (§4.5).
+* :mod:`repro.core.cost` — the weighted mu + lambda*sigma cost (Eq. 7).
+* :mod:`repro.core.sizer` — the StatisticalGreedy optimizer (Fig. 2).
+* :mod:`repro.core.baseline` — deterministic mean-delay sizer producing the
+  "original" design point of Table 1 / Fig. 1.
+"""
+
+from repro.core.rv import NormalDelay
+from repro.core.clark import (
+    clark_max_exact,
+    clark_max_fast,
+    dominance,
+    erf_quadratic,
+    phi,
+    capital_phi,
+)
+from repro.core.discrete_pdf import DiscretePDF
+from repro.core.fassta import FASSTA, FasstaResult
+from repro.core.fullssta import FULLSSTA, FullSstaResult
+from repro.core.wnss import WNSSTracer, WNSSPath
+from repro.core.subcircuit import Subcircuit, extract_subcircuit
+from repro.core.cost import WeightedCost, CostEvaluator
+from repro.core.sizer import StatisticalGreedySizer, SizerConfig, SizerResult
+from repro.core.baseline import MeanDelaySizer, BaselineResult
+
+__all__ = [
+    "NormalDelay",
+    "clark_max_exact",
+    "clark_max_fast",
+    "dominance",
+    "erf_quadratic",
+    "phi",
+    "capital_phi",
+    "DiscretePDF",
+    "FASSTA",
+    "FasstaResult",
+    "FULLSSTA",
+    "FullSstaResult",
+    "WNSSTracer",
+    "WNSSPath",
+    "Subcircuit",
+    "extract_subcircuit",
+    "WeightedCost",
+    "CostEvaluator",
+    "StatisticalGreedySizer",
+    "SizerConfig",
+    "SizerResult",
+    "MeanDelaySizer",
+    "BaselineResult",
+]

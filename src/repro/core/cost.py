@@ -1,0 +1,196 @@
+"""Cost functions: the weighted mean/sigma objective (paper Eq. 7).
+
+For every output ``O_i`` of a (sub)circuit the paper scores
+
+    Cost(O_i) = mu_i + lambda * sigma_i
+
+where ``lambda`` is a user-specified weight that "ranks relative importance
+of minimizing standard variation against mean of delay"; the cost of the
+(sub)circuit is the *maximum* of the per-output costs.  ``lambda = 0``
+recovers a pure mean-delay objective; the paper's experiments use
+``lambda in {3, 9}`` (and 6 in Fig. 4).
+
+:class:`CostEvaluator` binds the cost to a FASSTA engine and evaluates
+candidate gate sizes on extracted subcircuits, which is exactly the
+``Cost(S)`` procedure of the Fig. 2 pseudocode.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional
+
+from repro.core.fassta import FASSTA
+from repro.core.rv import NormalDelay, ZERO_DELAY
+from repro.core.subcircuit import Subcircuit
+
+
+@dataclass(frozen=True)
+class WeightedCost:
+    """``cost(rv) = rv.mean + lam * rv.sigma`` (Eq. 7)."""
+
+    lam: float
+
+    def __post_init__(self) -> None:
+        if self.lam < 0:
+            raise ValueError("lambda weight must be non-negative")
+
+    def of(self, rv: NormalDelay) -> float:
+        """Cost of a single arrival-time random variable."""
+        return rv.mean + self.lam * rv.sigma
+
+    def of_moments(self, mean: float, sigma: float) -> float:
+        return mean + self.lam * sigma
+
+    def worst(self, arrivals: Mapping[str, NormalDelay]) -> float:
+        """Maximum cost over a set of outputs (the subcircuit cost of §4.5)."""
+        if not arrivals:
+            raise ValueError("worst() needs at least one output arrival")
+        return max(self.of(rv) for rv in arrivals.values())
+
+    def components(self, arrivals: Mapping[str, NormalDelay]) -> "CostComponents":
+        """Both the worst and the summed per-output cost of a set of outputs.
+
+        The sum acts as a tie-breaker when comparing candidate gate sizes: a
+        resize that improves a non-worst output of the subcircuit (without
+        hurting the worst one) is still progress, even though the Eq. 7 max
+        is unchanged.  Without the tie-breaker, circuits with many parallel
+        near-critical paths dead-lock because every local improvement is
+        masked by some slower path crossing the same subcircuit.
+        """
+        if not arrivals:
+            raise ValueError("components() needs at least one output arrival")
+        costs = [self.of(rv) for rv in arrivals.values()]
+        return CostComponents(worst=max(costs), total=sum(costs))
+
+
+@dataclass(frozen=True)
+class CostComponents:
+    """(worst, total) cost of a subcircuit's outputs, compared lexicographically."""
+
+    worst: float
+    total: float
+
+    #: Relative tolerance used when deciding the worst costs are "equal".
+    REL_TOL = 1e-9
+
+    def better_than(self, other: "CostComponents") -> bool:
+        """True when this cost is strictly preferable to ``other``."""
+        tol = self.REL_TOL * max(abs(self.worst), abs(other.worst), 1.0)
+        if self.worst < other.worst - tol:
+            return True
+        if self.worst > other.worst + tol:
+            return False
+        return self.total < other.total - tol
+
+
+class CostEvaluator:
+    """Evaluates the Eq. 7 cost of a subcircuit with the FASSTA engine.
+
+    Parameters
+    ----------
+    fassta:
+        The fast inner-loop engine.
+    cost:
+        The weighted cost (carries lambda).
+    """
+
+    def __init__(self, fassta: FASSTA, cost: WeightedCost) -> None:
+        self.fassta = fassta
+        self.cost = cost
+
+    # ------------------------------------------------------------------
+    def subcircuit_arrivals(
+        self,
+        subcircuit: Subcircuit,
+        boundary_arrivals: Mapping[str, NormalDelay],
+    ) -> Dict[str, NormalDelay]:
+        """Propagate moments across the subcircuit's member gates only.
+
+        ``boundary_arrivals`` supplies the arrival moments of the
+        subcircuit's input nets (typically the values FULLSSTA recorded).
+        Loads are computed against the parent circuit so boundary fanout is
+        exact.
+        """
+        circuit = subcircuit.parent
+        arrivals: Dict[str, NormalDelay] = {}
+        for net in subcircuit.input_nets:
+            arrivals[net] = boundary_arrivals.get(net, ZERO_DELAY)
+
+        for gate_name in subcircuit.gate_names:
+            gate = circuit.gate(gate_name)
+            delay_rv = self.fassta.gate_delay_rv(circuit, gate_name)
+            input_rvs = [arrivals.get(net, ZERO_DELAY) for net in gate.inputs]
+            if len(input_rvs) == 1:
+                worst_input = input_rvs[0]
+            else:
+                worst_input = NormalDelay.maximum_of(
+                    input_rvs, exact=self.fassta.exact_max
+                )
+            arrivals[gate.output] = worst_input + delay_rv
+        return arrivals
+
+    def _output_arrivals(
+        self,
+        subcircuit: Subcircuit,
+        boundary_arrivals: Mapping[str, NormalDelay],
+    ) -> Dict[str, NormalDelay]:
+        arrivals = self.subcircuit_arrivals(subcircuit, boundary_arrivals)
+        return {net: arrivals.get(net, ZERO_DELAY) for net in subcircuit.output_nets}
+
+    def subcircuit_cost(
+        self,
+        subcircuit: Subcircuit,
+        boundary_arrivals: Mapping[str, NormalDelay],
+    ) -> float:
+        """The Eq. 7 cost of the subcircuit: max over its output nets."""
+        return self.cost.worst(self._output_arrivals(subcircuit, boundary_arrivals))
+
+    def subcircuit_cost_components(
+        self,
+        subcircuit: Subcircuit,
+        boundary_arrivals: Mapping[str, NormalDelay],
+    ) -> CostComponents:
+        """(worst, total) cost of the subcircuit, for candidate-size comparisons."""
+        return self.cost.components(self._output_arrivals(subcircuit, boundary_arrivals))
+
+    def candidate_size_cost(
+        self,
+        subcircuit: Subcircuit,
+        boundary_arrivals: Mapping[str, NormalDelay],
+        size_index: int,
+    ) -> float:
+        """Cost of the subcircuit with the seed gate temporarily at ``size_index``.
+
+        The seed's size is restored before returning, so the parent circuit
+        is never left in the trial state.
+        """
+        circuit = subcircuit.parent
+        gate = circuit.gate(subcircuit.seed)
+        original = gate.size_index
+        try:
+            gate.size_index = size_index
+            return self.subcircuit_cost(subcircuit, boundary_arrivals)
+        finally:
+            gate.size_index = original
+
+    def candidate_size_cost_components(
+        self,
+        subcircuit: Subcircuit,
+        boundary_arrivals: Mapping[str, NormalDelay],
+        size_index: int,
+    ) -> CostComponents:
+        """(worst, total) cost with the seed gate temporarily at ``size_index``."""
+        circuit = subcircuit.parent
+        gate = circuit.gate(subcircuit.seed)
+        original = gate.size_index
+        try:
+            gate.size_index = size_index
+            return self.subcircuit_cost_components(subcircuit, boundary_arrivals)
+        finally:
+            gate.size_index = original
+
+    # ------------------------------------------------------------------
+    def circuit_cost(self, output_rv: NormalDelay) -> float:
+        """Circuit-level objective from the FULLSSTA/FASSTA output moments."""
+        return self.cost.of(output_rv)

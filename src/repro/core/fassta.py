@@ -1,0 +1,141 @@
+"""FASSTA — the fast, moment-based statistical timing engine (paper §4.3).
+
+FASSTA is the inner-loop engine used while evaluating candidate gate sizes.
+Instead of carrying full discrete pdfs it carries only the first two moments
+of every arrival time (a :class:`~repro.core.rv.NormalDelay`):
+
+* ``sum`` — means and variances add (independent-normal assumption),
+* ``max`` — Clark's formulae with the quadratic-cdf approximation plus the
+  ±2.6-sigma dominance shortcut (:func:`repro.core.clark.clark_max_fast`).
+
+The engine can time a whole :class:`~repro.netlist.circuit.Circuit` or a
+:class:`~repro.core.subcircuit.Subcircuit` whose boundary arrival times were
+previously annotated by FULLSSTA — exactly the nesting the paper describes
+("a slower more accurate approach for tracking statistical critical paths
+and a fast engine for evaluation of gate size assignments").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional
+
+from repro.core.rv import NormalDelay, ZERO_DELAY
+from repro.library.delay_model import BaseDelayModel
+from repro.netlist.circuit import Circuit
+from repro.variation.model import VariationModel
+
+
+@dataclass
+class FasstaResult:
+    """Arrival-time moments produced by one FASSTA run."""
+
+    arrivals: Dict[str, NormalDelay]
+    gate_delays: Dict[str, NormalDelay]
+    output_rv: NormalDelay
+    worst_output: str
+
+    def arrival(self, net: str) -> NormalDelay:
+        """Arrival-time moments at ``net`` (0 for unknown/primary-input nets)."""
+        return self.arrivals.get(net, ZERO_DELAY)
+
+    @property
+    def mean(self) -> float:
+        """Mean of the circuit-level max arrival (the paper's mu of RV_O)."""
+        return self.output_rv.mean
+
+    @property
+    def sigma(self) -> float:
+        """Standard deviation of the circuit-level max arrival."""
+        return self.output_rv.sigma
+
+
+class FASSTA:
+    """Fast moment-propagation SSTA engine.
+
+    Parameters
+    ----------
+    delay_model:
+        Library delay model giving nominal gate delays under load.
+    variation_model:
+        Process-variation model assigning a sigma to every gate delay.
+    exact_max:
+        When true, use the exact Clark moments instead of the fast
+        approximation (used by accuracy studies; default false).
+    """
+
+    def __init__(
+        self,
+        delay_model: BaseDelayModel,
+        variation_model: VariationModel,
+        exact_max: bool = False,
+    ) -> None:
+        self.delay_model = delay_model
+        self.variation_model = variation_model
+        self.exact_max = exact_max
+
+    # ------------------------------------------------------------------
+    def gate_delay_rv(
+        self, circuit: Circuit, gate_name: str, size_index: Optional[int] = None
+    ) -> NormalDelay:
+        """Delay distribution of one gate (optionally at a hypothetical size)."""
+        gate = circuit.gate(gate_name)
+        dist = self.variation_model.gate_distribution(
+            circuit, gate, self.delay_model, size_index
+        )
+        return NormalDelay(dist.mean, dist.sigma)
+
+    # ------------------------------------------------------------------
+    def analyze(
+        self,
+        circuit: Circuit,
+        boundary_arrivals: Optional[Mapping[str, NormalDelay]] = None,
+        outputs: Optional[List[str]] = None,
+    ) -> FasstaResult:
+        """Propagate arrival-time moments through ``circuit``.
+
+        Parameters
+        ----------
+        circuit:
+            The circuit (or extracted subcircuit) to time.
+        boundary_arrivals:
+            Arrival moments of nets driven from outside the analysed region
+            (primary inputs default to ``NormalDelay(0, 0)``).
+        outputs:
+            Net names over which the circuit-level max is taken; defaults to
+            the circuit's primary outputs.
+        """
+        arrivals: Dict[str, NormalDelay] = {}
+        if boundary_arrivals:
+            arrivals.update(boundary_arrivals)
+        for net in circuit.primary_inputs:
+            arrivals.setdefault(net, ZERO_DELAY)
+
+        gate_delays: Dict[str, NormalDelay] = {}
+        for gate in circuit:
+            delay_rv = self.gate_delay_rv(circuit, gate.name)
+            gate_delays[gate.name] = delay_rv
+            input_rvs = [arrivals.get(net, ZERO_DELAY) for net in gate.inputs]
+            if len(input_rvs) == 1:
+                worst_input = input_rvs[0]
+            else:
+                worst_input = NormalDelay.maximum_of(input_rvs, exact=self.exact_max)
+            arrivals[gate.output] = worst_input + delay_rv
+
+        output_nets = outputs if outputs is not None else circuit.primary_outputs
+        if not output_nets:
+            raise ValueError(f"circuit {circuit.name!r} has no outputs to time")
+        output_rvs = [arrivals.get(net, ZERO_DELAY) for net in output_nets]
+        output_rv = NormalDelay.maximum_of(output_rvs, exact=self.exact_max)
+        worst_output = max(output_nets, key=lambda net: arrivals.get(net, ZERO_DELAY).mean)
+        return FasstaResult(
+            arrivals=arrivals,
+            gate_delays=gate_delays,
+            output_rv=output_rv,
+            worst_output=worst_output,
+        )
+
+    # ------------------------------------------------------------------
+    def output_moments(self, circuit: Circuit) -> NormalDelay:
+        """Shortcut: moments of the circuit-level max arrival."""
+        return self.analyze(circuit).output_rv

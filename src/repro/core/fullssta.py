@@ -1,0 +1,185 @@
+"""FULLSSTA — the accurate discrete-PDF statistical timing engine (paper §4.2).
+
+The outer loop of the optimization runs this engine.  Every gate delay is
+discretized into a small pdf (10-15 samples, following Liou et al. DAC 2001)
+and arrival times are propagated as discrete pdfs using the ``sum``
+(convolution) and ``max`` (pairwise-max reduction) operations of
+:class:`~repro.core.discrete_pdf.DiscretePDF`.
+
+Besides the output pdf, the engine records the mean and variance at *every*
+node — the paper stores exactly these point values "for use in the fast
+timing engine (FASSTA)" and the WNSS tracer consumes them too.
+
+An optional spatial-correlation overlay can inflate the output variance to
+first order when a :class:`~repro.variation.correlation.SpatialCorrelationModel`
+is supplied; the paper leaves correlation handling to "PCA or other methods"
+in the outer loop, so this is provided as an extension and disabled by
+default.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional
+
+from repro.core.discrete_pdf import DEFAULT_SAMPLES, DiscretePDF
+from repro.core.rv import NormalDelay, ZERO_DELAY
+from repro.library.delay_model import BaseDelayModel
+from repro.netlist.circuit import Circuit
+from repro.variation.correlation import SpatialCorrelationModel
+from repro.variation.model import VariationModel
+
+
+@dataclass
+class FullSstaResult:
+    """Per-node pdfs and moments produced by one FULLSSTA run."""
+
+    arrival_pdfs: Dict[str, DiscretePDF]
+    arrival_moments: Dict[str, NormalDelay]
+    gate_delay_moments: Dict[str, NormalDelay]
+    output_pdf: DiscretePDF
+    output_rv: NormalDelay
+    worst_output: str
+
+    def arrival(self, net: str) -> NormalDelay:
+        """Arrival moments at ``net`` (0 for primary inputs / unknown nets)."""
+        return self.arrival_moments.get(net, ZERO_DELAY)
+
+    def arrival_pdf(self, net: str) -> Optional[DiscretePDF]:
+        return self.arrival_pdfs.get(net)
+
+    @property
+    def mean(self) -> float:
+        return self.output_rv.mean
+
+    @property
+    def sigma(self) -> float:
+        return self.output_rv.sigma
+
+
+class FULLSSTA:
+    """Discrete-PDF statistical static timing analysis.
+
+    Parameters
+    ----------
+    delay_model / variation_model:
+        Same substrates FASSTA uses; the two engines always see identical
+        gate-delay distributions, only the propagation math differs.
+    num_samples:
+        Samples kept per pdf (the paper's "10-15 samples"; default 13).
+    correlation_model:
+        Optional spatial-correlation overlay (see module docstring).
+    """
+
+    def __init__(
+        self,
+        delay_model: BaseDelayModel,
+        variation_model: VariationModel,
+        num_samples: int = DEFAULT_SAMPLES,
+        correlation_model: Optional[SpatialCorrelationModel] = None,
+    ) -> None:
+        if num_samples < 3:
+            raise ValueError("num_samples must be at least 3 for a useful pdf")
+        self.delay_model = delay_model
+        self.variation_model = variation_model
+        self.num_samples = num_samples
+        self.correlation_model = correlation_model
+
+    # ------------------------------------------------------------------
+    def gate_delay_pdf(self, circuit: Circuit, gate_name: str) -> DiscretePDF:
+        """Discretized delay pdf of one gate at its current size."""
+        gate = circuit.gate(gate_name)
+        dist = self.variation_model.gate_distribution(circuit, gate, self.delay_model)
+        return DiscretePDF.from_normal(dist.mean, dist.sigma, self.num_samples)
+
+    # ------------------------------------------------------------------
+    def analyze(
+        self,
+        circuit: Circuit,
+        boundary_arrivals: Optional[Mapping[str, DiscretePDF]] = None,
+        outputs: Optional[List[str]] = None,
+    ) -> FullSstaResult:
+        """Propagate discrete-pdf arrival times through ``circuit``."""
+        arrivals: Dict[str, DiscretePDF] = {}
+        if boundary_arrivals:
+            arrivals.update(boundary_arrivals)
+        for net in circuit.primary_inputs:
+            arrivals.setdefault(net, DiscretePDF.point(0.0))
+
+        gate_delay_moments: Dict[str, NormalDelay] = {}
+        for gate in circuit:
+            dist = self.variation_model.gate_distribution(
+                circuit, gate, self.delay_model
+            )
+            gate_delay_moments[gate.name] = NormalDelay(dist.mean, dist.sigma)
+            delay_pdf = DiscretePDF.from_normal(dist.mean, dist.sigma, self.num_samples)
+            input_pdfs = [
+                arrivals.get(net, DiscretePDF.point(0.0)) for net in gate.inputs
+            ]
+            if len(input_pdfs) == 1:
+                worst_input = input_pdfs[0]
+            else:
+                worst_input = DiscretePDF.maximum_of(input_pdfs, self.num_samples)
+            arrivals[gate.output] = worst_input.add(delay_pdf, self.num_samples)
+
+        output_nets = outputs if outputs is not None else circuit.primary_outputs
+        if not output_nets:
+            raise ValueError(f"circuit {circuit.name!r} has no outputs to time")
+        output_pdfs = [
+            arrivals.get(net, DiscretePDF.point(0.0)) for net in output_nets
+        ]
+        output_pdf = DiscretePDF.maximum_of(output_pdfs, self.num_samples)
+
+        arrival_moments = {
+            net: NormalDelay(pdf.mean(), pdf.std()) for net, pdf in arrivals.items()
+        }
+        output_sigma = output_pdf.std()
+        if self.correlation_model is not None:
+            output_sigma = self._inflate_sigma_for_correlation(
+                circuit, output_sigma, gate_delay_moments
+            )
+        output_rv = NormalDelay(output_pdf.mean(), output_sigma)
+        worst_output = max(
+            output_nets, key=lambda net: arrival_moments.get(net, ZERO_DELAY).mean
+        )
+        return FullSstaResult(
+            arrival_pdfs=arrivals,
+            arrival_moments=arrival_moments,
+            gate_delay_moments=gate_delay_moments,
+            output_pdf=output_pdf,
+            output_rv=output_rv,
+            worst_output=worst_output,
+        )
+
+    # ------------------------------------------------------------------
+    def _inflate_sigma_for_correlation(
+        self,
+        circuit: Circuit,
+        independent_sigma: float,
+        gate_delay_moments: Dict[str, NormalDelay],
+    ) -> float:
+        """First-order variance correction for spatially correlated variation.
+
+        Positive pairwise correlation along the dominant path adds
+        ``2 * rho * sigma_i * sigma_j`` cross terms that the independent
+        propagation misses.  We approximate the correction along the gates of
+        the nominal critical path only, which keeps the cost linear in path
+        length and matches how the correction is typically quoted.
+        """
+        from repro.sta.dsta import DeterministicSTA  # local import avoids a cycle
+
+        dsta = DeterministicSTA(self.delay_model)
+        path = dsta.critical_path(circuit)
+        extra_var = 0.0
+        for i, gate_i in enumerate(path):
+            sigma_i = gate_delay_moments[gate_i].sigma
+            for gate_j in path[i + 1:]:
+                rho = self.correlation_model.correlation_between(gate_i, gate_j)
+                sigma_j = gate_delay_moments[gate_j].sigma
+                extra_var += 2.0 * rho * sigma_i * sigma_j
+        return float((independent_sigma ** 2 + max(extra_var, 0.0)) ** 0.5)
+
+    # ------------------------------------------------------------------
+    def output_moments(self, circuit: Circuit) -> NormalDelay:
+        """Shortcut: moments of the circuit-level output arrival."""
+        return self.analyze(circuit).output_rv

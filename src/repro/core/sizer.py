@@ -1,0 +1,370 @@
+"""StatisticalGreedy — the gain-based statistical sizing algorithm (paper Fig. 2).
+
+The optimizer nests the two statistical engines:
+
+* the **outer loop** runs FULLSSTA over the whole circuit, records per-node
+  arrival moments, and traces the WNSS path;
+* the **inner loop** visits every gate on the WNSS path, extracts the
+  two-level TFI/TFO subcircuit around it, and evaluates every available
+  discrete size of that gate with FASSTA, scoring candidates with the
+  weighted cost ``max_i (mu_i + lambda * sigma_i)`` over the subcircuit's
+  outputs (Eq. 7).  The best size per gate is *scheduled*; all scheduled
+  resizes are committed together at the end of the pass ("Resize scheduled
+  gates"), and the outer loop repeats.
+
+Termination follows the paper: "until constraints are satisfied or no
+further improvements can be made".  Improvement is measured on the
+circuit-level objective ``mu_O + lambda * sigma_O`` computed by FULLSSTA;
+an optional sigma target and iteration cap provide the constrained mode.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.cost import CostComponents, CostEvaluator, WeightedCost
+from repro.core.fassta import FASSTA
+from repro.core.fullssta import FULLSSTA, FullSstaResult
+from repro.core.rv import NormalDelay
+from repro.core.subcircuit import DEFAULT_DEPTH, extract_subcircuit
+from repro.core.wnss import WNSSTracer
+from repro.library.delay_model import BaseDelayModel
+from repro.netlist.circuit import Circuit
+from repro.variation.model import VariationModel
+
+
+@dataclass
+class SizerConfig:
+    """Tuning knobs of the StatisticalGreedy optimizer.
+
+    Parameters mirror the paper's description; defaults reproduce its setup.
+    """
+
+    lam: float = 3.0
+    subcircuit_depth: int = DEFAULT_DEPTH
+    max_iterations: int = 60
+    min_relative_gain: float = 1e-5
+    sigma_target: Optional[float] = None
+    pdf_samples: int = 13
+    freeze_no_gain_gates: bool = False
+    incremental_fallback: bool = True
+    max_outputs_per_pass: int = 6
+    patience: int = 4
+
+    def __post_init__(self) -> None:
+        if self.lam < 0:
+            raise ValueError("lam must be non-negative")
+        if self.subcircuit_depth < 0:
+            raise ValueError("subcircuit_depth must be non-negative")
+        if self.max_iterations < 1:
+            raise ValueError("max_iterations must be >= 1")
+        if self.min_relative_gain < 0:
+            raise ValueError("min_relative_gain must be non-negative")
+
+
+@dataclass
+class IterationRecord:
+    """Diagnostics of one outer-loop iteration."""
+
+    index: int
+    objective: float
+    mean: float
+    sigma: float
+    area: float
+    wnss_length: int
+    resized_gates: Dict[str, int] = field(default_factory=dict)
+
+
+@dataclass
+class SizerResult:
+    """Outcome of a StatisticalGreedy run."""
+
+    circuit: Circuit
+    initial: NormalDelay
+    final: NormalDelay
+    initial_area: float
+    final_area: float
+    iterations: List[IterationRecord]
+    runtime_seconds: float
+    lam: float
+    converged: bool
+
+    @property
+    def sigma_reduction_pct(self) -> float:
+        """Percentage reduction in output sigma relative to the starting point."""
+        if self.initial.sigma == 0:
+            return 0.0
+        return 100.0 * (self.initial.sigma - self.final.sigma) / self.initial.sigma
+
+    @property
+    def mean_increase_pct(self) -> float:
+        if self.initial.mean == 0:
+            return 0.0
+        return 100.0 * (self.final.mean - self.initial.mean) / self.initial.mean
+
+    @property
+    def area_increase_pct(self) -> float:
+        if self.initial_area == 0:
+            return 0.0
+        return 100.0 * (self.final_area - self.initial_area) / self.initial_area
+
+    @property
+    def final_cv(self) -> float:
+        """Final sigma/mu ratio (the paper's per-circuit quality metric)."""
+        return self.final.sigma / self.final.mean if self.final.mean else 0.0
+
+    @property
+    def initial_cv(self) -> float:
+        return self.initial.sigma / self.initial.mean if self.initial.mean else 0.0
+
+
+class StatisticalGreedySizer:
+    """The paper's StatisticalGreedy algorithm (Fig. 2)."""
+
+    def __init__(
+        self,
+        delay_model: BaseDelayModel,
+        variation_model: VariationModel,
+        config: Optional[SizerConfig] = None,
+    ) -> None:
+        self.delay_model = delay_model
+        self.variation_model = variation_model
+        self.config = config or SizerConfig()
+
+        self.fullssta = FULLSSTA(
+            delay_model, variation_model, num_samples=self.config.pdf_samples
+        )
+        self.fassta = FASSTA(delay_model, variation_model)
+        self.cost = WeightedCost(self.config.lam)
+        self.evaluator = CostEvaluator(self.fassta, self.cost)
+        self.tracer = WNSSTracer(
+            coupling=variation_model.mean_sigma_coupling, lam=self.config.lam
+        )
+
+    # ------------------------------------------------------------------
+    def optimize(self, circuit: Circuit) -> SizerResult:
+        """Run StatisticalGreedy on ``circuit`` in place and return the result."""
+        start_time = time.perf_counter()
+        config = self.config
+        library = self.delay_model.library
+
+        initial_full = self.fullssta.analyze(circuit)
+        initial_rv = initial_full.output_rv
+        initial_area = self.delay_model.circuit_area(circuit)
+
+        best_objective = self.cost.of(initial_rv)
+        best_components = self._objective_components(circuit, initial_full)
+        best_sizes = circuit.sizes()
+        best_full = initial_full
+        iterations: List[IterationRecord] = []
+        frozen: set = set()
+        converged = False
+        current_full = initial_full
+        stall = 0
+
+        for iteration in range(config.max_iterations):
+            # Constraint check ("until constraints met").
+            if (
+                config.sigma_target is not None
+                and current_full.output_rv.sigma <= config.sigma_target
+            ):
+                converged = True
+                break
+
+            # Trace the WNSS path of the worst output first; if none of its
+            # gates can be improved, fall through to the next-worst outputs.
+            # A circuit's variance is set by *all* outputs with comparable
+            # mean (paper §2.1), so giving up after the single worst path
+            # would leave most of the recoverable variance on the table.
+            outputs_by_cost = sorted(
+                circuit.primary_outputs,
+                key=lambda net: self.cost.of(current_full.arrival(net)),
+                reverse=True,
+            )[: config.max_outputs_per_pass]
+
+            scheduled: Dict[str, int] = {}
+            wnss_length = 0
+            for output_net in outputs_by_cost:
+                wnss = self.tracer.trace(
+                    circuit, current_full.arrival_moments, start_output=output_net
+                )
+                wnss_length = max(wnss_length, len(wnss))
+                for gate_name in wnss.gates:
+                    if gate_name in scheduled:
+                        continue
+                    if config.freeze_no_gain_gates and gate_name in frozen:
+                        continue
+                    new_size = self._best_size_for(circuit, gate_name, current_full)
+                    gate = circuit.gate(gate_name)
+                    if new_size is not None and new_size != gate.size_index:
+                        scheduled[gate_name] = new_size
+                    elif config.freeze_no_gain_gates:
+                        frozen.add(gate_name)
+
+            if not scheduled:
+                converged = True
+                break
+
+            # "Resize scheduled gates" — commit the whole pass at once.
+            snapshot = circuit.sizes()
+            for gate_name, size_index in scheduled.items():
+                circuit.set_size(gate_name, size_index)
+
+            new_full = self.fullssta.analyze(circuit)
+            new_objective = self.cost.of(new_full.output_rv)
+            new_components = self._objective_components(circuit, new_full)
+
+            if (
+                not new_components.better_than(best_components)
+                and config.incremental_fallback
+            ):
+                # Bulk commit did not help (individually good moves can
+                # interact through shared loads).  Roll back and retry the
+                # scheduled resizes one at a time, keeping only those that
+                # improve the global objective.
+                circuit.apply_sizes(snapshot)
+                accepted, accepted_full, accepted_components = self._commit_incrementally(
+                    circuit, scheduled, best_components
+                )
+                if accepted:
+                    scheduled = accepted
+                    new_full = accepted_full
+                    new_components = accepted_components
+                    new_objective = self.cost.of(new_full.output_rv)
+                else:
+                    # Nothing helps individually either: keep the bulk pass
+                    # (the changed loads may unlock progress next pass) and
+                    # let the patience counter decide when to give up.
+                    for gate_name, size_index in scheduled.items():
+                        circuit.set_size(gate_name, size_index)
+
+            # The pass is accepted even when it does not beat the best-seen
+            # objective (later passes can recover through the new loads); the
+            # best configuration is tracked and restored at the end, and the
+            # loop stops after ``patience`` passes without a new best.
+            current_full = new_full
+            frozen.difference_update(scheduled)
+            iterations.append(
+                IterationRecord(
+                    index=iteration,
+                    objective=new_objective,
+                    mean=new_full.output_rv.mean,
+                    sigma=new_full.output_rv.sigma,
+                    area=self.delay_model.circuit_area(circuit),
+                    wnss_length=wnss_length,
+                    resized_gates=dict(scheduled),
+                )
+            )
+
+            if new_components.better_than(best_components):
+                best_objective = new_objective
+                best_components = new_components
+                best_sizes = circuit.sizes()
+                best_full = new_full
+                stall = 0
+            else:
+                stall += 1
+                if stall >= config.patience:
+                    converged = True
+                    break
+
+        # Restore the best configuration seen during the run.
+        circuit.apply_sizes(best_sizes)
+        final_full = best_full
+        runtime = time.perf_counter() - start_time
+        return SizerResult(
+            circuit=circuit,
+            initial=initial_rv,
+            final=final_full.output_rv,
+            initial_area=initial_area,
+            final_area=self.delay_model.circuit_area(circuit),
+            iterations=iterations,
+            runtime_seconds=runtime,
+            lam=config.lam,
+            converged=converged,
+        )
+
+    # ------------------------------------------------------------------
+    def _objective_components(
+        self, circuit: Circuit, full_result: FullSstaResult
+    ) -> CostComponents:
+        """Global objective as (worst, total) components.
+
+        The worst component is the paper's objective, ``mu + lambda * sigma``
+        of the circuit-level max arrival.  The total component sums the
+        weighted cost over all primary outputs and acts as a tie-breaker so
+        progress on non-worst outputs (which still feeds the overall
+        variance) is recognised between passes.
+        """
+        worst = self.cost.of(full_result.output_rv)
+        total = sum(
+            self.cost.of(full_result.arrival(net)) for net in circuit.primary_outputs
+        )
+        return CostComponents(worst=worst, total=total)
+
+    # ------------------------------------------------------------------
+    def _commit_incrementally(
+        self,
+        circuit: Circuit,
+        scheduled: Dict[str, int],
+        best_components: CostComponents,
+    ) -> "tuple[Dict[str, int], FullSstaResult, CostComponents]":
+        """Apply scheduled resizes one at a time, keeping only improving ones.
+
+        Fallback used when the bulk commit of a pass does not improve the
+        global objective; returns the accepted resizes and the FULLSSTA
+        result / objective components of the resulting circuit.
+        """
+        accepted: Dict[str, int] = {}
+        components = best_components
+        full_result: Optional[FullSstaResult] = None
+        for gate_name, size_index in scheduled.items():
+            previous = circuit.gate(gate_name).size_index
+            circuit.set_size(gate_name, size_index)
+            trial_full = self.fullssta.analyze(circuit)
+            trial_components = self._objective_components(circuit, trial_full)
+            if trial_components.better_than(components):
+                accepted[gate_name] = size_index
+                components = trial_components
+                full_result = trial_full
+            else:
+                circuit.set_size(gate_name, previous)
+        if full_result is None:
+            full_result = self.fullssta.analyze(circuit)
+        return accepted, full_result, components
+
+    # ------------------------------------------------------------------
+    def _best_size_for(
+        self,
+        circuit: Circuit,
+        gate_name: str,
+        full_result: FullSstaResult,
+    ) -> Optional[int]:
+        """Inner loop of Fig. 2: best size of one gate by subcircuit cost.
+
+        Returns the winning size index, or ``None`` when no size beats the
+        current assignment.
+        """
+        library = self.delay_model.library
+        gate = circuit.gate(gate_name)
+        subcircuit = extract_subcircuit(
+            circuit, gate_name, depth=self.config.subcircuit_depth
+        )
+        boundary = {
+            net: full_result.arrival(net) for net in subcircuit.input_nets
+        }
+
+        best_cost = self.evaluator.subcircuit_cost_components(subcircuit, boundary)
+        best_size = gate.size_index
+        for size_index in library.size_indices(gate.cell_type):
+            if size_index == gate.size_index:
+                continue
+            cost = self.evaluator.candidate_size_cost_components(
+                subcircuit, boundary, size_index
+            )
+            if cost.better_than(best_cost):
+                best_cost = cost
+                best_size = size_index
+        return best_size if best_size != gate.size_index else None

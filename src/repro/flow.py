@@ -1,0 +1,198 @@
+"""High-level convenience flow tying all the pieces together.
+
+``run_sizing_flow`` reproduces the paper's experimental procedure for one
+circuit:
+
+1. build (or accept) a circuit and a standard-cell library;
+2. size it deterministically for minimum mean delay — the "original" design
+   point of Table 1 / Fig. 1;
+3. measure the original statistical performance with FULLSSTA (and
+   optionally Monte Carlo);
+4. run the StatisticalGreedy sizer at the requested lambda;
+5. report the changes in mean, sigma, sigma/mu and area.
+
+``quick_flow`` is the one-liner used in the README quickstart: it accepts a
+benchmark name, builds the default library and variation model, and runs the
+whole flow.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.circuits.registry import build_benchmark
+from repro.core.baseline import BaselineResult, MeanDelaySizer
+from repro.core.fullssta import FULLSSTA
+from repro.core.rv import NormalDelay
+from repro.core.sizer import SizerConfig, SizerResult, StatisticalGreedySizer
+from repro.library.cell import Library
+from repro.library.delay_model import BaseDelayModel, LookupTableDelayModel
+from repro.library.synthetic90nm import make_synthetic_90nm_library
+from repro.montecarlo.mc import MonteCarloResult, MonteCarloTimer
+from repro.netlist.circuit import Circuit
+from repro.variation.model import VariationModel
+
+
+@dataclass
+class FlowResult:
+    """Everything measured during one end-to-end sizing flow."""
+
+    circuit: Circuit
+    lam: float
+    baseline: BaselineResult
+    original_rv: NormalDelay
+    original_area: float
+    sizer_result: SizerResult
+    final_rv: NormalDelay
+    final_area: float
+    mc_original: Optional[MonteCarloResult] = None
+    mc_final: Optional[MonteCarloResult] = None
+
+    # -- Table 1 style metrics -------------------------------------------
+    @property
+    def original_cv(self) -> float:
+        """sigma/mu of the mean-delay-optimized design (Table 1 "original")."""
+        return self.original_rv.sigma / self.original_rv.mean if self.original_rv.mean else 0.0
+
+    @property
+    def final_cv(self) -> float:
+        return self.final_rv.sigma / self.final_rv.mean if self.final_rv.mean else 0.0
+
+    @property
+    def mean_increase_pct(self) -> float:
+        if self.original_rv.mean == 0:
+            return 0.0
+        return 100.0 * (self.final_rv.mean - self.original_rv.mean) / self.original_rv.mean
+
+    @property
+    def sigma_reduction_pct(self) -> float:
+        if self.original_rv.sigma == 0:
+            return 0.0
+        return 100.0 * (self.original_rv.sigma - self.final_rv.sigma) / self.original_rv.sigma
+
+    @property
+    def area_increase_pct(self) -> float:
+        if self.original_area == 0:
+            return 0.0
+        return 100.0 * (self.final_area - self.original_area) / self.original_area
+
+    def as_table1_row(self) -> Dict[str, float]:
+        """The quantities the paper reports per circuit and lambda."""
+        return {
+            "gates": float(self.circuit.num_gates()),
+            "original_cv": self.original_cv,
+            "mean_increase_pct": self.mean_increase_pct,
+            "sigma_reduction_pct": -self.sigma_reduction_pct,  # paper reports negative deltas
+            "final_cv": self.final_cv,
+            "area_increase_pct": self.area_increase_pct,
+            "runtime_seconds": self.sizer_result.runtime_seconds,
+        }
+
+
+def run_sizing_flow(
+    circuit: Circuit,
+    lam: float = 3.0,
+    library: Optional[Library] = None,
+    delay_model: Optional[BaseDelayModel] = None,
+    variation_model: Optional[VariationModel] = None,
+    sizer_config: Optional[SizerConfig] = None,
+    run_baseline: bool = True,
+    monte_carlo_samples: int = 0,
+    seed: Optional[int] = 0,
+) -> FlowResult:
+    """Run the full paper flow on ``circuit`` (sized in place).
+
+    Parameters
+    ----------
+    circuit:
+        The technology-mapped circuit to optimize.
+    lam:
+        The Eq. 7 weight trading sigma against mean (paper uses 3 and 9).
+    library / delay_model / variation_model:
+        Substrates; defaults are the synthetic 90 nm library, its LUT delay
+        model and the default variation model.
+    sizer_config:
+        Full sizer configuration; when given, its ``lam`` takes precedence.
+    run_baseline:
+        Size for minimum mean delay first (the paper's starting point).
+    monte_carlo_samples:
+        When positive, validate the original and final designs with this
+        many Monte-Carlo samples.
+    """
+    if library is None and delay_model is None:
+        library = make_synthetic_90nm_library()
+    if delay_model is None:
+        delay_model = LookupTableDelayModel(library)
+    variation_model = variation_model or VariationModel()
+    config = sizer_config or SizerConfig(lam=lam)
+
+    baseline_sizer = MeanDelaySizer(delay_model)
+    if run_baseline:
+        baseline = baseline_sizer.optimize(circuit)
+    else:
+        from repro.sta.dsta import DeterministicSTA
+
+        nominal = DeterministicSTA(delay_model).max_delay(circuit)
+        baseline = BaselineResult(
+            circuit=circuit,
+            initial_delay=nominal,
+            final_delay=nominal,
+            initial_area=delay_model.circuit_area(circuit),
+            final_area=delay_model.circuit_area(circuit),
+            passes=0,
+            runtime_seconds=0.0,
+        )
+
+    fullssta = FULLSSTA(delay_model, variation_model, num_samples=config.pdf_samples)
+    original_rv = fullssta.analyze(circuit).output_rv
+    original_area = delay_model.circuit_area(circuit)
+
+    mc_original = None
+    if monte_carlo_samples > 0:
+        mc_original = MonteCarloTimer(delay_model, variation_model).run(
+            circuit, num_samples=monte_carlo_samples, seed=seed
+        )
+
+    sizer = StatisticalGreedySizer(delay_model, variation_model, config)
+    sizer_result = sizer.optimize(circuit)
+
+    final_rv = fullssta.analyze(circuit).output_rv
+    final_area = delay_model.circuit_area(circuit)
+
+    mc_final = None
+    if monte_carlo_samples > 0:
+        mc_final = MonteCarloTimer(delay_model, variation_model).run(
+            circuit, num_samples=monte_carlo_samples, seed=seed
+        )
+
+    return FlowResult(
+        circuit=circuit,
+        lam=config.lam,
+        baseline=baseline,
+        original_rv=original_rv,
+        original_area=original_area,
+        sizer_result=sizer_result,
+        final_rv=final_rv,
+        final_area=final_area,
+        mc_original=mc_original,
+        mc_final=mc_final,
+    )
+
+
+def quick_flow(
+    benchmark: str = "c17",
+    lam: float = 3.0,
+    seed: Optional[int] = 0,
+    monte_carlo_samples: int = 0,
+    sizer_config: Optional[SizerConfig] = None,
+) -> FlowResult:
+    """Build a named benchmark and run :func:`run_sizing_flow` with defaults."""
+    circuit = build_benchmark(benchmark)
+    return run_sizing_flow(
+        circuit,
+        lam=lam,
+        sizer_config=sizer_config,
+        monte_carlo_samples=monte_carlo_samples,
+        seed=seed,
+    )

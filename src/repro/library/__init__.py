@@ -1,0 +1,31 @@
+"""Standard-cell library substrate.
+
+The paper sizes gates drawn from "an industrial 90nm lookup-table based
+standard cell library with 6-8 sizes per gate type".  This subpackage
+provides the equivalent machinery:
+
+* :class:`~repro.library.cell.CellSize` / :class:`~repro.library.cell.CellType`
+  / :class:`~repro.library.cell.Library` — the data model,
+* :mod:`repro.library.delay_model` — linear-RC and lookup-table delay
+  models for a cell size driving a capacitive load,
+* :mod:`repro.library.synthetic90nm` — a generator for a synthetic
+  90 nm-like library with realistic relative scaling between sizes,
+* :mod:`repro.library.liberty_lite` — a tiny JSON serialisation so
+  libraries can be saved, inspected and reloaded.
+"""
+
+from repro.library.cell import CellSize, CellType, Library
+from repro.library.delay_model import LinearRCDelayModel, LookupTableDelayModel
+from repro.library.synthetic90nm import make_synthetic_90nm_library
+from repro.library.liberty_lite import library_to_json, library_from_json
+
+__all__ = [
+    "CellSize",
+    "CellType",
+    "Library",
+    "LinearRCDelayModel",
+    "LookupTableDelayModel",
+    "make_synthetic_90nm_library",
+    "library_to_json",
+    "library_from_json",
+]

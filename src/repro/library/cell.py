@@ -1,0 +1,229 @@
+"""Cell-library data model.
+
+A :class:`CellType` (e.g. ``NAND2``) owns an ordered list of
+:class:`CellSize` variants from weakest (index 0) to strongest.  Each size
+carries the electrical quantities the delay and variation models need:
+area, per-pin input capacitance, intrinsic delay and drive resistance, plus
+an optional lookup table of (load -> delay) points.
+
+The :class:`Library` aggregates cell types and answers the queries used by
+the timing engines and the sizer:
+
+* ``delay(cell_type, size_index, load)`` — nominal delay of the gate,
+* ``input_cap(cell_type, size_index)`` — load it presents to its drivers,
+* ``area(cell_type, size_index)``,
+* ``num_sizes(cell_type)`` and size enumeration for the sizer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class CellSize:
+    """One discrete size (drive strength) of a cell type.
+
+    Parameters
+    ----------
+    name:
+        Library cell name, e.g. ``"NAND2_X2"``.
+    drive:
+        Relative drive strength (1.0 = unit drive).  Used by the variation
+        model: larger devices exhibit proportionally smaller variation.
+    area:
+        Cell area in square microns.
+    input_cap:
+        Capacitance presented by each input pin, in femtofarads.
+    intrinsic_delay:
+        Load-independent delay component, in picoseconds.
+    drive_resistance:
+        Effective output resistance in kilo-ohms; the load-dependent delay
+        is ``drive_resistance * load_cap`` (kΩ × fF = ps).
+    delay_table:
+        Optional explicit lookup table of ``(load_fF, delay_ps)`` points.
+        When present the LUT delay model interpolates it instead of using
+        the linear-RC expression.
+    """
+
+    name: str
+    drive: float
+    area: float
+    input_cap: float
+    intrinsic_delay: float
+    drive_resistance: float
+    delay_table: Tuple[Tuple[float, float], ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.drive <= 0:
+            raise ValueError(f"cell size {self.name!r}: drive must be positive")
+        if self.area <= 0:
+            raise ValueError(f"cell size {self.name!r}: area must be positive")
+        if self.input_cap <= 0:
+            raise ValueError(f"cell size {self.name!r}: input_cap must be positive")
+        if self.intrinsic_delay < 0 or self.drive_resistance < 0:
+            raise ValueError(
+                f"cell size {self.name!r}: delays/resistance must be non-negative"
+            )
+
+    def linear_delay(self, load_cap: float) -> float:
+        """Nominal delay (ps) driving ``load_cap`` fF with the linear-RC model."""
+        return self.intrinsic_delay + self.drive_resistance * max(load_cap, 0.0)
+
+
+@dataclass
+class CellType:
+    """A logic function with an ordered list of discrete sizes."""
+
+    name: str
+    num_inputs: int
+    sizes: List[CellSize] = field(default_factory=list)
+    function: str = ""
+
+    def __post_init__(self) -> None:
+        if self.num_inputs < 1:
+            raise ValueError(f"cell type {self.name!r}: num_inputs must be >= 1")
+        if not self.function:
+            self.function = self.name.rstrip("0123456789") or self.name
+
+    @property
+    def num_sizes(self) -> int:
+        return len(self.sizes)
+
+    def size(self, index: int) -> CellSize:
+        """Return the :class:`CellSize` at ``index`` (0 = weakest)."""
+        if not 0 <= index < len(self.sizes):
+            raise IndexError(
+                f"cell type {self.name!r}: size index {index} out of range "
+                f"(has {len(self.sizes)} sizes)"
+            )
+        return self.sizes[index]
+
+    def add_size(self, size: CellSize) -> None:
+        """Append a size; sizes must be added weakest-first."""
+        if self.sizes and size.drive <= self.sizes[-1].drive:
+            raise ValueError(
+                f"cell type {self.name!r}: sizes must be added in increasing "
+                f"drive order ({size.drive} <= {self.sizes[-1].drive})"
+            )
+        self.sizes.append(size)
+
+    def size_indices(self) -> range:
+        return range(len(self.sizes))
+
+
+class Library:
+    """A collection of :class:`CellType` objects plus global parameters.
+
+    Parameters
+    ----------
+    name:
+        Library name (appears in reports).
+    default_output_load:
+        Capacitive load (fF) assumed at every primary output, standing in
+        for the flop/pad the output would drive.
+    wire_cap_per_fanout:
+        Crude interconnect estimate added per fanout pin (fF).  The paper
+        ignores interconnect delay; the default of 0 matches that, but the
+        knob exists so the sensitivity can be explored.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        default_output_load: float = 4.0,
+        wire_cap_per_fanout: float = 0.0,
+    ) -> None:
+        self.name = name
+        self.default_output_load = float(default_output_load)
+        self.wire_cap_per_fanout = float(wire_cap_per_fanout)
+        self._cells: Dict[str, CellType] = {}
+
+    # -- construction ---------------------------------------------------
+    def add_cell(self, cell: CellType) -> CellType:
+        if cell.name in self._cells:
+            raise ValueError(f"duplicate cell type {cell.name!r}")
+        self._cells[cell.name] = cell
+        return cell
+
+    # -- queries ----------------------------------------------------------
+    @property
+    def cell_types(self) -> List[str]:
+        """Sorted list of cell-type names."""
+        return sorted(self._cells)
+
+    def has_cell(self, cell_type: str) -> bool:
+        return cell_type in self._cells
+
+    def cell(self, cell_type: str) -> CellType:
+        try:
+            return self._cells[cell_type]
+        except KeyError:
+            raise KeyError(f"library {self.name!r} has no cell type {cell_type!r}") from None
+
+    def size(self, cell_type: str, size_index: int) -> CellSize:
+        return self.cell(cell_type).size(size_index)
+
+    def num_sizes(self, cell_type: str) -> int:
+        return self.cell(cell_type).num_sizes
+
+    def size_indices(self, cell_type: str) -> range:
+        return self.cell(cell_type).size_indices()
+
+    def area(self, cell_type: str, size_index: int) -> float:
+        """Area (µm²) of one size of a cell type."""
+        return self.size(cell_type, size_index).area
+
+    def input_cap(self, cell_type: str, size_index: int) -> float:
+        """Per-pin input capacitance (fF)."""
+        return self.size(cell_type, size_index).input_cap
+
+    def delay(self, cell_type: str, size_index: int, load_cap: float) -> float:
+        """Nominal pin-to-pin delay (ps) of the cell driving ``load_cap`` fF.
+
+        Uses the cell's lookup table when it has one, otherwise the
+        linear-RC expression.
+        """
+        size = self.size(cell_type, size_index)
+        if size.delay_table:
+            return _interpolate_table(size.delay_table, load_cap)
+        return size.linear_delay(load_cap)
+
+    def min_size_index(self, cell_type: str) -> int:
+        return 0
+
+    def max_size_index(self, cell_type: str) -> int:
+        return self.cell(cell_type).num_sizes - 1
+
+    def __contains__(self, cell_type: str) -> bool:
+        return self.has_cell(cell_type)
+
+    def __len__(self) -> int:
+        return len(self._cells)
+
+    def __repr__(self) -> str:  # pragma: no cover - repr formatting
+        return f"Library({self.name!r}, cells={len(self._cells)})"
+
+
+def _interpolate_table(table: Sequence[Tuple[float, float]], load: float) -> float:
+    """Piecewise-linear interpolation of a (load, delay) table.
+
+    Loads outside the table range are extrapolated from the nearest segment,
+    matching how Liberty NLDM tables are commonly extended.
+    """
+    points = sorted(table)
+    if len(points) == 1:
+        return points[0][1]
+    if load <= points[0][0]:
+        (x0, y0), (x1, y1) = points[0], points[1]
+    elif load >= points[-1][0]:
+        (x0, y0), (x1, y1) = points[-2], points[-1]
+    else:
+        for (x0, y0), (x1, y1) in zip(points, points[1:]):
+            if x0 <= load <= x1:
+                break
+    if x1 == x0:
+        return y0
+    frac = (load - x0) / (x1 - x0)
+    return y0 + frac * (y1 - y0)

@@ -1,0 +1,92 @@
+"""Tiny JSON serialisation for cell libraries ("liberty lite").
+
+Real Liberty files are enormous; the reproduction only needs to persist the
+handful of quantities its delay and variation models consume.  The format is
+plain JSON so libraries can be inspected, edited and versioned easily.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+from repro.library.cell import CellSize, CellType, Library
+
+FORMAT_VERSION = 1
+
+
+def library_to_json(library: Library) -> str:
+    """Serialise ``library`` to a JSON string."""
+    doc = {
+        "format_version": FORMAT_VERSION,
+        "name": library.name,
+        "default_output_load": library.default_output_load,
+        "wire_cap_per_fanout": library.wire_cap_per_fanout,
+        "cells": [],
+    }
+    for cell_name in library.cell_types:
+        cell = library.cell(cell_name)
+        doc["cells"].append(
+            {
+                "name": cell.name,
+                "num_inputs": cell.num_inputs,
+                "function": cell.function,
+                "sizes": [
+                    {
+                        "name": s.name,
+                        "drive": s.drive,
+                        "area": s.area,
+                        "input_cap": s.input_cap,
+                        "intrinsic_delay": s.intrinsic_delay,
+                        "drive_resistance": s.drive_resistance,
+                        "delay_table": [list(p) for p in s.delay_table],
+                    }
+                    for s in cell.sizes
+                ],
+            }
+        )
+    return json.dumps(doc, indent=2)
+
+
+def library_from_json(text: str) -> Library:
+    """Reconstruct a :class:`Library` from :func:`library_to_json` output."""
+    doc = json.loads(text)
+    version = doc.get("format_version")
+    if version != FORMAT_VERSION:
+        raise ValueError(f"unsupported library format version {version!r}")
+    library = Library(
+        name=doc["name"],
+        default_output_load=doc.get("default_output_load", 4.0),
+        wire_cap_per_fanout=doc.get("wire_cap_per_fanout", 0.0),
+    )
+    for cell_doc in doc["cells"]:
+        cell = CellType(
+            name=cell_doc["name"],
+            num_inputs=cell_doc["num_inputs"],
+            function=cell_doc.get("function", ""),
+        )
+        for size_doc in cell_doc["sizes"]:
+            cell.add_size(
+                CellSize(
+                    name=size_doc["name"],
+                    drive=size_doc["drive"],
+                    area=size_doc["area"],
+                    input_cap=size_doc["input_cap"],
+                    intrinsic_delay=size_doc["intrinsic_delay"],
+                    drive_resistance=size_doc["drive_resistance"],
+                    delay_table=tuple(tuple(p) for p in size_doc.get("delay_table", [])),
+                )
+            )
+        library.add_cell(cell)
+    return library
+
+
+def save_library(library: Library, path: Union[str, Path]) -> None:
+    """Write ``library`` to ``path`` as JSON."""
+    Path(path).write_text(library_to_json(library))
+
+
+def load_library(path: Union[str, Path]) -> Library:
+    """Load a library previously written by :func:`save_library`."""
+    return library_from_json(Path(path).read_text())

@@ -1,0 +1,5 @@
+"""Monte-Carlo golden model for validating the statistical timing engines."""
+
+from repro.montecarlo.mc import MonteCarloTimer, MonteCarloResult
+
+__all__ = ["MonteCarloTimer", "MonteCarloResult"]

@@ -1,0 +1,172 @@
+"""Monte-Carlo circuit-delay simulation.
+
+Neither the paper's FASSTA nor FULLSSTA is exact (independence assumptions,
+pdf discretization, the quadratic erf approximation), so the reproduction
+includes the obvious golden model: draw every gate delay from its normal
+distribution, propagate deterministic arrival times per sample, and collect
+the circuit-delay samples.  The engines are validated against this model in
+the tests and accuracy benchmarks, and the EXPERIMENTS.md numbers quote the
+MC sigma alongside the SSTA sigma.
+
+The simulator supports independent per-gate variation (the paper's inner
+model) and, optionally, the spatially correlated overlay of
+:class:`~repro.variation.correlation.SpatialCorrelationModel`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.library.delay_model import BaseDelayModel
+from repro.netlist.circuit import Circuit
+from repro.variation.correlation import SpatialCorrelationModel
+from repro.variation.model import VariationModel
+
+
+@dataclass
+class MonteCarloResult:
+    """Sampled circuit-delay distribution."""
+
+    samples: np.ndarray
+    per_output_mean: Dict[str, float]
+    per_output_sigma: Dict[str, float]
+
+    @property
+    def mean(self) -> float:
+        return float(self.samples.mean())
+
+    @property
+    def sigma(self) -> float:
+        return float(self.samples.std(ddof=1)) if self.samples.size > 1 else 0.0
+
+    @property
+    def num_samples(self) -> int:
+        return int(self.samples.size)
+
+    def quantile(self, q: float) -> float:
+        """Empirical quantile of the circuit delay."""
+        if not 0.0 < q < 1.0:
+            raise ValueError("quantile level must be in (0, 1)")
+        return float(np.quantile(self.samples, q))
+
+    @property
+    def cv(self) -> float:
+        return self.sigma / self.mean if self.mean else 0.0
+
+
+class MonteCarloTimer:
+    """Samples circuit delays under the gate-delay variation model.
+
+    Parameters
+    ----------
+    delay_model / variation_model:
+        The same substrates the SSTA engines use, so all three see identical
+        per-gate distributions.
+    correlation_model:
+        Optional spatial-correlation overlay.  When given, the proportional
+        part of every gate's sigma is split into a correlated component
+        (driven by shared grid factors) and an independent residual.
+    """
+
+    def __init__(
+        self,
+        delay_model: BaseDelayModel,
+        variation_model: VariationModel,
+        correlation_model: Optional[SpatialCorrelationModel] = None,
+    ) -> None:
+        self.delay_model = delay_model
+        self.variation_model = variation_model
+        self.correlation_model = correlation_model
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        circuit: Circuit,
+        num_samples: int = 2000,
+        seed: Optional[int] = 0,
+    ) -> MonteCarloResult:
+        """Draw ``num_samples`` joint gate-delay samples and time the circuit.
+
+        The inner propagation is vectorised across samples: each net carries
+        a length-``num_samples`` array of arrival times.
+        """
+        if num_samples < 2:
+            raise ValueError("num_samples must be at least 2")
+        rng = np.random.default_rng(seed)
+
+        order = circuit.topological_order()
+        distributions = self.variation_model.all_gate_distributions(
+            circuit, self.delay_model
+        )
+
+        # Pre-draw the gate-delay samples.
+        gate_samples: Dict[str, np.ndarray] = {}
+        if self.correlation_model is None:
+            for name in order:
+                dist = distributions[name]
+                gate_samples[name] = rng.normal(dist.mean, dist.sigma, num_samples)
+        else:
+            factor_draws = [
+                self.correlation_model.sample_factors(rng) for _ in range(num_samples)
+            ]
+            for name in order:
+                dist = distributions[name]
+                gate = circuit.gate(name)
+                drive = self.delay_model.library.size(
+                    gate.cell_type, gate.size_index
+                ).drive
+                sigma_prop = (
+                    self.variation_model.proportional_alpha
+                    * dist.mean
+                    / (drive ** self.variation_model.size_exponent)
+                )
+                sigma_rand = self.variation_model.random_sigma
+                sigma_corr, sigma_ind = self.correlation_model.split_sigma(sigma_prop)
+                correlated = np.array(
+                    [
+                        self.correlation_model.correlated_component(name, draw)
+                        for draw in factor_draws
+                    ]
+                )
+                independent = rng.standard_normal(num_samples)
+                random_part = rng.standard_normal(num_samples)
+                gate_samples[name] = (
+                    dist.mean
+                    + sigma_corr * correlated
+                    + sigma_ind * independent
+                    + sigma_rand * random_part
+                )
+
+        arrivals: Dict[str, np.ndarray] = {
+            net: np.zeros(num_samples) for net in circuit.primary_inputs
+        }
+        zeros = np.zeros(num_samples)
+        for name in order:
+            gate = circuit.gate(name)
+            worst = None
+            for net in gate.inputs:
+                arr = arrivals.get(net, zeros)
+                worst = arr if worst is None else np.maximum(worst, arr)
+            arrivals[gate.output] = worst + gate_samples[name]
+
+        outputs = circuit.primary_outputs
+        if not outputs:
+            raise ValueError(f"circuit {circuit.name!r} has no primary outputs")
+        circuit_delay = None
+        per_output_mean: Dict[str, float] = {}
+        per_output_sigma: Dict[str, float] = {}
+        for net in outputs:
+            arr = arrivals.get(net, zeros)
+            per_output_mean[net] = float(arr.mean())
+            per_output_sigma[net] = float(arr.std(ddof=1))
+            circuit_delay = arr if circuit_delay is None else np.maximum(circuit_delay, arr)
+
+        return MonteCarloResult(
+            samples=circuit_delay,
+            per_output_mean=per_output_mean,
+            per_output_sigma=per_output_sigma,
+        )

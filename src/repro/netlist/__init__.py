@@ -1,0 +1,32 @@
+"""Gate-level combinational netlist substrate.
+
+The data model is deliberately small: a :class:`Gate` is an instance of a
+library cell type driving exactly one net, and a :class:`Circuit` is a DAG
+of gates connected by named nets with explicit primary inputs and outputs.
+
+Readers/writers are provided for the ISCAS-85 ``.bench`` format and for a
+small structural-Verilog subset so real benchmark netlists can be dropped
+in alongside the parametric generators in :mod:`repro.circuits`.
+"""
+
+from repro.netlist.gate import Gate
+from repro.netlist.circuit import Circuit, CircuitStats
+from repro.netlist.bench import parse_bench, parse_bench_file, write_bench
+from repro.netlist.verilog import parse_verilog, write_verilog
+from repro.netlist.validate import ValidationError, validate_circuit
+from repro.netlist.simulate import simulate, simulate_outputs
+
+__all__ = [
+    "simulate",
+    "simulate_outputs",
+    "Gate",
+    "Circuit",
+    "CircuitStats",
+    "parse_bench",
+    "parse_bench_file",
+    "write_bench",
+    "parse_verilog",
+    "write_verilog",
+    "ValidationError",
+    "validate_circuit",
+]

@@ -1,0 +1,145 @@
+"""ISCAS-85 ``.bench`` format reader and writer.
+
+The ``.bench`` format is the standard distribution format of the ISCAS-85
+benchmarks the paper evaluates on::
+
+    # comment
+    INPUT(G1)
+    INPUT(G2)
+    OUTPUT(G17)
+    G10 = NAND(G1, G3)
+    G17 = NOT(G10)
+
+Every right-hand-side function maps onto one of the library cell types used
+throughout this package (``NOT`` -> ``INV``, ``NAND`` with three operands ->
+``NAND3``, ...).  ``DFF`` lines are rejected: the reproduction, like the
+paper, is restricted to combinational circuits.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+from typing import Dict, Iterable, List, Union
+
+from repro.netlist.circuit import Circuit
+from repro.netlist.gate import Gate, make_cell_type
+
+_LINE_RE = re.compile(
+    r"^\s*(?P<out>[\w\.\[\]]+)\s*=\s*(?P<func>[A-Za-z]+)\s*\((?P<args>[^)]*)\)\s*$"
+)
+_IO_RE = re.compile(r"^\s*(?P<kind>INPUT|OUTPUT)\s*\((?P<net>[\w\.\[\]]+)\)\s*$", re.I)
+
+#: Mapping from .bench function keywords to library logic functions.
+BENCH_FUNCTIONS: Dict[str, str] = {
+    "NOT": "INV",
+    "INV": "INV",
+    "BUF": "BUF",
+    "BUFF": "BUF",
+    "AND": "AND",
+    "NAND": "NAND",
+    "OR": "OR",
+    "NOR": "NOR",
+    "XOR": "XOR",
+    "XNOR": "XNOR",
+}
+
+
+class BenchParseError(Exception):
+    """Raised when a ``.bench`` description cannot be parsed."""
+
+
+def parse_bench(text: str, name: str = "bench_circuit") -> Circuit:
+    """Parse ``.bench`` text into a :class:`~repro.netlist.circuit.Circuit`.
+
+    Parameters
+    ----------
+    text:
+        Full contents of a ``.bench`` file.
+    name:
+        Name to give the resulting circuit.
+    """
+    inputs: List[str] = []
+    outputs: List[str] = []
+    gate_lines: List[tuple] = []
+
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        io_match = _IO_RE.match(line)
+        if io_match:
+            net = io_match.group("net")
+            if io_match.group("kind").upper() == "INPUT":
+                inputs.append(net)
+            else:
+                outputs.append(net)
+            continue
+        gate_match = _LINE_RE.match(line)
+        if gate_match:
+            func = gate_match.group("func").upper()
+            if func == "DFF":
+                raise BenchParseError(
+                    f"line {lineno}: sequential element DFF is not supported "
+                    "(combinational circuits only)"
+                )
+            args = [a.strip() for a in gate_match.group("args").split(",") if a.strip()]
+            gate_lines.append((lineno, gate_match.group("out"), func, args))
+            continue
+        raise BenchParseError(f"line {lineno}: cannot parse {raw!r}")
+
+    circuit = Circuit(name, primary_inputs=inputs, primary_outputs=outputs)
+    for lineno, out, func, args in gate_lines:
+        if func not in BENCH_FUNCTIONS:
+            raise BenchParseError(f"line {lineno}: unknown function {func!r}")
+        logic = BENCH_FUNCTIONS[func]
+        if logic in ("INV", "BUF") and len(args) != 1:
+            raise BenchParseError(
+                f"line {lineno}: {func} expects one operand, got {len(args)}"
+            )
+        if logic not in ("INV", "BUF") and len(args) < 2:
+            raise BenchParseError(
+                f"line {lineno}: {func} expects at least two operands, got {len(args)}"
+            )
+        cell_type = make_cell_type(logic, len(args))
+        circuit.add_gate(Gate(name=f"g_{out}", cell_type=cell_type, inputs=args, output=out))
+    return circuit
+
+
+def parse_bench_file(path: Union[str, Path]) -> Circuit:
+    """Parse a ``.bench`` file from disk; the circuit is named after the file stem."""
+    path = Path(path)
+    return parse_bench(path.read_text(), name=path.stem)
+
+
+_WRITE_FUNCTIONS = {
+    "INV": "NOT",
+    "BUF": "BUFF",
+    "AND": "AND",
+    "NAND": "NAND",
+    "OR": "OR",
+    "NOR": "NOR",
+    "XOR": "XOR",
+    "XNOR": "XNOR",
+}
+
+
+def write_bench(circuit: Circuit) -> str:
+    """Serialise ``circuit`` back to ``.bench`` text.
+
+    Complex cells (AOI21, OAI21, MUX2) have no ``.bench`` equivalent and are
+    rejected; the parametric generators only emit primitive functions, so
+    round-tripping generator output always works.
+    """
+    lines = [f"# {circuit.name}"]
+    lines.extend(f"INPUT({net})" for net in circuit.primary_inputs)
+    lines.extend(f"OUTPUT({net})" for net in circuit.primary_outputs)
+    for gate in circuit:
+        func = gate.function
+        if func not in _WRITE_FUNCTIONS:
+            raise BenchParseError(
+                f"cell type {gate.cell_type!r} has no .bench representation"
+            )
+        operands = ", ".join(gate.inputs)
+        lines.append(f"{gate.output} = {_WRITE_FUNCTIONS[func]}({operands})")
+    return "\n".join(lines) + "\n"

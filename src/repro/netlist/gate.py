@@ -1,0 +1,160 @@
+"""Gate instances.
+
+A :class:`Gate` is one instance of a library cell type.  It references its
+cell type by name (the library itself lives in :mod:`repro.library`), its
+current discrete size by index, the nets it reads and the single net it
+drives.  Keeping the gate a plain data object (no back-pointer into the
+library) makes circuits cheap to copy and easy to serialise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+
+# Cell-type names understood by every parser, generator and the synthetic
+# library.  Arities are the *maximum* supported fanin per type; N-input
+# variants (e.g. NAND3, NAND4) are separate types created on demand by the
+# library.
+KNOWN_FUNCTIONS = (
+    "INV",
+    "BUF",
+    "NAND",
+    "NOR",
+    "AND",
+    "OR",
+    "XOR",
+    "XNOR",
+    "AOI21",
+    "OAI21",
+    "MUX2",
+)
+
+
+@dataclass
+class Gate:
+    """One cell instance in a combinational circuit.
+
+    Parameters
+    ----------
+    name:
+        Unique instance name within the circuit.
+    cell_type:
+        Library cell-type name, e.g. ``"NAND2"`` or ``"INV"``.  The numeric
+        suffix encodes the fanin for multi-input functions.
+    inputs:
+        Names of the nets read by this gate, in pin order.
+    output:
+        Name of the single net driven by this gate.
+    size_index:
+        Index into the cell type's discrete size list.  Size 0 is the
+        smallest (minimum-area, weakest-drive) variant.
+    """
+
+    name: str
+    cell_type: str
+    inputs: List[str]
+    output: str
+    size_index: int = 0
+    attributes: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("gate name must be non-empty")
+        if not self.output:
+            raise ValueError(f"gate {self.name!r} must drive a net")
+        if not self.inputs:
+            raise ValueError(f"gate {self.name!r} must have at least one input")
+        if self.size_index < 0:
+            raise ValueError(
+                f"gate {self.name!r} size_index must be non-negative, "
+                f"got {self.size_index}"
+            )
+        self.inputs = list(self.inputs)
+
+    @property
+    def fanin(self) -> int:
+        """Number of input pins."""
+        return len(self.inputs)
+
+    @property
+    def function(self) -> str:
+        """Base logic function with the arity suffix stripped.
+
+        ``"NAND3"`` -> ``"NAND"``, ``"INV"`` -> ``"INV"``.
+        """
+        return strip_arity(self.cell_type)
+
+    def with_size(self, size_index: int) -> "Gate":
+        """Return a copy of this gate at a different discrete size."""
+        return Gate(
+            name=self.name,
+            cell_type=self.cell_type,
+            inputs=list(self.inputs),
+            output=self.output,
+            size_index=size_index,
+            attributes=dict(self.attributes),
+        )
+
+    def copy(self) -> "Gate":
+        """Return a deep-enough copy (nets are strings, so shallow lists suffice)."""
+        return self.with_size(self.size_index)
+
+    def key(self) -> Tuple[str, str, Tuple[str, ...], str, int]:
+        """Hashable identity tuple used by structural comparisons in tests."""
+        return (self.name, self.cell_type, tuple(self.inputs), self.output, self.size_index)
+
+    def __repr__(self) -> str:  # pragma: no cover - repr formatting
+        ins = ", ".join(self.inputs)
+        return (
+            f"Gate({self.name}: {self.cell_type}[{self.size_index}] "
+            f"({ins}) -> {self.output})"
+        )
+
+
+def strip_arity(cell_type: str) -> str:
+    """Strip a trailing arity from a cell-type name.
+
+    >>> strip_arity("NAND4")
+    'NAND'
+    >>> strip_arity("INV")
+    'INV'
+    >>> strip_arity("AOI21")
+    'AOI21'
+    """
+    # Complex cells like AOI21/OAI21/MUX2 keep their digits: they are part of
+    # the canonical function name, not an arity suffix.
+    for complex_name in ("AOI21", "OAI21", "MUX2"):
+        if cell_type == complex_name:
+            return cell_type
+    base = cell_type.rstrip("0123456789")
+    return base if base else cell_type
+
+
+def make_cell_type(function: str, fanin: int) -> str:
+    """Build the canonical cell-type name for ``function`` with ``fanin`` inputs.
+
+    >>> make_cell_type("NAND", 3)
+    'NAND3'
+    >>> make_cell_type("INV", 1)
+    'INV'
+    """
+    function = function.upper()
+    if function in ("INV", "BUF"):
+        if fanin != 1:
+            raise ValueError(f"{function} must have exactly one input, got {fanin}")
+        return function
+    if function in ("AOI21", "OAI21"):
+        if fanin != 3:
+            raise ValueError(f"{function} must have exactly three inputs, got {fanin}")
+        return function
+    if function == "MUX2":
+        if fanin != 3:
+            raise ValueError("MUX2 must have exactly three inputs (a, b, sel)")
+        return function
+    if function in ("NAND", "NOR", "AND", "OR", "XOR", "XNOR"):
+        if fanin < 2:
+            raise ValueError(f"{function} needs at least two inputs, got {fanin}")
+        return f"{function}{fanin}"
+    raise ValueError(f"unknown logic function {function!r}")

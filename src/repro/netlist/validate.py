@@ -1,0 +1,75 @@
+"""Structural validation of circuits.
+
+``validate_circuit`` checks the invariants the timing engines and the
+optimizer rely on:
+
+* every gate input net has a driver (a primary input or another gate),
+* every primary output net has a driver,
+* the circuit is acyclic (checked implicitly via topological ordering),
+* no gate drives a primary input,
+* optionally, every gate's cell type and size index exist in a given
+  library.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.netlist.circuit import Circuit, CircuitError
+
+
+class ValidationError(Exception):
+    """Raised when a circuit violates a structural invariant."""
+
+    def __init__(self, problems: List[str]):
+        self.problems = list(problems)
+        super().__init__("; ".join(problems))
+
+
+def validate_circuit(circuit: Circuit, library=None, raise_on_error: bool = True) -> List[str]:
+    """Check structural invariants; return the list of problems found.
+
+    Parameters
+    ----------
+    circuit:
+        The circuit to check.
+    library:
+        Optional :class:`repro.library.cell.Library`; when given, cell types
+        and size indices are checked against it.
+    raise_on_error:
+        When true (default), raise :class:`ValidationError` if any problem
+        is found instead of returning the list.
+    """
+    problems: List[str] = []
+    driven = set(circuit.primary_inputs)
+    driven.update(g.output for g in circuit.gates.values())
+
+    for gate in circuit.gates.values():
+        for net in gate.inputs:
+            if net not in driven:
+                problems.append(f"gate {gate.name!r} reads undriven net {net!r}")
+        if library is not None:
+            if not library.has_cell(gate.cell_type):
+                problems.append(
+                    f"gate {gate.name!r} uses unknown cell type {gate.cell_type!r}"
+                )
+            else:
+                num_sizes = library.cell(gate.cell_type).num_sizes
+                if gate.size_index >= num_sizes:
+                    problems.append(
+                        f"gate {gate.name!r} size index {gate.size_index} out of "
+                        f"range for {gate.cell_type!r} ({num_sizes} sizes)"
+                    )
+
+    for net in circuit.primary_outputs:
+        if net not in driven:
+            problems.append(f"primary output {net!r} has no driver")
+
+    try:
+        circuit.topological_order()
+    except CircuitError as exc:
+        problems.append(str(exc))
+
+    if problems and raise_on_error:
+        raise ValidationError(problems)
+    return problems

@@ -1,0 +1,113 @@
+"""Minimal structural-Verilog reader and writer.
+
+Only the subset needed to exchange technology-mapped combinational netlists
+is supported: one module, ``input``/``output``/``wire`` declarations, and
+primitive-style instantiations of the library cell types::
+
+    module c17 (N1, N2, N3, N6, N7, N22, N23);
+      input N1, N2, N3, N6, N7;
+      output N22, N23;
+      wire N10, N11, N16, N19;
+      NAND2 g10 (.Y(N10), .A(N1), .B(N3));
+      ...
+    endmodule
+
+Pin conventions: output pin is ``Y``; inputs are ``A``, ``B``, ``C``, ... in
+order.  Positional connections are also accepted with the output first.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List
+
+from repro.netlist.circuit import Circuit
+from repro.netlist.gate import Gate
+
+_MODULE_RE = re.compile(r"module\s+(?P<name>\w+)\s*\((?P<ports>[^)]*)\)\s*;", re.S)
+_DECL_RE = re.compile(r"(?P<kind>input|output|wire)\s+(?P<nets>[^;]+);")
+_INST_RE = re.compile(
+    r"(?P<cell>[A-Z][A-Z0-9_]*)\s+(?P<inst>[\w\\\[\]\.]+)\s*\((?P<conns>[^;]*)\)\s*;"
+)
+_NAMED_CONN_RE = re.compile(r"\.(?P<pin>\w+)\s*\(\s*(?P<net>[\w\\\[\]\.]+)\s*\)")
+
+INPUT_PIN_ORDER = "ABCDEFGHIJKLMNOP"
+
+
+class VerilogParseError(Exception):
+    """Raised when structural Verilog cannot be parsed."""
+
+
+def _split_nets(decl: str) -> List[str]:
+    return [n.strip() for n in decl.replace("\n", " ").split(",") if n.strip()]
+
+
+def parse_verilog(text: str) -> Circuit:
+    """Parse a single-module structural Verilog netlist into a :class:`Circuit`."""
+    text = re.sub(r"//[^\n]*", "", text)
+    text = re.sub(r"/\*.*?\*/", "", text, flags=re.S)
+
+    module = _MODULE_RE.search(text)
+    if module is None:
+        raise VerilogParseError("no module declaration found")
+    name = module.group("name")
+
+    inputs: List[str] = []
+    outputs: List[str] = []
+    for decl in _DECL_RE.finditer(text):
+        nets = _split_nets(decl.group("nets"))
+        if decl.group("kind") == "input":
+            inputs.extend(nets)
+        elif decl.group("kind") == "output":
+            outputs.extend(nets)
+
+    circuit = Circuit(name, primary_inputs=inputs, primary_outputs=outputs)
+
+    body = text[module.end():]
+    for inst in _INST_RE.finditer(body):
+        cell = inst.group("cell")
+        inst_name = inst.group("inst")
+        conns = inst.group("conns")
+        named = _NAMED_CONN_RE.findall(conns)
+        if named:
+            pins: Dict[str, str] = {pin.upper(): net for pin, net in named}
+            if "Y" not in pins:
+                raise VerilogParseError(
+                    f"instance {inst_name!r} has no output pin .Y(...)"
+                )
+            output = pins.pop("Y")
+            ordered = sorted(pins.items(), key=lambda kv: kv[0])
+            gate_inputs = [net for _, net in ordered]
+        else:
+            nets = _split_nets(conns)
+            if len(nets) < 2:
+                raise VerilogParseError(
+                    f"instance {inst_name!r} needs an output and at least one input"
+                )
+            output, gate_inputs = nets[0], nets[1:]
+        circuit.add_gate(
+            Gate(name=inst_name, cell_type=cell, inputs=gate_inputs, output=output)
+        )
+    return circuit
+
+
+def write_verilog(circuit: Circuit) -> str:
+    """Serialise ``circuit`` as single-module structural Verilog."""
+    ports = circuit.primary_inputs + circuit.primary_outputs
+    lines = [f"module {circuit.name} ({', '.join(ports)});"]
+    if circuit.primary_inputs:
+        lines.append(f"  input {', '.join(circuit.primary_inputs)};")
+    if circuit.primary_outputs:
+        lines.append(f"  output {', '.join(circuit.primary_outputs)};")
+    pis = set(circuit.primary_inputs)
+    pos = set(circuit.primary_outputs)
+    wires = [n for n in circuit.nets() if n not in pis and n not in pos]
+    if wires:
+        lines.append(f"  wire {', '.join(wires)};")
+    for gate in circuit:
+        conns = [f".Y({gate.output})"]
+        for pin, net in zip(INPUT_PIN_ORDER, gate.inputs):
+            conns.append(f".{pin}({net})")
+        lines.append(f"  {gate.cell_type} {gate.name} ({', '.join(conns)});")
+    lines.append("endmodule")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,140 @@
+"""Deterministic (nominal) static timing analysis.
+
+Arrival times are propagated forward through the levelized circuit using the
+nominal gate delays from the library delay model; required times are
+propagated backward from a clock period (or from the worst arrival time when
+no constraint is given); slack = required - arrival.  The critical path is
+the chain of gates with the smallest slack — the classic WNS path the paper
+generalises into the WNSS path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.library.delay_model import BaseDelayModel
+from repro.netlist.circuit import Circuit
+
+
+@dataclass
+class DeterministicTimingReport:
+    """Result of one deterministic STA run."""
+
+    arrival: Dict[str, float]
+    required: Dict[str, float]
+    slack: Dict[str, float]
+    gate_delays: Dict[str, float]
+    critical_path: List[str]
+    worst_output: str
+    worst_arrival: float
+    clock_period: float
+
+    @property
+    def wns(self) -> float:
+        """Worst negative slack (can be positive when the circuit meets timing)."""
+        return self.clock_period - self.worst_arrival
+
+    def path_delay(self) -> float:
+        """Sum of gate delays along the critical path."""
+        return sum(self.gate_delays[g] for g in self.critical_path)
+
+
+class DeterministicSTA:
+    """Classic nominal static timing analysis over a combinational circuit."""
+
+    def __init__(self, delay_model: BaseDelayModel) -> None:
+        self.delay_model = delay_model
+
+    # ------------------------------------------------------------------
+    def arrival_times(self, circuit: Circuit) -> Tuple[Dict[str, float], Dict[str, float]]:
+        """Forward propagation.
+
+        Returns ``(net_arrival, gate_delays)``: the arrival time at every
+        net and the nominal delay of every gate.  Primary inputs arrive at
+        time 0.
+        """
+        arrival: Dict[str, float] = {net: 0.0 for net in circuit.primary_inputs}
+        gate_delays: Dict[str, float] = {}
+        for gate in circuit:
+            delay = self.delay_model.gate_delay(circuit, gate)
+            gate_delays[gate.name] = delay
+            input_arrival = max(arrival.get(net, 0.0) for net in gate.inputs)
+            arrival[gate.output] = input_arrival + delay
+        return arrival, gate_delays
+
+    def analyze(
+        self, circuit: Circuit, clock_period: Optional[float] = None
+    ) -> DeterministicTimingReport:
+        """Run full STA and return a :class:`DeterministicTimingReport`.
+
+        When ``clock_period`` is omitted the constraint is set to the worst
+        primary-output arrival time, making the worst slack exactly zero.
+        """
+        arrival, gate_delays = self.arrival_times(circuit)
+
+        outputs = circuit.primary_outputs
+        if not outputs:
+            raise ValueError(f"circuit {circuit.name!r} has no primary outputs")
+        worst_output = max(outputs, key=lambda net: arrival.get(net, 0.0))
+        worst_arrival = arrival.get(worst_output, 0.0)
+        period = clock_period if clock_period is not None else worst_arrival
+
+        # Backward propagation of required times.
+        required: Dict[str, float] = {}
+        for net in outputs:
+            required[net] = period
+        for gate in reversed(list(circuit)):
+            out_required = required.get(gate.output)
+            if out_required is None:
+                # Dangling gate output: unconstrained.
+                out_required = period
+                required[gate.output] = out_required
+            input_required = out_required - gate_delays[gate.name]
+            for net in gate.inputs:
+                previous = required.get(net)
+                if previous is None or input_required < previous:
+                    required[net] = input_required
+
+        slack = {
+            net: required.get(net, period) - arr for net, arr in arrival.items()
+        }
+
+        critical_path = self._trace_critical_path(circuit, arrival, gate_delays, worst_output)
+        return DeterministicTimingReport(
+            arrival=arrival,
+            required=required,
+            slack=slack,
+            gate_delays=gate_delays,
+            critical_path=critical_path,
+            worst_output=worst_output,
+            worst_arrival=worst_arrival,
+            clock_period=period,
+        )
+
+    # ------------------------------------------------------------------
+    def _trace_critical_path(
+        self,
+        circuit: Circuit,
+        arrival: Dict[str, float],
+        gate_delays: Dict[str, float],
+        worst_output: str,
+    ) -> List[str]:
+        """Walk back from the worst output picking the latest-arriving input."""
+        path: List[str] = []
+        gate = circuit.driver_of(worst_output)
+        while gate is not None:
+            path.append(gate.name)
+            worst_net = max(gate.inputs, key=lambda net: arrival.get(net, 0.0))
+            gate = circuit.driver_of(worst_net)
+        path.reverse()
+        return path
+
+    def critical_path(self, circuit: Circuit) -> List[str]:
+        """Gate names along the nominal critical (WNS) path, inputs first."""
+        return self.analyze(circuit).critical_path
+
+    def max_delay(self, circuit: Circuit) -> float:
+        """Nominal delay of the longest path (worst primary-output arrival)."""
+        arrival, _ = self.arrival_times(circuit)
+        return max(arrival.get(net, 0.0) for net in circuit.primary_outputs)

@@ -1,0 +1,138 @@
+"""Optional spatial-correlation overlay for gate delay variation.
+
+The paper's inner loop (FASSTA) assumes independent gate delays, while the
+outer loop "can track correlations due to reconvergent paths using Principal
+Component Analysis [Chang & Sapatnekar, ICCAD 2003] or other methods".  This
+module provides a light-weight grid-based PCA-style model so the outer
+engine and the Monte-Carlo golden model can include spatially correlated
+variation when desired:
+
+* the die is divided into an ``n x n`` grid,
+* each grid cell gets a global Gaussian factor,
+* a gate placed in cell (i, j) splits its *proportional* sigma into a
+  correlated part (shared factor of its cell, with neighbouring cells
+  partially correlated through overlapping parent factors, quad-tree style)
+  and an independent residual.
+
+Gates are assigned to grid cells deterministically by hashing their names,
+standing in for placement information the pre-layout flow does not have.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class GridAssignment:
+    """Placement of a gate onto the correlation grid."""
+
+    row: int
+    col: int
+
+
+class SpatialCorrelationModel:
+    """Quad-tree style spatial correlation over an ``n x n`` grid.
+
+    Parameters
+    ----------
+    grid_size:
+        Number of rows/columns of the top-level grid.
+    correlated_fraction:
+        Fraction (0..1) of each gate's proportional variance that is
+        spatially correlated; the rest stays independent.
+    levels:
+        Number of quad-tree levels.  Level 0 is one die-wide factor; each
+        further level quadruples the number of factors.
+    """
+
+    def __init__(
+        self,
+        grid_size: int = 4,
+        correlated_fraction: float = 0.5,
+        levels: int = 3,
+    ) -> None:
+        if grid_size < 1:
+            raise ValueError("grid_size must be >= 1")
+        if not 0.0 <= correlated_fraction <= 1.0:
+            raise ValueError("correlated_fraction must be in [0, 1]")
+        if levels < 1:
+            raise ValueError("levels must be >= 1")
+        self.grid_size = grid_size
+        self.correlated_fraction = correlated_fraction
+        self.levels = levels
+
+    # ------------------------------------------------------------------
+    def assign(self, gate_name: str) -> GridAssignment:
+        """Deterministically place ``gate_name`` on the grid."""
+        digest = hashlib.sha256(gate_name.encode("utf-8")).digest()
+        row = digest[0] % self.grid_size
+        col = digest[1] % self.grid_size
+        return GridAssignment(row=row, col=col)
+
+    def factor_indices(self, assignment: GridAssignment) -> List[Tuple[int, int, int]]:
+        """Quad-tree factor coordinates (level, row, col) covering a grid cell."""
+        factors = []
+        for level in range(self.levels):
+            cells = min(self.grid_size, 2 ** level)
+            row = assignment.row * cells // self.grid_size
+            col = assignment.col * cells // self.grid_size
+            factors.append((level, row, col))
+        return factors
+
+    def num_factors(self) -> int:
+        """Total number of independent global factors in the model."""
+        total = 0
+        for level in range(self.levels):
+            cells = min(self.grid_size, 2 ** level)
+            total += cells * cells
+        return total
+
+    # ------------------------------------------------------------------
+    def correlation_between(self, gate_a: str, gate_b: str) -> float:
+        """Correlation coefficient of the *proportional* components of two gates."""
+        if gate_a == gate_b:
+            return 1.0
+        fa = set(self.factor_indices(self.assign(gate_a)))
+        fb = set(self.factor_indices(self.assign(gate_b)))
+        shared = len(fa & fb)
+        return self.correlated_fraction * shared / self.levels
+
+    def sample_factors(self, rng: np.random.Generator) -> Dict[Tuple[int, int, int], float]:
+        """Draw one sample of all global factors (each standard normal)."""
+        samples: Dict[Tuple[int, int, int], float] = {}
+        for level in range(self.levels):
+            cells = min(self.grid_size, 2 ** level)
+            values = rng.standard_normal((cells, cells))
+            for row in range(cells):
+                for col in range(cells):
+                    samples[(level, row, col)] = float(values[row, col])
+        return samples
+
+    def correlated_component(
+        self,
+        gate_name: str,
+        factor_samples: Dict[Tuple[int, int, int], float],
+    ) -> float:
+        """Standard-normal correlated disturbance for ``gate_name`` given factor samples.
+
+        The disturbance is the average of the gate's quad-tree factors, scaled
+        so its variance is 1 (each factor is standard normal and independent).
+        """
+        indices = self.factor_indices(self.assign(gate_name))
+        total = sum(factor_samples[idx] for idx in indices)
+        return total / np.sqrt(len(indices))
+
+    def split_sigma(self, sigma_prop: float) -> Tuple[float, float]:
+        """Split a proportional sigma into (correlated, independent) parts.
+
+        Variances add: ``sigma_corr^2 + sigma_ind^2 == sigma_prop^2``.
+        """
+        var = sigma_prop * sigma_prop
+        corr_var = self.correlated_fraction * var
+        ind_var = var - corr_var
+        return float(np.sqrt(corr_var)), float(np.sqrt(ind_var))

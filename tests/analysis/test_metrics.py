@@ -1,0 +1,57 @@
+"""Unit tests for Table-1 metrics."""
+
+import pytest
+
+from repro.analysis.metrics import Table1Row, summarize_rows
+from repro.flow import quick_flow
+
+
+def make_row(circuit="x", lam=3.0, sigma_change=-50.0, area=10.0, mean=2.0):
+    return Table1Row(
+        circuit=circuit,
+        lam=lam,
+        gates=100,
+        original_cv=0.1,
+        mean_increase_pct=mean,
+        sigma_change_pct=sigma_change,
+        final_cv=0.05,
+        area_increase_pct=area,
+        runtime_seconds=1.0,
+    )
+
+
+class TestTable1Row:
+    def test_as_dict_fields(self):
+        row = make_row()
+        d = row.as_dict()
+        assert d["circuit"] == "x"
+        assert d["lambda"] == 3.0
+        assert d["sigma_change_pct"] == -50.0
+
+    def test_from_flow(self):
+        flow = quick_flow("c17", lam=3.0)
+        row = Table1Row.from_flow("c17", flow)
+        assert row.circuit == "c17"
+        assert row.gates == 6
+        assert row.lam == 3.0
+        assert row.original_cv == pytest.approx(flow.original_cv)
+        assert row.sigma_change_pct == pytest.approx(-flow.sigma_reduction_pct)
+        assert row.final_sigma == pytest.approx(flow.final_rv.sigma)
+
+
+class TestSummarizeRows:
+    def test_empty(self):
+        summary = summarize_rows([])
+        assert summary["num_circuits"] == 0
+        assert summary["avg_sigma_reduction_pct"] == 0.0
+
+    def test_averages(self):
+        rows = [
+            make_row("a", sigma_change=-40.0, area=10.0, mean=2.0),
+            make_row("b", sigma_change=-60.0, area=30.0, mean=4.0),
+        ]
+        summary = summarize_rows(rows)
+        assert summary["num_circuits"] == 2
+        assert summary["avg_sigma_reduction_pct"] == pytest.approx(50.0)
+        assert summary["avg_area_increase_pct"] == pytest.approx(20.0)
+        assert summary["avg_mean_increase_pct"] == pytest.approx(3.0)

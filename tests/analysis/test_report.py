@@ -1,0 +1,71 @@
+"""Tests for the plain-text report formatting."""
+
+from repro.analysis.experiments import Fig4Point
+from repro.analysis.metrics import Table1Row
+from repro.analysis.report import format_fig4, format_pdf_curve, format_table, format_table1
+
+
+def _row(circuit, lam):
+    return Table1Row(
+        circuit=circuit,
+        lam=lam,
+        gates=100,
+        original_cv=0.1,
+        mean_increase_pct=3.0,
+        sigma_change_pct=-55.0,
+        final_cv=0.045,
+        area_increase_pct=12.0,
+        runtime_seconds=1.5,
+    )
+
+
+class TestFormatTable:
+    def test_alignment_and_content(self):
+        text = format_table(["name", "value"], [("a", 1.23456), ("longer", 2.0)])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert "name" in lines[0] and "value" in lines[0]
+        assert "1.235" in text
+
+    def test_empty_rows(self):
+        text = format_table(["a"], [])
+        assert len(text.splitlines()) == 2
+
+
+class TestFormatTable1:
+    def test_columns_and_summary(self):
+        rows = [_row("c432", 3.0), _row("c499", 3.0), _row("c432", 9.0)]
+        text = format_table1(rows)
+        assert "orig s/m" in text
+        assert "c432" in text and "c499" in text
+        assert "average (lambda=3)" in text
+        assert "average (lambda=9)" in text
+        assert "sigma reduction 55.0%" in text
+
+    def test_without_summary(self):
+        text = format_table1([_row("c432", 3.0)], include_summary=False)
+        assert "average" not in text
+
+
+class TestFormatFig4:
+    def test_fig4_table(self):
+        points = [
+            Fig4Point(lam=0.0, mean=500.0, sigma=25.0, normalized_mean=1.0,
+                      normalized_sigma=0.05, area=1000.0),
+            Fig4Point(lam=3.0, mean=510.0, sigma=15.0, normalized_mean=1.02,
+                      normalized_sigma=0.03, area=1150.0),
+        ]
+        text = format_fig4(points)
+        assert "sigma/mu0" in text
+        assert "1.0200" in text
+
+
+class TestFormatPdfCurve:
+    def test_ascii_histogram(self):
+        curve = format_pdf_curve([(100.0, 0.1), (110.0, 0.5), (120.0, 0.2)], width=10, label="orig")
+        lines = curve.splitlines()
+        assert lines[0] == "orig"
+        assert "##########" in lines[2]  # the peak gets the full width
+
+    def test_empty_curve(self):
+        assert "(empty)" in format_pdf_curve([], label="x")

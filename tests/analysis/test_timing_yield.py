@@ -1,0 +1,100 @@
+"""Unit tests for parametric timing-yield analysis."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.timing_yield import (
+    YieldReport,
+    period_for_yield,
+    timing_yield,
+    yield_improvement,
+)
+from repro.core.discrete_pdf import DiscretePDF
+from repro.core.rv import NormalDelay
+
+
+class TestTimingYield:
+    def test_normal_at_mean_is_half(self):
+        rv = NormalDelay(1000.0, 50.0)
+        assert timing_yield(rv, 1000.0) == pytest.approx(0.5)
+
+    def test_normal_three_sigma(self):
+        rv = NormalDelay(1000.0, 50.0)
+        assert timing_yield(rv, 1150.0) == pytest.approx(0.99865, abs=1e-4)
+        assert timing_yield(rv, 850.0) == pytest.approx(0.00135, abs=1e-4)
+
+    def test_zero_sigma_step_function(self):
+        rv = NormalDelay(1000.0, 0.0)
+        assert timing_yield(rv, 999.0) == 0.0
+        assert timing_yield(rv, 1000.0) == 1.0
+
+    def test_discrete_pdf_input(self):
+        pdf = DiscretePDF.from_normal(500.0, 20.0, num_samples=31)
+        assert timing_yield(pdf, 500.0) == pytest.approx(0.5, abs=0.05)
+        assert timing_yield(pdf, 600.0) == pytest.approx(1.0)
+
+    def test_samples_input(self):
+        samples = np.array([90.0, 100.0, 110.0, 120.0])
+        assert timing_yield(samples, 105.0) == pytest.approx(0.5)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            timing_yield(NormalDelay(1.0, 1.0), -1.0)
+        with pytest.raises(ValueError):
+            timing_yield([], 1.0)
+
+
+class TestPeriodForYield:
+    def test_normal_quantile(self):
+        rv = NormalDelay(1000.0, 50.0)
+        assert period_for_yield(rv, 0.5) == pytest.approx(1000.0, abs=0.1)
+        p99 = period_for_yield(rv, 0.99)
+        assert timing_yield(rv, p99) == pytest.approx(0.99, abs=1e-3)
+
+    def test_monotone_in_target(self):
+        rv = NormalDelay(1000.0, 50.0)
+        assert period_for_yield(rv, 0.99) > period_for_yield(rv, 0.9) > period_for_yield(rv, 0.5)
+
+    def test_samples_quantile(self):
+        samples = np.linspace(100.0, 200.0, 101)
+        assert period_for_yield(samples, 0.5) == pytest.approx(150.0, abs=1.0)
+
+    def test_invalid_target(self):
+        with pytest.raises(ValueError):
+            period_for_yield(NormalDelay(1.0, 1.0), 1.0)
+        with pytest.raises(ValueError):
+            period_for_yield(NormalDelay(1.0, 1.0), 0.0)
+
+
+class TestYieldImprovement:
+    def test_fig1_argument(self):
+        """A narrower distribution yields more parts at a tight period even
+        with a slightly larger mean — the paper's Fig. 1 'optimization 1'."""
+        original = NormalDelay(1000.0, 80.0)
+        optimized = NormalDelay(1020.0, 25.0)
+        period = 1060.0
+        gain = yield_improvement(original, optimized, period)
+        assert gain > 0.1
+
+    def test_no_gain_at_very_loose_period(self):
+        original = NormalDelay(1000.0, 80.0)
+        optimized = NormalDelay(1020.0, 25.0)
+        assert yield_improvement(original, optimized, 2000.0) == pytest.approx(0.0, abs=1e-6)
+
+
+class TestYieldReport:
+    def test_report_fields_consistent(self):
+        rv = NormalDelay(800.0, 40.0)
+        report = YieldReport.from_distribution(rv, clock_period=850.0)
+        assert report.yield_fraction == pytest.approx(timing_yield(rv, 850.0))
+        assert report.period_for_99 > report.period_for_90
+        assert report.period_for_3sigma > report.period_for_99
+        d = report.as_dict()
+        assert d["clock_period"] == 850.0
+
+    def test_report_from_optimization_results(self, delay_model, variation_model, c17_circuit):
+        from repro.core.fullssta import FULLSSTA
+
+        rv = FULLSSTA(delay_model, variation_model).analyze(c17_circuit).output_rv
+        report = YieldReport.from_distribution(rv, clock_period=rv.mean)
+        assert 0.4 < report.yield_fraction < 0.6

@@ -1,0 +1,81 @@
+"""Functional and structural tests for the ALU generator."""
+
+import pytest
+
+from repro.circuits.alu import alu
+from repro.netlist.simulate import drive_bus, read_bus, simulate
+from repro.netlist.validate import validate_circuit
+
+
+def _run_alu(circuit, width, a, b, cin=0, s0=0, s1=0, sub=0):
+    inputs = {}
+    inputs.update(drive_bus("a", a, width))
+    inputs.update(drive_bus("b", b, width))
+    inputs["cin"] = bool(cin)
+    inputs["s0"] = bool(s0)
+    inputs["s1"] = bool(s1)
+    inputs["sub"] = bool(sub)
+    return simulate(circuit, inputs)
+
+
+class TestAluLogicFunctions:
+    """With s0=s1=0 the ALU outputs the AND of its operands; with s1=1 the OR."""
+
+    @pytest.mark.parametrize("a,b", [(0, 0), (5, 3), (12, 10), (15, 9)])
+    def test_and_function(self, a, b):
+        circuit = alu(4)
+        values = _run_alu(circuit, 4, a, b, s0=0, s1=0)
+        assert read_bus(values, "f", 4) == (a & b)
+
+    @pytest.mark.parametrize("a,b", [(0, 0), (5, 3), (12, 10), (8, 1)])
+    def test_or_function(self, a, b):
+        circuit = alu(4)
+        values = _run_alu(circuit, 4, a, b, s0=0, s1=1)
+        assert read_bus(values, "f", 4) == (a | b)
+
+    @pytest.mark.parametrize("a,b", [(0, 0), (5, 3), (15, 15), (9, 6)])
+    def test_xor_function(self, a, b):
+        circuit = alu(4)
+        values = _run_alu(circuit, 4, a, b, s0=1, s1=0)
+        assert read_bus(values, "f", 4) == (a ^ b)
+
+    @pytest.mark.parametrize("a,b,cin", [(0, 0, 0), (5, 3, 0), (9, 6, 1), (15, 1, 0), (7, 7, 1)])
+    def test_add_function(self, a, b, cin):
+        circuit = alu(4)
+        values = _run_alu(circuit, 4, a, b, cin=cin, s0=1, s1=1)
+        total = a + b + cin
+        assert read_bus(values, "f", 4) == total % 16
+        assert values["cout"] == (total >= 16)
+
+    def test_zero_flag(self):
+        circuit = alu(4)
+        values = _run_alu(circuit, 4, 0, 0, s0=0, s1=0)  # 0 AND 0 = 0
+        assert values["zero"] is True
+        values = _run_alu(circuit, 4, 5, 5, s0=0, s1=0)  # 5 AND 5 = 5
+        assert values["zero"] is False
+
+
+class TestAluStructure:
+    def test_valid_and_sized_reasonably(self, library):
+        circuit = alu(8)
+        assert validate_circuit(circuit, library) == []
+        # The alu1 stand-in: roughly the paper's 234 gates.
+        assert 150 <= circuit.num_gates() <= 350
+
+    def test_io_counts(self):
+        circuit = alu(8)
+        # 2*width operands + cin + s0 + s1 + sub inputs.
+        assert len(circuit.primary_inputs) == 2 * 8 + 4
+        # width result bits + cout + zero + ovf.
+        assert len(circuit.primary_outputs) == 8 + 3
+
+    def test_without_flags(self):
+        circuit = alu(4, with_flags=False)
+        assert len(circuit.primary_outputs) == 5
+
+    def test_gate_count_scales_with_width(self):
+        assert alu(4).num_gates() < alu(8).num_gates() < alu(16).num_gates()
+
+    def test_invalid_width(self):
+        with pytest.raises(ValueError):
+            alu(0)

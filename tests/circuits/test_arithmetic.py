@@ -1,0 +1,120 @@
+"""Functional tests for the adder and multiplier generators.
+
+Every generator is checked against its arithmetic specification with the
+logic simulator, plus structural expectations (size, depth) that matter for
+the paper's experiments.
+"""
+
+import pytest
+
+from repro.circuits.adders import carry_select_adder, ripple_carry_adder
+from repro.circuits.multiplier import array_multiplier
+from repro.netlist.simulate import drive_bus, read_bus, simulate
+from repro.netlist.validate import validate_circuit
+
+
+def _check_adder(circuit, width, vectors, has_cin=True):
+    for a, b, cin in vectors:
+        inputs = {}
+        inputs.update(drive_bus("a", a, width))
+        inputs.update(drive_bus("b", b, width))
+        if has_cin:
+            inputs["cin"] = bool(cin)
+        values = simulate(circuit, inputs)
+        total = a + b + (cin if has_cin else 0)
+        got = read_bus(values, "sum", width) + (values["cout"] << width)
+        assert got == total, f"{a} + {b} + {cin} = {total}, got {got}"
+
+
+ADDER_VECTORS = [
+    (0, 0, 0),
+    (1, 1, 0),
+    (5, 9, 1),
+    (15, 1, 0),
+    (7, 8, 1),
+    (12, 3, 0),
+]
+
+
+class TestRippleCarryAdder:
+    def test_functionality_4bit(self):
+        _check_adder(ripple_carry_adder(4), 4, ADDER_VECTORS)
+
+    def test_functionality_8bit(self):
+        vectors = [(0, 0, 0), (255, 1, 0), (170, 85, 1), (200, 55, 0), (128, 128, 1)]
+        _check_adder(ripple_carry_adder(8), 8, vectors)
+
+    def test_no_carry_in_variant(self):
+        circuit = ripple_carry_adder(4, with_carry_in=False)
+        vectors = [(a, b, 0) for a, b, _ in ADDER_VECTORS]
+        _check_adder(circuit, 4, vectors, has_cin=False)
+
+    def test_structure(self, library):
+        circuit = ripple_carry_adder(8)
+        assert validate_circuit(circuit, library) == []
+        # ~5 gates per full adder plus output buffers.
+        assert 40 <= circuit.num_gates() <= 60
+        # The carry chain makes depth grow linearly with width.
+        assert circuit.logic_depth() >= 8
+
+    def test_invalid_width(self):
+        with pytest.raises(ValueError):
+            ripple_carry_adder(0)
+
+
+class TestCarrySelectAdder:
+    def test_functionality(self):
+        _check_adder(carry_select_adder(8, block_size=4), 8, [
+            (0, 0, 0), (255, 1, 1), (100, 156, 0), (37, 219, 1), (128, 127, 0),
+        ])
+
+    def test_shallower_than_ripple(self):
+        ripple = ripple_carry_adder(16)
+        select = carry_select_adder(16, block_size=4)
+        assert select.logic_depth() < ripple.logic_depth()
+        assert select.num_gates() > ripple.num_gates()  # area for speed
+
+    def test_structure_valid(self, library):
+        assert validate_circuit(carry_select_adder(12), library) == []
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            carry_select_adder(0)
+        with pytest.raises(ValueError):
+            carry_select_adder(8, block_size=0)
+
+
+class TestArrayMultiplier:
+    @pytest.mark.parametrize("width", [2, 3, 4])
+    def test_exhaustive_small_widths(self, width):
+        circuit = array_multiplier(width)
+        for a in range(1 << width):
+            for b in range(1 << width):
+                inputs = {}
+                inputs.update(drive_bus("a", a, width))
+                inputs.update(drive_bus("b", b, width))
+                values = simulate(circuit, inputs)
+                assert read_bus(values, "p", 2 * width) == a * b, f"{a}*{b}"
+
+    def test_spot_check_8bit(self):
+        circuit = array_multiplier(8)
+        for a, b in [(0, 0), (255, 255), (17, 13), (200, 3), (128, 64)]:
+            inputs = {}
+            inputs.update(drive_bus("a", a, 8))
+            inputs.update(drive_bus("b", b, 8))
+            values = simulate(circuit, inputs)
+            assert read_bus(values, "p", 16) == a * b
+
+    def test_structure_is_c6288_like(self, library):
+        circuit = array_multiplier(16)
+        assert validate_circuit(circuit, library) == []
+        # Quadratic gate count, deep carry-save array: the c6288 profile.
+        assert circuit.num_gates() > 1200
+        assert circuit.logic_depth() > 40
+
+    def test_depth_grows_with_width(self):
+        assert array_multiplier(8).logic_depth() < array_multiplier(12).logic_depth()
+
+    def test_invalid_width(self):
+        with pytest.raises(ValueError):
+            array_multiplier(1)

@@ -1,0 +1,125 @@
+"""Unit tests for the CircuitBuilder helper."""
+
+import itertools
+
+import pytest
+
+from repro.circuits.builder import CircuitBuilder
+from repro.netlist.simulate import simulate_outputs
+from repro.netlist.validate import validate_circuit
+
+
+class TestIO:
+    def test_inputs_and_outputs(self):
+        builder = CircuitBuilder("t")
+        nets = builder.inputs("a", 3)
+        assert nets == ["a0", "a1", "a2"]
+        y = builder.gate("AND", nets)
+        builder.output(y)
+        circuit = builder.build()
+        assert circuit.primary_inputs == nets
+        assert circuit.primary_outputs == [y]
+
+    def test_fresh_net_names_unique(self):
+        builder = CircuitBuilder("t")
+        names = {builder.fresh_net() for _ in range(100)}
+        assert len(names) == 100
+
+
+class TestPrimitives:
+    def test_gate_names_and_types(self):
+        builder = CircuitBuilder("t")
+        a, b = builder.inputs("i", 2)
+        builder.output(builder.nand2(a, b))
+        circuit = builder.build()
+        gate = next(iter(circuit.gates.values()))
+        assert gate.cell_type == "NAND2"
+
+    def test_mux2_logic(self):
+        builder = CircuitBuilder("t")
+        a, b, s = builder.inputs("i", 3)
+        builder.output(builder.mux2(a, b, s, "y"))
+        circuit = builder.build()
+        for va, vb, vs in itertools.product([False, True], repeat=3):
+            out = simulate_outputs(circuit, {"i0": va, "i1": vb, "i2": vs})["y"]
+            assert out == (vb if vs else va)
+
+    def test_all_two_input_wrappers(self):
+        builder = CircuitBuilder("t")
+        a, b = builder.inputs("i", 2)
+        for method in ("and2", "or2", "nand2", "nor2", "xor2", "xnor2"):
+            getattr(builder, method)(a, b)
+        builder.output(builder.inv(a))
+        builder.output(builder.buf(b))
+        assert builder.build().num_gates() == 8
+
+
+class TestTrees:
+    @pytest.mark.parametrize("width", [2, 3, 5, 8, 17])
+    def test_xor_tree_is_parity(self, width):
+        builder = CircuitBuilder("t")
+        bits = builder.inputs("d", width)
+        builder.output(builder.xor_tree(bits), )
+        circuit = builder.build()
+        out_net = circuit.primary_outputs[0]
+        # Check a handful of vectors including all-zeros and all-ones.
+        vectors = [0, (1 << width) - 1, 0b1011 % (1 << width), 0b0101 % (1 << width)]
+        for value in vectors:
+            inputs = {f"d{i}": bool((value >> i) & 1) for i in range(width)}
+            expected = bin(value).count("1") % 2 == 1
+            assert simulate_outputs(circuit, inputs)[out_net] == expected
+
+    def test_and_or_tree_logic(self):
+        builder = CircuitBuilder("t")
+        bits = builder.inputs("d", 6)
+        and_out = builder.and_tree(bits)
+        or_out = builder.or_tree(bits)
+        builder.outputs([and_out, or_out])
+        circuit = builder.build()
+        all_ones = {f"d{i}": True for i in range(6)}
+        assert simulate_outputs(circuit, all_ones)[and_out] is True
+        one_zero = dict(all_ones, d3=False)
+        result = simulate_outputs(circuit, one_zero)
+        assert result[and_out] is False
+        assert result[or_out] is True
+
+    def test_tree_single_net_passthrough(self):
+        builder = CircuitBuilder("t")
+        a = builder.input("a")
+        assert builder.tree("AND", [a]) == "a"
+
+    def test_tree_empty_rejected(self):
+        with pytest.raises(ValueError):
+            CircuitBuilder("t").tree("AND", [])
+
+
+class TestArithmeticIdioms:
+    def test_full_adder_truth_table(self):
+        builder = CircuitBuilder("t")
+        a, b, cin = builder.inputs("i", 3)
+        s, cout = builder.full_adder(a, b, cin)
+        builder.outputs([s, cout])
+        circuit = builder.build()
+        for va, vb, vc in itertools.product([False, True], repeat=3):
+            out = simulate_outputs(circuit, {"i0": va, "i1": vb, "i2": vc})
+            total = int(va) + int(vb) + int(vc)
+            assert out[s] == bool(total % 2)
+            assert out[cout] == (total >= 2)
+
+    def test_half_adder_truth_table(self):
+        builder = CircuitBuilder("t")
+        a, b = builder.inputs("i", 2)
+        s, c = builder.half_adder(a, b)
+        builder.outputs([s, c])
+        circuit = builder.build()
+        for va, vb in itertools.product([False, True], repeat=2):
+            out = simulate_outputs(circuit, {"i0": va, "i1": vb})
+            assert out[s] == (va != vb)
+            assert out[c] == (va and vb)
+
+    def test_built_circuits_are_valid(self, library):
+        builder = CircuitBuilder("t")
+        a, b, cin = builder.inputs("i", 3)
+        s, cout = builder.full_adder(a, b, cin)
+        builder.outputs([s, cout])
+        assert validate_circuit(builder.build(), library) == []

@@ -1,0 +1,138 @@
+"""Functional and structural tests for the ECC and control-logic generators."""
+
+import pytest
+
+from repro.circuits.control import magnitude_comparator, priority_interrupt_controller
+from repro.circuits.ecc import parity_tree, sec_circuit
+from repro.netlist.simulate import drive_bus, read_bus, simulate
+from repro.netlist.validate import validate_circuit
+
+
+class TestParityTree:
+    @pytest.mark.parametrize("width,value", [(4, 0b1011), (8, 0b11110000), (16, 0xBEEF)])
+    def test_parity_correct(self, width, value):
+        circuit = parity_tree(width)
+        values = simulate(circuit, drive_bus("d", value, width))
+        assert values["parity"] == (bin(value).count("1") % 2 == 1)
+
+    def test_structure(self, library):
+        circuit = parity_tree(32)
+        assert validate_circuit(circuit, library) == []
+        assert circuit.num_gates() == 32  # 31 XORs + output buffer
+
+    def test_invalid_width(self):
+        with pytest.raises(ValueError):
+            parity_tree(1)
+
+
+class TestSecCircuit:
+    def test_c499_class_structure(self, library):
+        circuit = sec_circuit(32, 8)
+        assert validate_circuit(circuit, library) == []
+        assert 250 <= circuit.num_gates() <= 500
+        assert len(circuit.primary_inputs) == 40
+        # 32 corrected bits plus the error flag.
+        assert len(circuit.primary_outputs) == 33
+
+    def test_expand_xor_increases_gate_count_same_function(self):
+        plain = sec_circuit(16, 6, name="plain")
+        expanded = sec_circuit(16, 6, expand_xor=True, name="expanded")
+        assert expanded.num_gates() > plain.num_gates()
+        # Same logical behaviour on a sample vector.
+        inputs = {}
+        inputs.update(drive_bus("d", 0b1010110011110000, 16))
+        inputs.update(drive_bus("c", 0b010101, 6))
+        out_plain = simulate(plain, inputs)
+        out_expanded = simulate(expanded, inputs)
+        for i in range(16):
+            assert out_plain[f"q{i}"] == out_expanded[f"q{i}"]
+
+    def test_zero_syndrome_means_no_correction(self):
+        # With all-zero data and all-zero check bits every syndrome is zero,
+        # so no data bit is flipped and the error flag stays low.
+        circuit = sec_circuit(16, 6)
+        inputs = {}
+        inputs.update(drive_bus("d", 0, 16))
+        inputs.update(drive_bus("c", 0, 6))
+        values = simulate(circuit, inputs)
+        assert read_bus(values, "q", 16) == 0
+        assert values["err"] is False
+
+    def test_ded_variant_has_extra_output(self, library):
+        circuit = sec_circuit(16, 8, ded=True, expand_xor=True)
+        assert "ded" in circuit.primary_outputs
+        assert validate_circuit(circuit, library) == []
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            sec_circuit(1, 4)
+        with pytest.raises(ValueError):
+            sec_circuit(8, 1)
+
+
+class TestPriorityInterruptController:
+    def test_highest_priority_channel_wins(self):
+        circuit = priority_interrupt_controller(8)
+        inputs = {f"r{i}": False for i in range(8)}
+        inputs.update({f"e{i}": True for i in range(8)})
+        inputs["m"] = True
+        # Channels 2 and 5 request: channel 2 (lower index = higher priority) wins.
+        inputs["r2"] = True
+        inputs["r5"] = True
+        values = simulate(circuit, inputs)
+        assert values["irq"] is True
+        encoded = sum((1 << b) for b in range(3) if values[f"id{b}"])
+        assert encoded == 2
+
+    def test_masked_controller_raises_nothing(self):
+        circuit = priority_interrupt_controller(8)
+        inputs = {f"r{i}": True for i in range(8)}
+        inputs.update({f"e{i}": True for i in range(8)})
+        inputs["m"] = False
+        values = simulate(circuit, inputs)
+        assert values["irq"] is False
+
+    def test_disabled_channel_ignored(self):
+        circuit = priority_interrupt_controller(8)
+        inputs = {f"r{i}": False for i in range(8)}
+        inputs.update({f"e{i}": False for i in range(8)})
+        inputs["m"] = True
+        inputs["r0"] = True  # requested but not enabled
+        inputs["r3"] = True
+        inputs["e3"] = True  # requested and enabled
+        values = simulate(circuit, inputs)
+        encoded = sum((1 << b) for b in range(3) if values[f"id{b}"])
+        assert encoded == 3
+
+    def test_c432_class_structure(self, library):
+        circuit = priority_interrupt_controller(27)
+        assert validate_circuit(circuit, library) == []
+        assert 150 <= circuit.num_gates() <= 300
+        # Long priority chain gives c432-like depth.
+        assert circuit.logic_depth() > 20
+
+    def test_invalid_channels(self):
+        with pytest.raises(ValueError):
+            priority_interrupt_controller(1)
+
+
+class TestMagnitudeComparator:
+    @pytest.mark.parametrize("a,b", [(0, 0), (5, 5), (7, 3), (3, 7), (255, 254), (128, 200)])
+    def test_compare_8bit(self, a, b):
+        circuit = magnitude_comparator(8)
+        inputs = {}
+        inputs.update(drive_bus("a", a, 8))
+        inputs.update(drive_bus("b", b, 8))
+        values = simulate(circuit, inputs)
+        assert values["eq"] == (a == b)
+        assert values["gt"] == (a > b)
+        assert values["lt"] == (a < b)
+
+    def test_structure(self, library):
+        circuit = magnitude_comparator(32)
+        assert validate_circuit(circuit, library) == []
+        assert circuit.num_gates() > 150
+
+    def test_invalid_width(self):
+        with pytest.raises(ValueError):
+            magnitude_comparator(0)

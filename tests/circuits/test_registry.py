@@ -1,0 +1,91 @@
+"""Tests for the benchmark registry (the Table 1 circuit set)."""
+
+import pytest
+
+from repro.circuits.registry import (
+    BENCHMARK_NAMES,
+    PAPER_GATE_COUNTS,
+    benchmark_summary,
+    build_benchmark,
+    c17,
+    merge_circuits,
+)
+from repro.netlist.validate import validate_circuit
+
+
+class TestC17:
+    def test_exact_structure(self):
+        circuit = c17()
+        assert circuit.num_gates() == 6
+        assert all(g.cell_type == "NAND2" for g in circuit.gates.values())
+        assert circuit.primary_outputs == ["N22", "N23"]
+
+
+class TestRegistry:
+    def test_all_table1_names_present(self):
+        assert set(BENCHMARK_NAMES) == set(PAPER_GATE_COUNTS)
+        assert len(BENCHMARK_NAMES) == 13
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError):
+            build_benchmark("c9999")
+
+    def test_builds_are_fresh_instances(self):
+        a = build_benchmark("c432")
+        b = build_benchmark("c432")
+        assert a is not b
+        a.set_size(a.topological_order()[0], 3)
+        assert b.gate(b.topological_order()[0]).size_index == 0
+
+    @pytest.mark.parametrize("name", ["alu1", "alu2", "alu3", "c432", "c499", "c880", "c1355"])
+    def test_small_benchmarks_valid_and_sized(self, name, library):
+        circuit = build_benchmark(name)
+        assert validate_circuit(circuit, library) == []
+        paper = PAPER_GATE_COUNTS[name]
+        # The stand-ins must be the same order of magnitude as the originals:
+        # within a factor of ~2 of the paper's mapped gate count.
+        assert paper / 2 <= circuit.num_gates() <= paper * 2
+
+    @pytest.mark.slow
+    @pytest.mark.parametrize("name", ["c1908", "c2670", "c3540", "c5315", "c6288", "c7552"])
+    def test_large_benchmarks_valid_and_sized(self, name, library):
+        circuit = build_benchmark(name)
+        assert validate_circuit(circuit, library) == []
+        paper = PAPER_GATE_COUNTS[name]
+        assert paper / 2 <= circuit.num_gates() <= paper * 2
+
+    def test_multiplier_is_deepest(self):
+        # The paper singles out c6288 as the deepest circuit in the table.
+        depths = {
+            name: build_benchmark(name).logic_depth()
+            for name in ("alu1", "c432", "c499", "c6288")
+        }
+        assert depths["c6288"] == max(depths.values())
+
+
+class TestMergeCircuits:
+    def test_merge_prefixes_and_preserves_counts(self):
+        a = c17("a")
+        b = c17("b")
+        merged = merge_circuits("both", [("x", a), ("y", b)])
+        assert merged.num_gates() == 12
+        assert len(merged.primary_inputs) == 10
+        assert len(merged.primary_outputs) == 4
+        assert merged.has_gate("x_g22")
+        assert merged.has_gate("y_g22")
+
+    def test_merged_circuit_valid(self, library):
+        merged = merge_circuits("both", [("x", c17("a")), ("y", c17("b"))])
+        assert validate_circuit(merged, library) == []
+
+
+class TestSummary:
+    def test_summary_rows(self):
+        rows = benchmark_summary(["c17", "alu2", "c432"])
+        assert len(rows) == 3
+        for row in rows:
+            assert row["generated_gates"] > 0
+            assert row["logic_depth"] > 0
+        by_name = {row["name"]: row for row in rows}
+        assert by_name["c432"]["paper_gates"] == 203
+        assert by_name["c17"]["paper_gates"] is None

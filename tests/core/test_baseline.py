@@ -1,0 +1,76 @@
+"""Unit tests for the deterministic mean-delay baseline sizer."""
+
+import pytest
+
+from repro.circuits.adders import ripple_carry_adder
+from repro.circuits.registry import build_benchmark
+from repro.core.baseline import MeanDelaySizer
+from repro.netlist.validate import validate_circuit
+from repro.sta.dsta import DeterministicSTA
+
+
+@pytest.fixture
+def baseline(delay_model):
+    return MeanDelaySizer(delay_model)
+
+
+class TestOptimize:
+    def test_delay_never_increases(self, baseline, small_adder):
+        result = baseline.optimize(small_adder)
+        assert result.final_delay <= result.initial_delay + 1e-6
+        assert result.delay_reduction_pct >= 0.0
+
+    def test_reported_delay_matches_circuit(self, baseline, delay_model, small_adder):
+        result = baseline.optimize(small_adder)
+        actual = DeterministicSTA(delay_model).max_delay(small_adder)
+        assert result.final_delay == pytest.approx(actual, rel=1e-9)
+
+    def test_substantial_improvement_on_loaded_circuit(self, baseline, delay_model):
+        # An 8-bit ripple adder at minimum sizes has heavily loaded carry
+        # gates; mean-delay sizing should recover a significant fraction.
+        circuit = ripple_carry_adder(8)
+        result = baseline.optimize(circuit)
+        assert result.delay_reduction_pct > 10.0
+
+    def test_area_accounting(self, baseline, delay_model, small_adder):
+        result = baseline.optimize(small_adder)
+        assert result.final_area == pytest.approx(delay_model.circuit_area(small_adder))
+        assert result.initial_area > 0
+
+    def test_circuit_stays_valid(self, baseline, library, small_adder):
+        baseline.optimize(small_adder)
+        assert validate_circuit(small_adder, library) == []
+
+    def test_runtime_and_passes_recorded(self, baseline, small_adder):
+        result = baseline.optimize(small_adder)
+        assert result.passes >= 1
+        assert result.runtime_seconds > 0.0
+
+    def test_not_every_gate_is_maxed_out(self, baseline, library):
+        # A mean-delay optimizer with realistic load costs must not simply
+        # saturate every gate at maximum size (the paper's "high usage of
+        # smaller devices" observation about mean-optimized designs).
+        circuit = build_benchmark("c432")
+        baseline.optimize(circuit)
+        max_indices = sum(
+            1
+            for g in circuit.gates.values()
+            if g.size_index == library.max_size_index(g.cell_type)
+        )
+        assert max_indices < circuit.num_gates() * 0.5
+
+
+class TestAreaRecovery:
+    def test_area_recovery_reduces_area_without_hurting_delay(self, delay_model):
+        circuit_a = ripple_carry_adder(6, name="with_recovery")
+        circuit_b = ripple_carry_adder(6, name="without_recovery")
+        with_recovery = MeanDelaySizer(delay_model, area_recovery=True).optimize(circuit_a)
+        without_recovery = MeanDelaySizer(delay_model, area_recovery=False).optimize(circuit_b)
+        assert with_recovery.final_area <= without_recovery.final_area * 1.05
+        # Delay stays within the recovery tolerance of the no-recovery run.
+        assert with_recovery.final_delay <= without_recovery.final_delay * 1.05
+
+    def test_disabled_area_recovery(self, delay_model, small_adder):
+        sizer = MeanDelaySizer(delay_model, area_recovery=False)
+        result = sizer.optimize(small_adder)
+        assert result.final_delay <= result.initial_delay + 1e-6

@@ -1,0 +1,111 @@
+"""Unit tests for the weighted cost (Eq. 7) and the subcircuit cost evaluator."""
+
+import pytest
+
+from repro.core.cost import CostComponents, CostEvaluator, WeightedCost
+from repro.core.fassta import FASSTA
+from repro.core.fullssta import FULLSSTA
+from repro.core.rv import NormalDelay
+from repro.core.subcircuit import extract_subcircuit
+
+
+class TestWeightedCost:
+    def test_equation_7(self):
+        cost = WeightedCost(lam=3.0)
+        assert cost.of(NormalDelay(100.0, 10.0)) == pytest.approx(130.0)
+        assert cost.of_moments(50.0, 2.0) == pytest.approx(56.0)
+
+    def test_lambda_zero_is_pure_mean(self):
+        cost = WeightedCost(lam=0.0)
+        assert cost.of(NormalDelay(100.0, 50.0)) == pytest.approx(100.0)
+
+    def test_higher_lambda_penalises_sigma_more(self):
+        rv = NormalDelay(100.0, 10.0)
+        assert WeightedCost(9.0).of(rv) > WeightedCost(3.0).of(rv)
+
+    def test_negative_lambda_rejected(self):
+        with pytest.raises(ValueError):
+            WeightedCost(-1.0)
+
+    def test_worst_over_outputs(self):
+        cost = WeightedCost(3.0)
+        arrivals = {
+            "o1": NormalDelay(100.0, 1.0),   # cost 103
+            "o2": NormalDelay(95.0, 5.0),    # cost 110
+        }
+        assert cost.worst(arrivals) == pytest.approx(110.0)
+        with pytest.raises(ValueError):
+            cost.worst({})
+
+    def test_components(self):
+        cost = WeightedCost(3.0)
+        arrivals = {
+            "o1": NormalDelay(100.0, 1.0),
+            "o2": NormalDelay(95.0, 5.0),
+        }
+        comp = cost.components(arrivals)
+        assert comp.worst == pytest.approx(110.0)
+        assert comp.total == pytest.approx(213.0)
+
+
+class TestCostComponents:
+    def test_lower_worst_wins(self):
+        assert CostComponents(10.0, 100.0).better_than(CostComponents(11.0, 50.0))
+
+    def test_equal_worst_falls_back_to_total(self):
+        assert CostComponents(10.0, 90.0).better_than(CostComponents(10.0, 100.0))
+        assert not CostComponents(10.0, 100.0).better_than(CostComponents(10.0, 90.0))
+
+    def test_identical_costs_not_better(self):
+        comp = CostComponents(10.0, 100.0)
+        assert not comp.better_than(CostComponents(10.0, 100.0))
+
+
+class TestCostEvaluator:
+    @pytest.fixture
+    def evaluator(self, delay_model, variation_model):
+        return CostEvaluator(FASSTA(delay_model, variation_model), WeightedCost(3.0))
+
+    @pytest.fixture
+    def boundary(self, delay_model, variation_model, c17_circuit):
+        full = FULLSSTA(delay_model, variation_model).analyze(c17_circuit)
+        return full.arrival_moments
+
+    def test_subcircuit_cost_positive(self, evaluator, c17_circuit, boundary):
+        sub = extract_subcircuit(c17_circuit, "g16", depth=2)
+        cost = evaluator.subcircuit_cost(sub, boundary)
+        assert cost > 0.0
+
+    def test_candidate_size_restores_original(self, evaluator, c17_circuit, boundary):
+        sub = extract_subcircuit(c17_circuit, "g16", depth=1)
+        original_size = c17_circuit.gate("g16").size_index
+        evaluator.candidate_size_cost(sub, boundary, 5)
+        assert c17_circuit.gate("g16").size_index == original_size
+        evaluator.candidate_size_cost_components(sub, boundary, 5)
+        assert c17_circuit.gate("g16").size_index == original_size
+
+    def test_subcircuit_arrivals_consistent_with_full_fassta(
+        self, evaluator, delay_model, variation_model, c17_circuit
+    ):
+        # Propagating only the member gates with boundary arrivals taken from
+        # a full-circuit FASSTA run must reproduce that run's arrival moments
+        # at the subcircuit outputs exactly (same math, same inputs).
+        fassta = FASSTA(delay_model, variation_model)
+        full_arrivals = fassta.analyze(c17_circuit).arrivals
+        sub = extract_subcircuit(c17_circuit, "g16", depth=2)
+        boundary = {net: full_arrivals[net] for net in sub.input_nets}
+        arrivals = evaluator.subcircuit_arrivals(sub, boundary)
+        for net in sub.output_nets:
+            assert arrivals[net].mean == pytest.approx(full_arrivals[net].mean)
+            assert arrivals[net].sigma == pytest.approx(full_arrivals[net].sigma)
+
+    def test_upsizing_high_fanout_gate_reduces_cost(self, evaluator, c17_circuit, boundary):
+        # g11 drives two loads; upsizing it from minimum should reduce the
+        # local weighted cost (its delay and sigma both drop).
+        sub = extract_subcircuit(c17_circuit, "g11", depth=2)
+        current = evaluator.subcircuit_cost_components(sub, boundary)
+        better = evaluator.candidate_size_cost_components(sub, boundary, 3)
+        assert better.better_than(current)
+
+    def test_circuit_cost(self, evaluator):
+        assert evaluator.circuit_cost(NormalDelay(10.0, 2.0)) == pytest.approx(16.0)

@@ -1,0 +1,158 @@
+"""Unit tests for discrete sampled PDFs (the FULLSSTA value type)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.discrete_pdf import DEFAULT_SAMPLES, DiscretePDF
+
+
+class TestConstruction:
+    def test_normalisation(self):
+        pdf = DiscretePDF([1.0, 2.0, 3.0], [2.0, 2.0, 4.0])
+        assert pdf.probabilities.sum() == pytest.approx(1.0)
+        assert pdf.probabilities[2] == pytest.approx(0.5)
+
+    def test_sorting_and_merging_duplicates(self):
+        pdf = DiscretePDF([3.0, 1.0, 3.0], [0.25, 0.5, 0.25])
+        assert list(pdf.values) == [1.0, 3.0]
+        assert pdf.probabilities[1] == pytest.approx(0.5)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            DiscretePDF([], [])
+        with pytest.raises(ValueError):
+            DiscretePDF([1.0], [1.0, 2.0])
+        with pytest.raises(ValueError):
+            DiscretePDF([1.0, 2.0], [-1.0, 0.5])
+        with pytest.raises(ValueError):
+            DiscretePDF([1.0, 2.0], [0.0, 0.0])
+
+    def test_point(self):
+        pdf = DiscretePDF.point(42.0)
+        assert pdf.num_samples == 1
+        assert pdf.mean() == 42.0
+        assert pdf.std() == 0.0
+
+
+class TestFromNormal:
+    def test_moments_close_to_continuous(self):
+        pdf = DiscretePDF.from_normal(100.0, 15.0, num_samples=13)
+        assert pdf.num_samples == 13
+        assert pdf.mean() == pytest.approx(100.0, abs=0.5)
+        assert pdf.std() == pytest.approx(15.0, rel=0.05)
+
+    def test_paper_sampling_range_10_to_15(self):
+        for n in (10, 13, 15):
+            pdf = DiscretePDF.from_normal(200.0, 30.0, num_samples=n)
+            assert pdf.mean() == pytest.approx(200.0, abs=1.5)
+            assert pdf.std() == pytest.approx(30.0, rel=0.08)
+
+    def test_zero_sigma_is_point(self):
+        pdf = DiscretePDF.from_normal(50.0, 0.0)
+        assert pdf.num_samples == 1
+        assert pdf.mean() == 50.0
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            DiscretePDF.from_normal(0.0, 1.0, num_samples=0)
+        with pytest.raises(ValueError):
+            DiscretePDF.from_normal(0.0, -1.0)
+
+    def test_from_samples(self):
+        rng = np.random.default_rng(3)
+        data = rng.normal(70.0, 9.0, 20_000)
+        pdf = DiscretePDF.from_samples(data, num_bins=15)
+        assert pdf.mean() == pytest.approx(70.0, abs=0.5)
+        assert pdf.std() == pytest.approx(9.0, rel=0.1)
+
+    def test_from_samples_degenerate(self):
+        pdf = DiscretePDF.from_samples([5.0, 5.0, 5.0])
+        assert pdf.num_samples == 1
+        with pytest.raises(ValueError):
+            DiscretePDF.from_samples([])
+
+
+class TestStatistics:
+    def test_cdf_and_quantile(self):
+        pdf = DiscretePDF([1.0, 2.0, 3.0, 4.0], [0.25] * 4)
+        assert pdf.cdf(0.5) == 0.0
+        assert pdf.cdf(2.0) == pytest.approx(0.5)
+        assert pdf.cdf(10.0) == pytest.approx(1.0)
+        assert pdf.quantile(0.5) == 2.0
+        assert pdf.quantile(1.0) == 4.0
+        with pytest.raises(ValueError):
+            pdf.quantile(0.0)
+
+    def test_support(self):
+        pdf = DiscretePDF([5.0, 1.0, 3.0], [1, 1, 1])
+        assert pdf.support() == (1.0, 5.0)
+
+    def test_as_tuples(self):
+        pdf = DiscretePDF([1.0, 2.0], [0.5, 0.5])
+        assert pdf.as_tuples() == ((1.0, 0.5), (2.0, 0.5))
+
+
+class TestOperations:
+    def test_add_matches_analytic_normal_sum(self):
+        a = DiscretePDF.from_normal(100.0, 10.0, 15)
+        b = DiscretePDF.from_normal(50.0, 5.0, 15)
+        c = a.add(b)
+        assert c.mean() == pytest.approx(150.0, rel=0.01)
+        assert c.std() == pytest.approx(math.sqrt(125.0), rel=0.08)
+        assert c.num_samples <= DEFAULT_SAMPLES
+
+    def test_add_point_is_shift(self):
+        a = DiscretePDF.from_normal(100.0, 10.0)
+        shifted = a.add(DiscretePDF.point(25.0))
+        assert shifted.mean() == pytest.approx(125.0, rel=0.01)
+        assert shifted.std() == pytest.approx(a.std(), rel=0.05)
+
+    def test_shift(self):
+        a = DiscretePDF.from_normal(10.0, 2.0)
+        assert a.shift(5.0).mean() == pytest.approx(a.mean() + 5.0)
+
+    def test_maximum_against_clark(self):
+        from repro.core.clark import clark_max_exact
+
+        a = DiscretePDF.from_normal(100.0, 10.0, 31)
+        b = DiscretePDF.from_normal(102.0, 12.0, 31)
+        m = a.maximum(b, num_samples=31)
+        mean, var = clark_max_exact(100.0, 10.0, 102.0, 12.0)
+        assert m.mean() == pytest.approx(mean, rel=0.02)
+        assert m.std() == pytest.approx(math.sqrt(var), rel=0.12)
+
+    def test_maximum_dominant_case(self):
+        a = DiscretePDF.from_normal(500.0, 5.0)
+        b = DiscretePDF.from_normal(100.0, 5.0)
+        m = a.maximum(b)
+        assert m.mean() == pytest.approx(500.0, rel=0.01)
+
+    def test_maximum_of_list(self):
+        pdfs = [DiscretePDF.from_normal(m, 3.0) for m in (10.0, 20.0, 90.0)]
+        assert DiscretePDF.maximum_of(pdfs).mean() == pytest.approx(90.0, rel=0.02)
+        with pytest.raises(ValueError):
+            DiscretePDF.maximum_of([])
+
+
+class TestCompaction:
+    def test_compact_preserves_mass_and_mean(self):
+        rng = np.random.default_rng(0)
+        values = rng.uniform(0.0, 100.0, 400)
+        probs = rng.uniform(0.1, 1.0, 400)
+        pdf = DiscretePDF(values, probs)
+        compacted = pdf.compact(13)
+        assert compacted.num_samples <= 13
+        assert compacted.probabilities.sum() == pytest.approx(1.0)
+        assert compacted.mean() == pytest.approx(pdf.mean(), rel=1e-9)
+
+    def test_compact_noop_when_small(self):
+        pdf = DiscretePDF([1.0, 2.0], [0.5, 0.5])
+        assert pdf.compact(13) is pdf
+
+    def test_operations_keep_sample_budget(self):
+        a = DiscretePDF.from_normal(10.0, 1.0, 15)
+        b = DiscretePDF.from_normal(12.0, 1.5, 15)
+        assert a.add(b, num_samples=11).num_samples <= 11
+        assert a.maximum(b, num_samples=11).num_samples <= 11

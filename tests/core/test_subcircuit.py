@@ -1,0 +1,83 @@
+"""Unit tests for subcircuit extraction."""
+
+import pytest
+
+from repro.circuits.registry import build_benchmark
+from repro.core.subcircuit import extract_subcircuit, extraction_statistics
+
+
+class TestExtraction:
+    def test_seed_always_included(self, c17_circuit):
+        sub = extract_subcircuit(c17_circuit, "g16", depth=2)
+        assert "g16" in sub
+        assert sub.seed == "g16"
+
+    def test_depth_zero_is_seed_only(self, c17_circuit):
+        sub = extract_subcircuit(c17_circuit, "g16", depth=0)
+        assert sub.gate_names == ["g16"]
+        assert set(sub.input_nets) == {"N2", "N11"}
+        assert sub.output_nets == ["N16"]
+
+    def test_depth_one_covers_direct_neighbours(self, c17_circuit):
+        sub = extract_subcircuit(c17_circuit, "g16", depth=1)
+        assert set(sub.gate_names) == {"g11", "g16", "g22", "g23"}
+
+    def test_depth_two_covers_paper_default(self, c17_circuit):
+        sub = extract_subcircuit(c17_circuit, "g16", depth=2)
+        # Two levels of transitive fanin/fanout of g16: its fanin g11 and its
+        # fanouts g22/g23.  Siblings (g10, g19) are not in either cone.
+        assert set(sub.gate_names) == {"g11", "g16", "g22", "g23"}
+        assert "g10" not in sub
+        assert set(sub.input_nets) >= {"N2", "N10", "N19"}
+
+    def test_gates_in_topological_order(self, c17_circuit):
+        sub = extract_subcircuit(c17_circuit, "g16", depth=2)
+        topo = c17_circuit.topological_order()
+        positions = [topo.index(name) for name in sub.gate_names]
+        assert positions == sorted(positions)
+
+    def test_input_nets_are_external(self, c17_circuit):
+        sub = extract_subcircuit(c17_circuit, "g16", depth=1)
+        internal_outputs = {c17_circuit.gate(n).output for n in sub.gate_names}
+        for net in sub.input_nets:
+            assert net not in internal_outputs
+
+    def test_output_nets_are_observed_outside(self, c17_circuit):
+        sub = extract_subcircuit(c17_circuit, "g16", depth=1)
+        member = set(sub.gate_names)
+        for net in sub.output_nets:
+            external_load = any(
+                load.name not in member for load in c17_circuit.loads_of(net)
+            )
+            assert c17_circuit.is_primary_output(net) or external_load
+
+    def test_unknown_seed_raises(self, c17_circuit):
+        from repro.netlist.circuit import CircuitError
+
+        with pytest.raises(CircuitError):
+            extract_subcircuit(c17_circuit, "nope")
+
+    def test_negative_depth_rejected(self, c17_circuit):
+        with pytest.raises(ValueError):
+            extract_subcircuit(c17_circuit, "g16", depth=-1)
+
+    def test_subcircuit_much_smaller_than_circuit(self):
+        circuit = build_benchmark("c432")
+        sub = extract_subcircuit(circuit, circuit.topological_order()[len(circuit) // 2], depth=2)
+        assert sub.num_gates < circuit.num_gates() / 2
+
+    def test_repr_contains_seed(self, c17_circuit):
+        assert "g16" in repr(extract_subcircuit(c17_circuit, "g16"))
+
+
+class TestExtractionStatistics:
+    def test_statistics_fields(self, c17_circuit):
+        stats = extraction_statistics(c17_circuit, depth=1)
+        assert stats["min_gates"] >= 1
+        assert stats["avg_gates"] <= stats["max_gates"]
+        assert stats["max_gates"] <= c17_circuit.num_gates()
+
+    def test_bigger_depth_bigger_subcircuits(self, c17_circuit):
+        shallow = extraction_statistics(c17_circuit, depth=1)
+        deep = extraction_statistics(c17_circuit, depth=3)
+        assert deep["avg_gates"] >= shallow["avg_gates"]

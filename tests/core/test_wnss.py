@@ -1,0 +1,152 @@
+"""Unit tests for WNSS (worst negative statistical slack) path tracing."""
+
+import pytest
+
+from repro.core.fullssta import FULLSSTA
+from repro.core.rv import NormalDelay
+from repro.core.wnss import WNSSTracer
+from repro.netlist.circuit import Circuit
+
+
+@pytest.fixture
+def tracer(variation_model):
+    return WNSSTracer(coupling=variation_model.mean_sigma_coupling, lam=3.0)
+
+
+class TestPickDominantInput:
+    def test_single_candidate(self, tracer):
+        net, method = tracer.pick_dominant_input({"a": NormalDelay(10.0, 1.0)})
+        assert net == "a"
+        assert method == "single"
+
+    def test_clear_dominance_picks_higher_mean(self, tracer):
+        candidates = {
+            "slow": NormalDelay(392.0, 35.0),
+            "fast": NormalDelay(190.0, 41.0),
+        }
+        net, method = tracer.pick_dominant_input(candidates)
+        assert net == "slow"
+        assert method == "dominance"
+
+    def test_fig3_sensitivity_case_prefers_high_sigma_input(self, tracer):
+        # Paper Fig. 3: arrivals (320, 27) vs (310, 45).  The means are too
+        # close for dominance; the higher-sigma input drives the output
+        # variance and must be chosen.
+        candidates = {
+            "arc_a": NormalDelay(320.0, 27.0),
+            "arc_b": NormalDelay(310.0, 45.0),
+        }
+        net, method = tracer.pick_dominant_input(candidates)
+        assert method == "sensitivity"
+        assert net == "arc_b"
+
+    def test_close_means_and_sigmas_picks_either_but_uses_sensitivity(self, tracer):
+        candidates = {
+            "x": NormalDelay(357.0, 32.0),
+            "y": NormalDelay(392.0, 35.0),
+        }
+        net, method = tracer.pick_dominant_input(candidates)
+        assert method == "sensitivity"
+        assert net in candidates
+
+    def test_empty_candidates_rejected(self, tracer):
+        with pytest.raises(ValueError):
+            tracer.pick_dominant_input({})
+
+
+class TestStartOutputSelection:
+    def test_weighted_cost_selects_high_sigma_output(self, tracer):
+        circuit = Circuit("two_out", primary_inputs=["a"], primary_outputs=["o1", "o2"])
+        circuit.add("g1", "INV", ["a"], "o1")
+        circuit.add("g2", "INV", ["a"], "o2")
+        arrivals = {
+            "o1": NormalDelay(100.0, 1.0),
+            "o2": NormalDelay(99.0, 10.0),  # lower mean, much higher sigma
+        }
+        assert tracer.select_start_output(circuit, arrivals) == "o2"
+
+    def test_lambda_zero_selects_worst_mean(self, variation_model):
+        tracer = WNSSTracer(coupling=variation_model.mean_sigma_coupling, lam=0.0)
+        circuit = Circuit("two_out", primary_inputs=["a"], primary_outputs=["o1", "o2"])
+        circuit.add("g1", "INV", ["a"], "o1")
+        circuit.add("g2", "INV", ["a"], "o2")
+        arrivals = {
+            "o1": NormalDelay(100.0, 1.0),
+            "o2": NormalDelay(99.0, 10.0),
+        }
+        assert tracer.select_start_output(circuit, arrivals) == "o1"
+
+    def test_no_outputs_raises(self, tracer):
+        circuit = Circuit("none", primary_inputs=["a"])
+        with pytest.raises(ValueError):
+            tracer.select_start_output(circuit, {})
+
+
+class TestTrace:
+    def test_trace_reaches_primary_input(self, tracer, delay_model, variation_model, c17_circuit):
+        full = FULLSSTA(delay_model, variation_model).analyze(c17_circuit)
+        path = tracer.trace(c17_circuit, full.arrival_moments)
+        assert len(path) >= 2
+        first_gate = c17_circuit.gate(path.gates[0])
+        # The first gate on the (input-to-output ordered) path must have at
+        # least one primary-input pin.
+        assert any(c17_circuit.is_primary_input(net) for net in first_gate.inputs)
+        # The last gate drives the chosen output.
+        assert c17_circuit.gate(path.gates[-1]).output == path.output_net
+
+    def test_path_is_structurally_connected(self, tracer, delay_model, variation_model, c17_circuit):
+        full = FULLSSTA(delay_model, variation_model).analyze(c17_circuit)
+        path = tracer.trace(c17_circuit, full.arrival_moments)
+        for upstream, downstream in zip(path.gates, path.gates[1:]):
+            up = c17_circuit.gate(upstream)
+            down = c17_circuit.gate(downstream)
+            assert up.output in down.inputs
+
+    def test_trace_records_decisions(self, tracer, delay_model, variation_model, c17_circuit):
+        full = FULLSSTA(delay_model, variation_model).analyze(c17_circuit)
+        path = tracer.trace(c17_circuit, full.arrival_moments)
+        assert len(path.decisions) == len(path.gates)
+        for decision in path.decisions:
+            assert decision.method in ("single", "dominance", "sensitivity")
+            assert decision.chosen_net in decision.candidates
+
+    def test_trace_from_specific_output(self, tracer, delay_model, variation_model, c17_circuit):
+        full = FULLSSTA(delay_model, variation_model).analyze(c17_circuit)
+        path = tracer.trace(c17_circuit, full.arrival_moments, start_output="N23")
+        assert path.output_net == "N23"
+        assert c17_circuit.gate(path.gates[-1]).output == "N23"
+
+    def test_wnss_differs_from_wns_when_variance_dominates(self, tracer):
+        """Construct a circuit where the highest-mean path is NOT the WNSS path.
+
+        Output gate X has two input branches: branch P has a slightly higher
+        mean but tiny sigma; branch Q has a slightly lower mean but a huge
+        sigma.  A deterministic tracer follows P; the statistical tracer must
+        follow Q.
+        """
+        circuit = Circuit("diverge", primary_inputs=["a", "b"], primary_outputs=["y"])
+        circuit.add("p", "BUF", ["a"], "np")
+        circuit.add("q", "BUF", ["b"], "nq")
+        circuit.add("x", "NAND2", ["np", "nq"], "y")
+        arrivals = {
+            "np": NormalDelay(320.0, 5.0),
+            "nq": NormalDelay(310.0, 60.0),
+            "y": NormalDelay(360.0, 55.0),
+        }
+        path = tracer.trace(circuit, arrivals)
+        assert "q" in path.gates
+        assert "p" not in path.gates
+
+    def test_membership_and_iteration(self, tracer, delay_model, variation_model, c17_circuit):
+        full = FULLSSTA(delay_model, variation_model).analyze(c17_circuit)
+        path = tracer.trace(c17_circuit, full.arrival_moments)
+        assert list(iter(path)) == path.gates
+        assert path.gates[0] in path
+
+
+class TestConstructionValidation:
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            WNSSTracer(coupling=-0.1)
+        with pytest.raises(ValueError):
+            WNSSTracer(coupling=0.1, lam=-1.0)

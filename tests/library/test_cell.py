@@ -1,0 +1,124 @@
+"""Unit tests for the cell-library data model."""
+
+import pytest
+
+from repro.library.cell import CellSize, CellType, Library, _interpolate_table
+
+
+def make_size(name="INV_X1", drive=1.0, **overrides):
+    params = dict(
+        name=name,
+        drive=drive,
+        area=2.0,
+        input_cap=1.5,
+        intrinsic_delay=10.0,
+        drive_resistance=6.0,
+    )
+    params.update(overrides)
+    return CellSize(**params)
+
+
+class TestCellSize:
+    def test_linear_delay(self):
+        size = make_size()
+        assert size.linear_delay(0.0) == pytest.approx(10.0)
+        assert size.linear_delay(4.0) == pytest.approx(10.0 + 6.0 * 4.0)
+
+    def test_negative_load_clamped(self):
+        assert make_size().linear_delay(-5.0) == pytest.approx(10.0)
+
+    @pytest.mark.parametrize(
+        "field,value",
+        [("drive", 0.0), ("drive", -1.0), ("area", 0.0), ("input_cap", 0.0),
+         ("intrinsic_delay", -1.0), ("drive_resistance", -0.1)],
+    )
+    def test_invalid_parameters_rejected(self, field, value):
+        with pytest.raises(ValueError):
+            make_size(**{field: value})
+
+
+class TestCellType:
+    def test_add_sizes_in_order(self):
+        cell = CellType("INV", 1)
+        cell.add_size(make_size("INV_X1", 1.0))
+        cell.add_size(make_size("INV_X2", 2.0))
+        assert cell.num_sizes == 2
+        assert cell.size(1).drive == 2.0
+        assert list(cell.size_indices()) == [0, 1]
+
+    def test_out_of_order_drive_rejected(self):
+        cell = CellType("INV", 1)
+        cell.add_size(make_size("INV_X2", 2.0))
+        with pytest.raises(ValueError):
+            cell.add_size(make_size("INV_X1", 1.0))
+
+    def test_size_index_out_of_range(self):
+        cell = CellType("INV", 1)
+        cell.add_size(make_size())
+        with pytest.raises(IndexError):
+            cell.size(1)
+
+    def test_function_derived_from_name(self):
+        assert CellType("NAND3", 3).function == "NAND"
+        assert CellType("INV", 1).function == "INV"
+
+    def test_bad_num_inputs(self):
+        with pytest.raises(ValueError):
+            CellType("INV", 0)
+
+
+class TestLibrary:
+    @pytest.fixture
+    def tiny(self):
+        library = Library("tiny", default_output_load=2.0, wire_cap_per_fanout=0.1)
+        inv = CellType("INV", 1)
+        inv.add_size(make_size("INV_X1", 1.0))
+        inv.add_size(make_size("INV_X2", 2.0, drive_resistance=3.0))
+        library.add_cell(inv)
+        return library
+
+    def test_queries(self, tiny):
+        assert tiny.has_cell("INV")
+        assert "INV" in tiny
+        assert not tiny.has_cell("NAND2")
+        assert tiny.num_sizes("INV") == 2
+        assert tiny.cell_types == ["INV"]
+        assert len(tiny) == 1
+        assert tiny.min_size_index("INV") == 0
+        assert tiny.max_size_index("INV") == 1
+
+    def test_area_cap_delay(self, tiny):
+        assert tiny.area("INV", 0) == pytest.approx(2.0)
+        assert tiny.input_cap("INV", 1) == pytest.approx(1.5)
+        assert tiny.delay("INV", 0, 4.0) == pytest.approx(10.0 + 6.0 * 4.0)
+        assert tiny.delay("INV", 1, 4.0) == pytest.approx(10.0 + 3.0 * 4.0)
+
+    def test_unknown_cell_raises(self, tiny):
+        with pytest.raises(KeyError):
+            tiny.cell("NAND2")
+
+    def test_duplicate_cell_rejected(self, tiny):
+        with pytest.raises(ValueError):
+            tiny.add_cell(CellType("INV", 1))
+
+    def test_lut_delay_preferred_when_present(self):
+        library = Library("lut")
+        cell = CellType("INV", 1)
+        cell.add_size(make_size(delay_table=((0.0, 5.0), (10.0, 25.0))))
+        library.add_cell(cell)
+        # Table says slope 2 ps/fF from intercept 5, not the RC expression.
+        assert library.delay("INV", 0, 5.0) == pytest.approx(15.0)
+
+
+class TestTableInterpolation:
+    def test_interior_interpolation(self):
+        table = ((0.0, 0.0), (10.0, 100.0))
+        assert _interpolate_table(table, 5.0) == pytest.approx(50.0)
+
+    def test_extrapolation_below_and_above(self):
+        table = ((1.0, 10.0), (2.0, 20.0))
+        assert _interpolate_table(table, 0.0) == pytest.approx(0.0)
+        assert _interpolate_table(table, 3.0) == pytest.approx(30.0)
+
+    def test_single_point_table(self):
+        assert _interpolate_table(((4.0, 42.0),), 100.0) == pytest.approx(42.0)

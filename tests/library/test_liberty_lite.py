@@ -1,0 +1,61 @@
+"""Unit tests for the JSON library serialisation."""
+
+import json
+
+import pytest
+
+from repro.library.liberty_lite import (
+    library_from_json,
+    library_to_json,
+    load_library,
+    save_library,
+)
+
+
+class TestRoundTrip:
+    def test_roundtrip_preserves_everything(self, library):
+        text = library_to_json(library)
+        again = library_from_json(text)
+        assert again.name == library.name
+        assert again.default_output_load == library.default_output_load
+        assert again.cell_types == library.cell_types
+        for cell_name in library.cell_types:
+            original = library.cell(cell_name)
+            restored = again.cell(cell_name)
+            assert restored.num_inputs == original.num_inputs
+            assert restored.num_sizes == original.num_sizes
+            for idx in range(original.num_sizes):
+                a, b = original.size(idx), restored.size(idx)
+                assert b.drive == a.drive
+                assert b.area == pytest.approx(a.area)
+                assert b.input_cap == pytest.approx(a.input_cap)
+                assert b.intrinsic_delay == pytest.approx(a.intrinsic_delay)
+                assert b.drive_resistance == pytest.approx(a.drive_resistance)
+                assert b.delay_table == a.delay_table
+
+    def test_delays_identical_after_roundtrip(self, library):
+        again = library_from_json(library_to_json(library))
+        for cell_name in ("INV", "NAND2", "XOR3"):
+            for idx in library.size_indices(cell_name):
+                for load in (1.0, 8.0, 30.0):
+                    assert again.delay(cell_name, idx, load) == pytest.approx(
+                        library.delay(cell_name, idx, load)
+                    )
+
+    def test_json_is_valid_and_versioned(self, library):
+        doc = json.loads(library_to_json(library))
+        assert doc["format_version"] == 1
+        assert doc["name"] == library.name
+        assert len(doc["cells"]) == len(library)
+
+    def test_unsupported_version_rejected(self, library):
+        doc = json.loads(library_to_json(library))
+        doc["format_version"] = 99
+        with pytest.raises(ValueError):
+            library_from_json(json.dumps(doc))
+
+    def test_save_and_load_file(self, library, tmp_path):
+        path = tmp_path / "lib.json"
+        save_library(library, path)
+        again = load_library(path)
+        assert again.cell_types == library.cell_types

@@ -1,0 +1,104 @@
+"""Unit tests for the synthetic 90 nm-like library generator."""
+
+import pytest
+
+from repro.library.synthetic90nm import (
+    DEFAULT_DRIVES,
+    make_cell_type,
+    make_synthetic_90nm_library,
+)
+
+
+class TestLibraryContents:
+    def test_default_sizes_per_cell(self, library):
+        # The paper's library has 6-8 sizes per gate type; default is 7.
+        for cell_name in library.cell_types:
+            assert library.num_sizes(cell_name) == 7
+
+    def test_expected_cell_families_present(self, library):
+        for cell in ("INV", "BUF", "NAND2", "NAND3", "NAND4", "NOR2", "XOR2",
+                     "XNOR2", "AND2", "OR2", "AOI21", "OAI21", "MUX2"):
+            assert library.has_cell(cell), cell
+
+    def test_wide_gates_up_to_max_fanin(self, library):
+        assert library.has_cell("NAND9")
+        assert library.has_cell("OR9")
+        assert not library.has_cell("NAND10")
+
+    def test_sizes_per_cell_parameter(self):
+        lib6 = make_synthetic_90nm_library(sizes_per_cell=6)
+        assert lib6.num_sizes("INV") == 6
+        lib8 = make_synthetic_90nm_library(sizes_per_cell=8)
+        assert lib8.num_sizes("INV") == 8
+
+    def test_invalid_sizes_per_cell(self):
+        with pytest.raises(ValueError):
+            make_synthetic_90nm_library(sizes_per_cell=1)
+        with pytest.raises(ValueError):
+            make_synthetic_90nm_library(sizes_per_cell=20)
+
+
+class TestScalingLaws:
+    def test_drive_strictly_increasing(self, library):
+        for cell_name in library.cell_types:
+            drives = [s.drive for s in library.cell(cell_name).sizes]
+            assert drives == sorted(drives)
+            assert len(set(drives)) == len(drives)
+
+    def test_area_and_cap_increase_with_drive(self, library):
+        for cell_name in ("INV", "NAND2", "XOR2"):
+            sizes = library.cell(cell_name).sizes
+            areas = [s.area for s in sizes]
+            caps = [s.input_cap for s in sizes]
+            assert areas == sorted(areas)
+            assert caps == sorted(caps)
+
+    def test_resistance_decreases_with_drive(self, library):
+        for cell_name in ("INV", "NAND2"):
+            resistances = [s.drive_resistance for s in library.cell(cell_name).sizes]
+            assert resistances == sorted(resistances, reverse=True)
+
+    def test_delay_under_load_decreases_with_drive(self, library):
+        load = 20.0
+        for cell_name in ("INV", "NAND2", "NOR3"):
+            delays = [
+                library.delay(cell_name, idx, load)
+                for idx in library.size_indices(cell_name)
+            ]
+            assert delays == sorted(delays, reverse=True)
+
+    def test_delay_magnitudes_are_90nm_like(self, library):
+        # A minimum-size inverter driving a typical 4 fF load should sit in
+        # the tens-of-picoseconds range, not nanoseconds or femtoseconds.
+        delay = library.delay("INV", 0, 4.0)
+        assert 10.0 < delay < 100.0
+
+    def test_wider_gates_are_slower(self, library):
+        assert library.delay("NAND4", 0, 4.0) > library.delay("NAND2", 0, 4.0)
+
+    def test_lookup_tables_match_rc_model(self, library):
+        size = library.cell("NAND2").size(2)
+        for load in (0.5, 3.0, 12.0, 40.0):
+            assert library.delay("NAND2", 2, load) == pytest.approx(
+                size.linear_delay(load), rel=1e-6
+            )
+
+
+class TestMakeCellType:
+    def test_explicit_drives(self):
+        cell = make_cell_type("INV", 1, drives=(1.0, 4.0))
+        assert cell.num_sizes == 2
+        assert cell.size(1).drive == 4.0
+
+    def test_without_tables(self):
+        cell = make_cell_type("INV", 1, with_tables=False)
+        assert cell.size(0).delay_table == ()
+
+    def test_extrapolated_wide_gate(self):
+        cell = make_cell_type("NAND6", 6)
+        base = make_cell_type("NAND4", 4)
+        assert cell.size(0).intrinsic_delay > base.size(0).intrinsic_delay
+
+    def test_unknown_cell_raises(self):
+        with pytest.raises(KeyError):
+            make_cell_type("FOO3", 3)

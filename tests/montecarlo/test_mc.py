@@ -1,0 +1,116 @@
+"""Unit tests for the Monte-Carlo golden model."""
+
+import numpy as np
+import pytest
+
+from repro.montecarlo.mc import MonteCarloTimer
+from repro.sta.dsta import DeterministicSTA
+from repro.variation.correlation import SpatialCorrelationModel
+from repro.variation.model import VariationModel
+
+
+@pytest.fixture
+def timer(delay_model, variation_model):
+    return MonteCarloTimer(delay_model, variation_model)
+
+
+class TestBasicProperties:
+    def test_reproducible_with_seed(self, timer, c17_circuit):
+        r1 = timer.run(c17_circuit, num_samples=500, seed=11)
+        r2 = timer.run(c17_circuit, num_samples=500, seed=11)
+        assert np.array_equal(r1.samples, r2.samples)
+
+    def test_different_seeds_differ(self, timer, c17_circuit):
+        r1 = timer.run(c17_circuit, num_samples=500, seed=1)
+        r2 = timer.run(c17_circuit, num_samples=500, seed=2)
+        assert not np.array_equal(r1.samples, r2.samples)
+
+    def test_sample_count_and_outputs(self, timer, c17_circuit):
+        result = timer.run(c17_circuit, num_samples=256, seed=0)
+        assert result.num_samples == 256
+        assert set(result.per_output_mean) == set(c17_circuit.primary_outputs)
+        assert all(s > 0 for s in result.per_output_sigma.values())
+
+    def test_mean_close_to_deterministic(self, timer, delay_model, c17_circuit):
+        nominal = DeterministicSTA(delay_model).max_delay(c17_circuit)
+        result = timer.run(c17_circuit, num_samples=3000, seed=0)
+        # The statistical mean of the max exceeds the nominal max but not wildly.
+        assert result.mean >= nominal * 0.95
+        assert result.mean <= nominal * 1.5
+
+    def test_quantiles_and_cv(self, timer, c17_circuit):
+        result = timer.run(c17_circuit, num_samples=2000, seed=0)
+        assert result.quantile(0.99) > result.quantile(0.5) > result.quantile(0.01)
+        assert result.cv == pytest.approx(result.sigma / result.mean)
+        with pytest.raises(ValueError):
+            result.quantile(1.5)
+
+    def test_too_few_samples_rejected(self, timer, c17_circuit):
+        with pytest.raises(ValueError):
+            timer.run(c17_circuit, num_samples=1)
+
+    def test_no_outputs_rejected(self, timer):
+        from repro.netlist.circuit import Circuit
+
+        circuit = Circuit("none", primary_inputs=["a"])
+        circuit.add("g", "INV", ["a"], "y")
+        with pytest.raises(ValueError):
+            timer.run(circuit, num_samples=10)
+
+
+class TestAgainstAnalyticalChain:
+    def test_chain_moments_match_theory(self, delay_model, variation_model, chain_circuit):
+        # On a pure chain the circuit delay is the sum of independent normals,
+        # so MC must match the analytic sum of moments.
+        timer = MonteCarloTimer(delay_model, variation_model)
+        result = timer.run(chain_circuit, num_samples=20_000, seed=3)
+        dists = variation_model.all_gate_distributions(chain_circuit, delay_model)
+        # out1 path: i1 -> i2 -> i3 ; out2 path: i1 -> i2 -> i4 (same moments)
+        mean = dists["i1"].mean + dists["i2"].mean + dists["i3"].mean
+        assert result.per_output_mean["out1"] == pytest.approx(mean, rel=0.02)
+        var = dists["i1"].variance + dists["i2"].variance + dists["i3"].variance
+        assert result.per_output_sigma["out1"] ** 2 == pytest.approx(var, rel=0.08)
+
+    def test_zero_variation_gives_zero_sigma(self, delay_model, chain_circuit):
+        timer = MonteCarloTimer(
+            delay_model, VariationModel(proportional_alpha=0.0, random_sigma=0.0)
+        )
+        result = timer.run(chain_circuit, num_samples=100, seed=0)
+        assert result.sigma == pytest.approx(0.0, abs=1e-9)
+
+
+class TestUpsizingEffect:
+    def test_upsizing_reduces_mc_sigma(self, timer, small_adder):
+        before = timer.run(small_adder, num_samples=2000, seed=5)
+        for name in small_adder.gates:
+            small_adder.set_size(name, 5)
+        after = timer.run(small_adder, num_samples=2000, seed=5)
+        assert after.sigma < before.sigma
+
+
+class TestCorrelatedVariation:
+    def test_correlation_increases_sigma(self, delay_model, variation_model, c17_circuit):
+        independent = MonteCarloTimer(delay_model, variation_model)
+        correlated = MonteCarloTimer(
+            delay_model,
+            variation_model,
+            correlation_model=SpatialCorrelationModel(correlated_fraction=0.9),
+        )
+        r_ind = independent.run(c17_circuit, num_samples=3000, seed=0)
+        r_corr = correlated.run(c17_circuit, num_samples=3000, seed=0)
+        assert r_corr.sigma > r_ind.sigma
+
+    def test_correlated_mean_close_but_not_higher(self, delay_model, variation_model, c17_circuit):
+        # Positive correlation between path delays lowers the mean of the max
+        # slightly (less independent "diversity" pushing the maximum up); it
+        # must never raise it, and it stays within a few percent.
+        independent = MonteCarloTimer(delay_model, variation_model)
+        correlated = MonteCarloTimer(
+            delay_model,
+            variation_model,
+            correlation_model=SpatialCorrelationModel(correlated_fraction=0.5),
+        )
+        r_ind = independent.run(c17_circuit, num_samples=4000, seed=0)
+        r_corr = correlated.run(c17_circuit, num_samples=4000, seed=0)
+        assert r_corr.mean <= r_ind.mean * 1.01
+        assert r_corr.mean == pytest.approx(r_ind.mean, rel=0.10)

@@ -1,0 +1,107 @@
+"""Unit tests for the ISCAS-85 .bench reader/writer."""
+
+import pytest
+
+from repro.circuits.registry import c17
+from repro.netlist.bench import BenchParseError, parse_bench, parse_bench_file, write_bench
+
+C17_BENCH = """
+# c17 benchmark
+INPUT(N1)
+INPUT(N2)
+INPUT(N3)
+INPUT(N6)
+INPUT(N7)
+OUTPUT(N22)
+OUTPUT(N23)
+N10 = NAND(N1, N3)
+N11 = NAND(N3, N6)
+N16 = NAND(N2, N11)
+N19 = NAND(N11, N7)
+N22 = NAND(N10, N16)
+N23 = NAND(N16, N19)
+"""
+
+
+class TestParseBench:
+    def test_parse_c17(self):
+        circuit = parse_bench(C17_BENCH, name="c17")
+        assert circuit.num_gates() == 6
+        assert circuit.primary_inputs == ["N1", "N2", "N3", "N6", "N7"]
+        assert circuit.primary_outputs == ["N22", "N23"]
+        assert circuit.gate("g_N22").cell_type == "NAND2"
+
+    def test_parse_not_and_buf(self):
+        text = "INPUT(a)\nOUTPUT(y)\nn1 = NOT(a)\ny = BUFF(n1)\n"
+        circuit = parse_bench(text)
+        assert circuit.gate("g_n1").cell_type == "INV"
+        assert circuit.gate("g_y").cell_type == "BUF"
+
+    def test_parse_wide_gate(self):
+        text = "INPUT(a)\nINPUT(b)\nINPUT(c)\nINPUT(d)\nOUTPUT(y)\ny = AND(a, b, c, d)\n"
+        circuit = parse_bench(text)
+        assert circuit.gate("g_y").cell_type == "AND4"
+
+    def test_comments_and_blank_lines_ignored(self):
+        text = "# header\n\nINPUT(a)\nOUTPUT(y)\ny = NOT(a)  # trailing comment\n"
+        assert parse_bench(text).num_gates() == 1
+
+    def test_xor_xnor(self):
+        text = "INPUT(a)\nINPUT(b)\nOUTPUT(y)\nOUTPUT(z)\ny = XOR(a, b)\nz = XNOR(a, b)\n"
+        circuit = parse_bench(text)
+        assert circuit.gate("g_y").cell_type == "XOR2"
+        assert circuit.gate("g_z").cell_type == "XNOR2"
+
+    def test_dff_rejected(self):
+        with pytest.raises(BenchParseError):
+            parse_bench("INPUT(a)\nOUTPUT(q)\nq = DFF(a)\n")
+
+    def test_unknown_function_rejected(self):
+        with pytest.raises(BenchParseError):
+            parse_bench("INPUT(a)\nOUTPUT(y)\ny = MAJ(a, a, a)\n")
+
+    def test_bad_line_rejected(self):
+        with pytest.raises(BenchParseError):
+            parse_bench("this is not bench\n")
+
+    def test_wrong_operand_count(self):
+        with pytest.raises(BenchParseError):
+            parse_bench("INPUT(a)\nOUTPUT(y)\ny = NOT(a, a)\n")
+        with pytest.raises(BenchParseError):
+            parse_bench("INPUT(a)\nOUTPUT(y)\ny = NAND(a)\n")
+
+
+class TestWriteBench:
+    def test_roundtrip_c17(self):
+        original = parse_bench(C17_BENCH, name="c17")
+        text = write_bench(original)
+        again = parse_bench(text, name="c17")
+        assert again.num_gates() == original.num_gates()
+        assert again.primary_inputs == original.primary_inputs
+        assert again.primary_outputs == original.primary_outputs
+        assert {g.output for g in again.gates.values()} == {
+            g.output for g in original.gates.values()
+        }
+
+    def test_roundtrip_registry_c17(self):
+        circuit = c17()
+        text = write_bench(circuit)
+        again = parse_bench(text)
+        assert again.num_gates() == 6
+
+    def test_write_unsupported_cell_raises(self):
+        from repro.netlist.circuit import Circuit
+
+        circuit = Circuit("m", primary_inputs=["a", "b", "s"], primary_outputs=["y"])
+        circuit.add("g", "MUX2", ["a", "b", "s"], "y")
+        with pytest.raises(BenchParseError):
+            write_bench(circuit)
+
+
+class TestParseFile:
+    def test_parse_bench_file(self, tmp_path):
+        path = tmp_path / "c17.bench"
+        path.write_text(C17_BENCH)
+        circuit = parse_bench_file(path)
+        assert circuit.name == "c17"
+        assert circuit.num_gates() == 6

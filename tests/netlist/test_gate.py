@@ -1,0 +1,95 @@
+"""Unit tests for the Gate data model."""
+
+import pytest
+
+from repro.netlist.gate import Gate, make_cell_type, strip_arity
+
+
+class TestGateConstruction:
+    def test_basic_fields(self):
+        gate = Gate("g1", "NAND2", ["a", "b"], "y")
+        assert gate.name == "g1"
+        assert gate.cell_type == "NAND2"
+        assert gate.inputs == ["a", "b"]
+        assert gate.output == "y"
+        assert gate.size_index == 0
+
+    def test_fanin_property(self):
+        gate = Gate("g1", "NAND3", ["a", "b", "c"], "y")
+        assert gate.fanin == 3
+
+    def test_function_strips_arity(self):
+        assert Gate("g", "NAND3", ["a", "b", "c"], "y").function == "NAND"
+        assert Gate("g", "INV", ["a"], "y").function == "INV"
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            Gate("", "INV", ["a"], "y")
+
+    def test_empty_output_rejected(self):
+        with pytest.raises(ValueError):
+            Gate("g", "INV", ["a"], "")
+
+    def test_no_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            Gate("g", "INV", [], "y")
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            Gate("g", "INV", ["a"], "y", size_index=-1)
+
+    def test_inputs_are_copied_to_list(self):
+        gate = Gate("g", "NAND2", ("a", "b"), "y")
+        assert isinstance(gate.inputs, list)
+
+
+class TestGateOperations:
+    def test_with_size_returns_new_gate(self):
+        gate = Gate("g", "NAND2", ["a", "b"], "y", size_index=1)
+        bigger = gate.with_size(4)
+        assert bigger.size_index == 4
+        assert gate.size_index == 1
+        assert bigger.name == gate.name
+        assert bigger.inputs == gate.inputs
+
+    def test_copy_is_independent(self):
+        gate = Gate("g", "NAND2", ["a", "b"], "y")
+        dup = gate.copy()
+        dup.inputs.append("c")
+        assert gate.inputs == ["a", "b"]
+
+    def test_key_is_hashable_identity(self):
+        gate = Gate("g", "NAND2", ["a", "b"], "y", 2)
+        assert gate.key() == ("g", "NAND2", ("a", "b"), "y", 2)
+        assert hash(gate.key())
+
+
+class TestCellTypeNames:
+    def test_strip_arity(self):
+        assert strip_arity("NAND4") == "NAND"
+        assert strip_arity("XOR2") == "XOR"
+        assert strip_arity("INV") == "INV"
+        assert strip_arity("AOI21") == "AOI21"
+        assert strip_arity("MUX2") == "MUX2"
+
+    def test_make_cell_type_simple(self):
+        assert make_cell_type("NAND", 3) == "NAND3"
+        assert make_cell_type("nor", 2) == "NOR2"
+        assert make_cell_type("INV", 1) == "INV"
+        assert make_cell_type("BUF", 1) == "BUF"
+
+    def test_make_cell_type_complex(self):
+        assert make_cell_type("AOI21", 3) == "AOI21"
+        assert make_cell_type("MUX2", 3) == "MUX2"
+
+    def test_make_cell_type_bad_arity(self):
+        with pytest.raises(ValueError):
+            make_cell_type("INV", 2)
+        with pytest.raises(ValueError):
+            make_cell_type("NAND", 1)
+        with pytest.raises(ValueError):
+            make_cell_type("AOI21", 2)
+
+    def test_make_cell_type_unknown_function(self):
+        with pytest.raises(ValueError):
+            make_cell_type("FOO", 2)

@@ -1,0 +1,111 @@
+"""Unit tests for the gate-level logic simulator."""
+
+import itertools
+
+import pytest
+
+from repro.netlist.circuit import Circuit
+from repro.netlist.simulate import (
+    SimulationError,
+    bits_to_int,
+    drive_bus,
+    int_to_bits,
+    read_bus,
+    simulate,
+    simulate_outputs,
+)
+
+
+def _single_gate(cell_type, num_inputs):
+    circuit = Circuit("t", primary_inputs=[f"i{k}" for k in range(num_inputs)], primary_outputs=["y"])
+    circuit.add("g", cell_type, [f"i{k}" for k in range(num_inputs)], "y")
+    return circuit
+
+
+class TestPrimitives:
+    @pytest.mark.parametrize(
+        "cell,expected",
+        [
+            ("AND2", lambda a, b: a and b),
+            ("NAND2", lambda a, b: not (a and b)),
+            ("OR2", lambda a, b: a or b),
+            ("NOR2", lambda a, b: not (a or b)),
+            ("XOR2", lambda a, b: a != b),
+            ("XNOR2", lambda a, b: a == b),
+        ],
+    )
+    def test_two_input_gates(self, cell, expected):
+        circuit = _single_gate(cell, 2)
+        for a, b in itertools.product([False, True], repeat=2):
+            out = simulate_outputs(circuit, {"i0": a, "i1": b})["y"]
+            assert out == expected(a, b), f"{cell}({a},{b})"
+
+    def test_inv_and_buf(self):
+        inv = _single_gate("INV", 1)
+        buf = _single_gate("BUF", 1)
+        for v in (False, True):
+            assert simulate_outputs(inv, {"i0": v})["y"] == (not v)
+            assert simulate_outputs(buf, {"i0": v})["y"] == v
+
+    def test_wide_gates(self):
+        circuit = _single_gate("NAND4", 4)
+        assert simulate_outputs(circuit, {f"i{k}": True for k in range(4)})["y"] is False
+        values = {f"i{k}": True for k in range(4)}
+        values["i2"] = False
+        assert simulate_outputs(circuit, values)["y"] is True
+
+    def test_complex_cells(self):
+        aoi = _single_gate("AOI21", 3)
+        # Y = not((A and B) or C)
+        assert simulate_outputs(aoi, {"i0": True, "i1": True, "i2": False})["y"] is False
+        assert simulate_outputs(aoi, {"i0": False, "i1": True, "i2": False})["y"] is True
+        mux = _single_gate("MUX2", 3)
+        # Y = sel ? B : A
+        assert simulate_outputs(mux, {"i0": True, "i1": False, "i2": False})["y"] is True
+        assert simulate_outputs(mux, {"i0": True, "i1": False, "i2": True})["y"] is False
+
+    def test_missing_input_raises(self):
+        circuit = _single_gate("INV", 1)
+        with pytest.raises(SimulationError):
+            simulate(circuit, {})
+
+    def test_unknown_cell_raises(self):
+        circuit = Circuit("t", primary_inputs=["a"], primary_outputs=["y"])
+        circuit.add("g", "MYSTERY", ["a"], "y")
+        with pytest.raises(SimulationError):
+            simulate(circuit, {"a": True})
+
+
+class TestC17Truthfulness:
+    def test_c17_known_vector(self, c17_circuit):
+        # All inputs 0: first-level NANDs (which see a 0 input) output 1, so
+        # the output NANDs see two 1s and output 0.
+        values = simulate(c17_circuit, {n: False for n in c17_circuit.primary_inputs})
+        assert values["N10"] is True
+        assert values["N11"] is True
+        assert values["N16"] is True
+        assert values["N22"] is False
+        assert values["N23"] is False
+
+    def test_c17_exhaustive_consistency(self, c17_circuit):
+        # N22 = NAND(N10, N16); check structural consistency over all vectors.
+        for bits in itertools.product([False, True], repeat=5):
+            inputs = dict(zip(["N1", "N2", "N3", "N6", "N7"], bits))
+            values = simulate(c17_circuit, inputs)
+            assert values["N22"] == (not (values["N10"] and values["N16"]))
+            assert values["N23"] == (not (values["N16"] and values["N19"]))
+
+
+class TestBusHelpers:
+    def test_int_bits_roundtrip(self):
+        for value in (0, 1, 5, 127, 200):
+            assert bits_to_int(int_to_bits(value, 8)) == value
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            int_to_bits(-1, 4)
+
+    def test_drive_and_read_bus(self):
+        assignment = drive_bus("a", 11, 4)
+        assert assignment == {"a0": True, "a1": True, "a2": False, "a3": True}
+        assert read_bus(assignment, "a", 4) == 11

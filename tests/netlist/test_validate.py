@@ -1,0 +1,49 @@
+"""Unit tests for structural circuit validation."""
+
+import pytest
+
+from repro.netlist.circuit import Circuit
+from repro.netlist.validate import ValidationError, validate_circuit
+
+
+class TestValidateCircuit:
+    def test_valid_circuit_passes(self, c17_circuit, library):
+        assert validate_circuit(c17_circuit, library) == []
+
+    def test_undriven_input_detected(self):
+        circuit = Circuit("bad", primary_inputs=["a"], primary_outputs=["y"])
+        circuit.add("g", "NAND2", ["a", "ghost"], "y")
+        problems = validate_circuit(circuit, raise_on_error=False)
+        assert any("undriven" in p for p in problems)
+
+    def test_undriven_output_detected(self):
+        circuit = Circuit("bad", primary_inputs=["a"], primary_outputs=["y", "z"])
+        circuit.add("g", "INV", ["a"], "y")
+        problems = validate_circuit(circuit, raise_on_error=False)
+        assert any("no driver" in p for p in problems)
+
+    def test_unknown_cell_type_detected(self, library):
+        circuit = Circuit("bad", primary_inputs=["a"], primary_outputs=["y"])
+        circuit.add("g", "WEIRDCELL", ["a"], "y")
+        problems = validate_circuit(circuit, library, raise_on_error=False)
+        assert any("unknown cell type" in p for p in problems)
+
+    def test_out_of_range_size_detected(self, library):
+        circuit = Circuit("bad", primary_inputs=["a"], primary_outputs=["y"])
+        circuit.add("g", "INV", ["a"], "y", size_index=99)
+        problems = validate_circuit(circuit, library, raise_on_error=False)
+        assert any("out of range" in p for p in problems)
+
+    def test_raise_on_error(self):
+        circuit = Circuit("bad", primary_inputs=["a"], primary_outputs=["missing"])
+        circuit.add("g", "INV", ["a"], "y")
+        with pytest.raises(ValidationError) as excinfo:
+            validate_circuit(circuit)
+        assert excinfo.value.problems
+
+    def test_generated_benchmarks_are_valid(self, library):
+        from repro.circuits.registry import build_benchmark
+
+        for name in ("c17", "alu2", "c432", "c499"):
+            circuit = build_benchmark(name)
+            assert validate_circuit(circuit, library) == []

@@ -1,0 +1,73 @@
+"""Unit tests for the structural-Verilog reader/writer."""
+
+import pytest
+
+from repro.circuits.registry import c17
+from repro.netlist.verilog import VerilogParseError, parse_verilog, write_verilog
+
+SIMPLE_VERILOG = """
+// a tiny mapped netlist
+module top (a, b, y);
+  input a, b;
+  output y;
+  wire n1;
+  NAND2 u1 (.Y(n1), .A(a), .B(b));
+  INV u2 (.Y(y), .A(n1));
+endmodule
+"""
+
+
+class TestParseVerilog:
+    def test_parse_simple(self):
+        circuit = parse_verilog(SIMPLE_VERILOG)
+        assert circuit.name == "top"
+        assert circuit.primary_inputs == ["a", "b"]
+        assert circuit.primary_outputs == ["y"]
+        assert circuit.num_gates() == 2
+        assert circuit.gate("u1").cell_type == "NAND2"
+        assert circuit.gate("u1").inputs == ["a", "b"]
+
+    def test_positional_connections(self):
+        text = (
+            "module top (a, y);\n  input a;\n  output y;\n"
+            "  INV u1 (y, a);\nendmodule\n"
+        )
+        circuit = parse_verilog(text)
+        assert circuit.gate("u1").output == "y"
+        assert circuit.gate("u1").inputs == ["a"]
+
+    def test_block_comments_stripped(self):
+        text = "/* header\n spans lines */\n" + SIMPLE_VERILOG
+        assert parse_verilog(text).num_gates() == 2
+
+    def test_missing_module_rejected(self):
+        with pytest.raises(VerilogParseError):
+            parse_verilog("input a; output y;")
+
+    def test_missing_output_pin_rejected(self):
+        text = (
+            "module top (a, y);\n  input a;\n  output y;\n"
+            "  INV u1 (.A(a));\nendmodule\n"
+        )
+        with pytest.raises(VerilogParseError):
+            parse_verilog(text)
+
+
+class TestWriteVerilog:
+    def test_roundtrip_c17(self):
+        circuit = c17()
+        text = write_verilog(circuit)
+        again = parse_verilog(text)
+        assert again.num_gates() == circuit.num_gates()
+        assert again.primary_inputs == circuit.primary_inputs
+        assert again.primary_outputs == circuit.primary_outputs
+        # Connectivity is preserved gate by gate.
+        for name, gate in circuit.gates.items():
+            assert again.gate(name).inputs == gate.inputs
+            assert again.gate(name).output == gate.output
+
+    def test_output_contains_wire_declarations(self):
+        text = write_verilog(c17())
+        assert "wire" in text
+        assert "module c17" in text
+        assert text.strip().endswith("endmodule")

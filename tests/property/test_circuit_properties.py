@@ -1,0 +1,113 @@
+"""Property-based tests on circuit structure and generator invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits.adders import ripple_carry_adder
+from repro.circuits.alu import alu
+from repro.circuits.ecc import parity_tree
+from repro.circuits.multiplier import array_multiplier
+from repro.core.subcircuit import extract_subcircuit
+from repro.netlist.simulate import drive_bus, read_bus, simulate
+from repro.netlist.validate import validate_circuit
+
+widths = st.integers(min_value=1, max_value=10)
+small_widths = st.integers(min_value=2, max_value=5)
+
+
+class TestTopologicalInvariants:
+    @given(widths)
+    @settings(max_examples=20, deadline=None)
+    def test_topological_order_respects_edges(self, width):
+        circuit = ripple_carry_adder(width)
+        order = circuit.topological_order()
+        position = {name: i for i, name in enumerate(order)}
+        for gate in circuit.gates.values():
+            for net in gate.inputs:
+                driver = circuit.driver_of(net)
+                if driver is not None:
+                    assert position[driver.name] < position[gate.name]
+
+    @given(widths)
+    @settings(max_examples=20, deadline=None)
+    def test_levels_consistent_with_edges(self, width):
+        circuit = ripple_carry_adder(width)
+        levels = circuit.levels()
+        for gate in circuit.gates.values():
+            for net in gate.inputs:
+                driver = circuit.driver_of(net)
+                if driver is not None:
+                    assert levels[driver.name] < levels[gate.name]
+
+    @given(widths)
+    @settings(max_examples=15, deadline=None)
+    def test_generators_produce_valid_circuits(self, width):
+        from repro.library.synthetic90nm import make_synthetic_90nm_library
+
+        library = make_synthetic_90nm_library()
+        circuit = alu(width)
+        assert validate_circuit(circuit, library) == []
+
+
+class TestSubcircuitProperties:
+    @given(small_widths, st.integers(min_value=0, max_value=3))
+    @settings(max_examples=25, deadline=None)
+    def test_extraction_closure(self, width, depth):
+        circuit = ripple_carry_adder(width)
+        for seed in list(circuit.topological_order())[:: max(1, width)]:
+            sub = extract_subcircuit(circuit, seed, depth=depth)
+            member = set(sub.gate_names)
+            assert seed in member
+            # Every net read by a member gate is either a boundary input or
+            # driven by a member gate — never dangling.
+            driven_inside = {circuit.gate(n).output for n in member}
+            for name in member:
+                for net in circuit.gate(name).inputs:
+                    assert net in driven_inside or net in sub.input_nets
+
+    @given(small_widths)
+    @settings(max_examples=15, deadline=None)
+    def test_deeper_extraction_is_superset(self, width):
+        circuit = ripple_carry_adder(width)
+        seed = circuit.topological_order()[len(circuit) // 2]
+        shallow = set(extract_subcircuit(circuit, seed, depth=1).gate_names)
+        deep = set(extract_subcircuit(circuit, seed, depth=3).gate_names)
+        assert shallow <= deep
+
+
+class TestGeneratorFunctionalProperties:
+    @given(
+        small_widths,
+        st.integers(min_value=0, max_value=31),
+        st.integers(min_value=0, max_value=31),
+        st.booleans(),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_adder_adds(self, width, a, b, cin):
+        a %= 1 << width
+        b %= 1 << width
+        circuit = ripple_carry_adder(width)
+        inputs = {**drive_bus("a", a, width), **drive_bus("b", b, width), "cin": cin}
+        values = simulate(circuit, inputs)
+        total = read_bus(values, "sum", width) + (values["cout"] << width)
+        assert total == a + b + int(cin)
+
+    @given(st.integers(min_value=2, max_value=4),
+           st.integers(min_value=0, max_value=15),
+           st.integers(min_value=0, max_value=15))
+    @settings(max_examples=40, deadline=None)
+    def test_multiplier_multiplies(self, width, a, b):
+        a %= 1 << width
+        b %= 1 << width
+        circuit = array_multiplier(width)
+        inputs = {**drive_bus("a", a, width), **drive_bus("b", b, width)}
+        values = simulate(circuit, inputs)
+        assert read_bus(values, "p", 2 * width) == a * b
+
+    @given(st.integers(min_value=2, max_value=16), st.integers(min_value=0, max_value=(1 << 16) - 1))
+    @settings(max_examples=40, deadline=None)
+    def test_parity_tree_parity(self, width, value):
+        value %= 1 << width
+        circuit = parity_tree(width)
+        values = simulate(circuit, drive_bus("d", value, width))
+        assert values["parity"] == (bin(value).count("1") % 2 == 1)

@@ -1,0 +1,127 @@
+"""Property-based tests for Clark's max approximations (hypothesis)."""
+
+import math
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import clark
+from repro.core.rv import NormalDelay
+
+means = st.floats(min_value=0.0, max_value=2000.0, allow_nan=False, allow_infinity=False)
+sigmas = st.floats(min_value=0.0, max_value=200.0, allow_nan=False, allow_infinity=False)
+positive_sigmas = st.floats(min_value=0.01, max_value=200.0, allow_nan=False)
+
+
+class TestCdfApproximation:
+    @given(st.floats(min_value=-8.0, max_value=8.0))
+    def test_quadratic_cdf_within_paper_accuracy(self, x):
+        """The quadratic cdf is accurate to two decimal places everywhere."""
+        exact = clark.capital_phi(x)
+        assert abs(clark.capital_phi_quadratic(x) - exact) < 0.015
+
+    @given(st.floats(min_value=-8.0, max_value=8.0))
+    def test_quadratic_cdf_monotone_bounds(self, x):
+        value = clark.capital_phi_quadratic(x)
+        assert 0.0 <= value <= 1.0
+
+    @given(st.floats(min_value=0.0, max_value=8.0))
+    def test_quadratic_cdf_symmetry(self, x):
+        assert clark.capital_phi_quadratic(-x) == pytest_approx(
+            1.0 - clark.capital_phi_quadratic(x)
+        )
+
+
+def pytest_approx(value, tol=1e-12):
+    """Tiny local helper so hypothesis examples print cleanly."""
+    class _Approx:
+        def __eq__(self, other):
+            return abs(other - value) <= tol
+        def __repr__(self):
+            return f"approx({value})"
+    return _Approx()
+
+
+class TestClarkMaxProperties:
+    @given(means, sigmas, means, sigmas)
+    @settings(max_examples=200)
+    def test_mean_of_max_at_least_max_of_means(self, mu_a, s_a, mu_b, s_b):
+        mean, _ = clark.clark_max_exact(mu_a, s_a, mu_b, s_b)
+        assert mean >= max(mu_a, mu_b) - 1e-6
+
+    @given(means, sigmas, means, sigmas)
+    @settings(max_examples=200)
+    def test_variance_non_negative_and_bounded(self, mu_a, s_a, mu_b, s_b):
+        _, var = clark.clark_max_exact(mu_a, s_a, mu_b, s_b)
+        assert var >= 0.0
+        # Var[max] cannot exceed the sum of the operand variances (for
+        # independent normals it is bounded by max individual variance plus
+        # the cross term; the sum is a safe upper bound).
+        assert var <= s_a * s_a + s_b * s_b + 1e-6
+
+    @given(means, sigmas, means, sigmas)
+    @settings(max_examples=200)
+    def test_symmetry(self, mu_a, s_a, mu_b, s_b):
+        forward = clark.clark_max_exact(mu_a, s_a, mu_b, s_b)
+        backward = clark.clark_max_exact(mu_b, s_b, mu_a, s_a)
+        assert forward[0] == pytest_approx(backward[0], tol=1e-6)
+        assert forward[1] == pytest_approx(backward[1], tol=1e-6)
+
+    @given(means, positive_sigmas, means, positive_sigmas)
+    @settings(max_examples=200)
+    def test_fast_tracks_exact(self, mu_a, s_a, mu_b, s_b):
+        """The fast approximation stays within a few percent of exact Clark."""
+        exact_mean, exact_var = clark.clark_max_exact(mu_a, s_a, mu_b, s_b)
+        fast_mean, fast_var = clark.clark_max_fast(mu_a, s_a, mu_b, s_b)
+        scale = max(abs(exact_mean), 1.0)
+        assert abs(fast_mean - exact_mean) <= 0.03 * scale
+        # Variance error is bounded by a fraction of the total input variance.
+        assert abs(fast_var - exact_var) <= 0.2 * (s_a * s_a + s_b * s_b) + 1e-9
+
+    @given(means, positive_sigmas, means, positive_sigmas)
+    @settings(max_examples=100)
+    def test_dominance_consistency(self, mu_a, s_a, mu_b, s_b):
+        """When the dominance test fires, the dominant operand's moments are returned."""
+        dom = clark.dominance(mu_a, s_a, mu_b, s_b)
+        mean, var = clark.clark_max_fast(mu_a, s_a, mu_b, s_b)
+        if dom == 1:
+            assert mean == mu_a and var == s_a * s_a
+        elif dom == -1:
+            assert mean == mu_b and var == s_b * s_b
+
+    @given(means, positive_sigmas)
+    @settings(max_examples=100)
+    def test_max_with_self_increases_mean(self, mu, sigma):
+        mean, var = clark.clark_max_exact(mu, sigma, mu, sigma)
+        assert mean == pytest_approx(mu + sigma / math.sqrt(math.pi), tol=1e-6 * max(mu, 1.0) + 1e-6)
+        assert var < sigma * sigma + 1e-9
+
+
+class TestNormalDelayProperties:
+    @given(means, sigmas, means, sigmas)
+    @settings(max_examples=150)
+    def test_addition_commutes(self, mu_a, s_a, mu_b, s_b):
+        a = NormalDelay(mu_a, s_a)
+        b = NormalDelay(mu_b, s_b)
+        ab = a + b
+        ba = b + a
+        assert ab.mean == pytest_approx(ba.mean, tol=1e-9)
+        assert ab.sigma == pytest_approx(ba.sigma, tol=1e-9)
+
+    @given(means, sigmas, means, sigmas)
+    @settings(max_examples=150)
+    def test_maximum_commutes(self, mu_a, s_a, mu_b, s_b):
+        a = NormalDelay(mu_a, s_a)
+        b = NormalDelay(mu_b, s_b)
+        ab = a.maximum(b)
+        ba = b.maximum(a)
+        assert ab.mean == pytest_approx(ba.mean, tol=1e-6)
+        assert ab.sigma == pytest_approx(ba.sigma, tol=1e-6)
+
+    @given(means, sigmas, st.floats(min_value=-100, max_value=100))
+    @settings(max_examples=100)
+    def test_shift_only_moves_mean(self, mu, sigma, offset):
+        rv = NormalDelay(mu, sigma).shift(offset)
+        assert rv.mean == pytest_approx(mu + offset, tol=1e-9)
+        assert rv.sigma == pytest_approx(sigma, tol=1e-12)

@@ -1,0 +1,80 @@
+"""Property-based tests for the statistical timing engines and the sizer."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits.adders import ripple_carry_adder
+from repro.core.fassta import FASSTA
+from repro.core.fullssta import FULLSSTA
+from repro.core.sizer import SizerConfig, StatisticalGreedySizer
+from repro.library.delay_model import LookupTableDelayModel
+from repro.library.synthetic90nm import make_synthetic_90nm_library
+from repro.sta.dsta import DeterministicSTA
+from repro.variation.model import VariationModel
+
+_LIBRARY = make_synthetic_90nm_library()
+_DELAY = LookupTableDelayModel(_LIBRARY)
+_VARIATION = VariationModel()
+
+widths = st.integers(min_value=1, max_value=6)
+size_indices = st.integers(min_value=0, max_value=6)
+
+
+class TestEngineConsistency:
+    @given(widths, st.lists(size_indices, min_size=1, max_size=12))
+    @settings(max_examples=25, deadline=None)
+    def test_fassta_mean_at_least_nominal(self, width, sizes):
+        circuit = ripple_carry_adder(width)
+        names = circuit.topological_order()
+        for name, size in zip(names, sizes):
+            circuit.set_size(name, size)
+        nominal = DeterministicSTA(_DELAY).max_delay(circuit)
+        result = FASSTA(_DELAY, _VARIATION).analyze(circuit)
+        assert result.output_rv.mean >= nominal - 1e-6
+
+    @given(widths, st.lists(size_indices, min_size=1, max_size=12))
+    @settings(max_examples=15, deadline=None)
+    def test_fassta_and_fullssta_agree_on_mean(self, width, sizes):
+        circuit = ripple_carry_adder(width)
+        names = circuit.topological_order()
+        for name, size in zip(names, sizes):
+            circuit.set_size(name, size)
+        fast = FASSTA(_DELAY, _VARIATION).analyze(circuit).output_rv
+        full = FULLSSTA(_DELAY, _VARIATION).analyze(circuit).output_rv
+        assert abs(fast.mean - full.mean) <= 0.05 * full.mean
+        assert abs(fast.sigma - full.sigma) <= 0.35 * full.sigma + 1.0
+
+    @given(widths)
+    @settings(max_examples=10, deadline=None)
+    def test_arrival_monotone_along_paths(self, width):
+        circuit = ripple_carry_adder(width)
+        result = FASSTA(_DELAY, _VARIATION).analyze(circuit)
+        for gate in circuit.gates.values():
+            out_arrival = result.arrival(gate.output).mean
+            for net in gate.inputs:
+                assert out_arrival >= result.arrival(net).mean - 1e-9
+
+
+class TestSizerProperties:
+    @given(st.integers(min_value=1, max_value=3), st.sampled_from([0.0, 3.0, 9.0]))
+    @settings(max_examples=8, deadline=None)
+    def test_sizer_never_worsens_objective(self, width, lam):
+        circuit = ripple_carry_adder(width)
+        sizer = StatisticalGreedySizer(
+            _DELAY, _VARIATION, SizerConfig(lam=lam, max_iterations=5, patience=2)
+        )
+        result = sizer.optimize(circuit)
+        initial = result.initial.mean + lam * result.initial.sigma
+        final = result.final.mean + lam * result.final.sigma
+        assert final <= initial + 1e-6
+
+    @given(st.integers(min_value=1, max_value=3))
+    @settings(max_examples=6, deadline=None)
+    def test_sizer_output_sizes_are_legal(self, width):
+        circuit = ripple_carry_adder(width)
+        sizer = StatisticalGreedySizer(
+            _DELAY, _VARIATION, SizerConfig(lam=3.0, max_iterations=4, patience=2)
+        )
+        sizer.optimize(circuit)
+        for gate in circuit.gates.values():
+            assert 0 <= gate.size_index < _LIBRARY.num_sizes(gate.cell_type)

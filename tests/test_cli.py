@@ -1,0 +1,77 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, load_circuit, main
+from repro.circuits.registry import c17
+from repro.netlist.bench import write_bench
+
+
+class TestLoadCircuit:
+    def test_registry_name(self):
+        assert load_circuit("c17").num_gates() == 6
+
+    def test_bench_file(self, tmp_path):
+        path = tmp_path / "mini.bench"
+        path.write_text(write_bench(c17()))
+        circuit = load_circuit(str(path))
+        assert circuit.num_gates() == 6
+        assert circuit.name == "mini"
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            load_circuit("not_a_circuit")
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_size_defaults(self):
+        args = build_parser().parse_args(["size", "c17"])
+        assert args.lam == 3.0
+        assert args.circuit == "c17"
+
+    def test_table1_lambda_list(self):
+        args = build_parser().parse_args(["table1", "c17", "--lam", "3", "6", "9"])
+        assert args.lam == [3.0, 6.0, 9.0]
+
+
+class TestCommands:
+    def test_info(self, capsys):
+        assert main(["info", "c17"]) == 0
+        out = capsys.readouterr().out
+        assert "gates          : 6" in out
+        assert "validation     : ok" in out
+
+    def test_sta(self, capsys):
+        assert main(["sta", "c17"]) == 0
+        out = capsys.readouterr().out
+        assert "worst arrival" in out
+        assert "critical path" in out
+
+    def test_ssta_with_mc_and_yield(self, capsys):
+        assert main(["ssta", "c17", "--monte-carlo", "200", "--period", "200"]) == 0
+        out = capsys.readouterr().out
+        assert "FASSTA" in out and "FULLSSTA" in out
+        assert "MonteCarlo(200)" in out
+        assert "timing yield" in out
+
+    def test_size(self, capsys):
+        assert main(["size", "c17", "--lam", "3", "--max-iterations", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "sigma" in out
+        assert "area" in out
+
+    def test_benchmarks_listing(self, capsys):
+        assert main(["benchmarks"]) == 0
+        out = capsys.readouterr().out
+        assert "c6288" in out
+        assert "2980" in out  # the paper's gate count column
+
+    def test_info_on_bench_file(self, tmp_path, capsys):
+        path = tmp_path / "c17.bench"
+        path.write_text(write_bench(c17()))
+        assert main(["info", str(path)]) == 0
+        assert "gates          : 6" in capsys.readouterr().out

@@ -1,0 +1,142 @@
+"""End-to-end integration tests across all subsystems.
+
+These tests run the complete paper flow — generate circuit, baseline
+mean-delay sizing, FULLSSTA, StatisticalGreedy sizing, Monte-Carlo
+validation — on small circuits and check the *qualitative* claims of the
+paper hold: sigma drops, the drop is confirmed by Monte Carlo (not just by
+the engine that optimized it), area rises, and the mean moves only modestly.
+"""
+
+import pytest
+
+from repro.circuits.alu import alu
+from repro.circuits.registry import build_benchmark
+from repro.core.baseline import MeanDelaySizer
+from repro.core.fullssta import FULLSSTA
+from repro.core.sizer import SizerConfig, StatisticalGreedySizer
+from repro.montecarlo.mc import MonteCarloTimer
+from repro.netlist.validate import validate_circuit
+
+
+@pytest.fixture(scope="module")
+def optimized_alu(delay_model_module, variation_model_module):
+    """Run the full flow once on a small ALU and share the results."""
+    delay_model = delay_model_module
+    variation_model = variation_model_module
+    circuit = alu(4)
+    MeanDelaySizer(delay_model).optimize(circuit)
+    fullssta = FULLSSTA(delay_model, variation_model)
+    mc = MonteCarloTimer(delay_model, variation_model)
+
+    original_rv = fullssta.analyze(circuit).output_rv
+    original_area = delay_model.circuit_area(circuit)
+    original_mc = mc.run(circuit, num_samples=1500, seed=0)
+    original_sizes = circuit.sizes()
+
+    sizer = StatisticalGreedySizer(
+        delay_model, variation_model, SizerConfig(lam=3.0, max_iterations=12)
+    )
+    result = sizer.optimize(circuit)
+    final_rv = fullssta.analyze(circuit).output_rv
+    final_area = delay_model.circuit_area(circuit)
+    final_mc = mc.run(circuit, num_samples=1500, seed=0)
+
+    return {
+        "circuit": circuit,
+        "original_rv": original_rv,
+        "original_area": original_area,
+        "original_mc": original_mc,
+        "original_sizes": original_sizes,
+        "result": result,
+        "final_rv": final_rv,
+        "final_area": final_area,
+        "final_mc": final_mc,
+    }
+
+
+# Module-scoped copies of the session fixtures (pytest cannot mix scopes here).
+@pytest.fixture(scope="module")
+def delay_model_module():
+    from repro.library.delay_model import LookupTableDelayModel
+    from repro.library.synthetic90nm import make_synthetic_90nm_library
+
+    return LookupTableDelayModel(make_synthetic_90nm_library())
+
+
+@pytest.fixture(scope="module")
+def variation_model_module():
+    from repro.variation.model import VariationModel
+
+    return VariationModel()
+
+
+class TestFullFlowOnAlu:
+    def test_sigma_reduced_per_engine(self, optimized_alu):
+        assert optimized_alu["final_rv"].sigma < optimized_alu["original_rv"].sigma
+
+    def test_sigma_reduction_confirmed_by_monte_carlo(self, optimized_alu):
+        # The claim must hold on the golden model, not only on the engine
+        # that drove the optimization.
+        assert optimized_alu["final_mc"].sigma < optimized_alu["original_mc"].sigma
+
+    def test_area_increases(self, optimized_alu):
+        assert optimized_alu["final_area"] >= optimized_alu["original_area"]
+
+    def test_mean_changes_modestly(self, optimized_alu):
+        # The paper reports single-digit percentage mean changes.
+        original = optimized_alu["original_rv"].mean
+        final = optimized_alu["final_rv"].mean
+        assert abs(final - original) / original < 0.15
+
+    def test_some_gates_were_upsized(self, optimized_alu):
+        before = optimized_alu["original_sizes"]
+        circuit = optimized_alu["circuit"]
+        upsized = [
+            name for name, size in before.items()
+            if circuit.gate(name).size_index > size
+        ]
+        assert upsized
+
+    def test_circuit_still_valid(self, optimized_alu, library):
+        assert validate_circuit(optimized_alu["circuit"], library) == []
+
+    def test_sizer_result_consistent_with_measurement(self, optimized_alu):
+        result = optimized_alu["result"]
+        assert result.final.sigma == pytest.approx(optimized_alu["final_rv"].sigma, rel=1e-6)
+
+
+class TestLambdaTradeoffDirection:
+    def test_lambda_nine_reduces_sigma_at_least_as_much_as_lambda_zero(
+        self, delay_model_module, variation_model_module
+    ):
+        """Higher lambda must put more emphasis on sigma than a pure mean run."""
+        results = {}
+        for lam in (0.0, 9.0):
+            circuit = alu(4)
+            MeanDelaySizer(delay_model_module).optimize(circuit)
+            fullssta = FULLSSTA(delay_model_module, variation_model_module)
+            before = fullssta.analyze(circuit).output_rv
+            StatisticalGreedySizer(
+                delay_model_module,
+                variation_model_module,
+                SizerConfig(lam=lam, max_iterations=10),
+            ).optimize(circuit)
+            after = fullssta.analyze(circuit).output_rv
+            results[lam] = (before.sigma - after.sigma) / before.sigma
+        assert results[9.0] >= results[0.0] - 0.02
+
+
+class TestBenchmarkFlowSmoke:
+    @pytest.mark.slow
+    def test_c432_class_flow(self, delay_model_module, variation_model_module):
+        circuit = build_benchmark("c432")
+        MeanDelaySizer(delay_model_module).optimize(circuit)
+        fullssta = FULLSSTA(delay_model_module, variation_model_module)
+        before = fullssta.analyze(circuit).output_rv
+        StatisticalGreedySizer(
+            delay_model_module,
+            variation_model_module,
+            SizerConfig(lam=3.0, max_iterations=6),
+        ).optimize(circuit)
+        after = fullssta.analyze(circuit).output_rv
+        assert after.sigma <= before.sigma + 1e-9

@@ -1,0 +1,73 @@
+"""Unit tests for the spatial-correlation overlay."""
+
+import numpy as np
+import pytest
+
+from repro.variation.correlation import SpatialCorrelationModel
+
+
+class TestConstruction:
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            SpatialCorrelationModel(grid_size=0)
+        with pytest.raises(ValueError):
+            SpatialCorrelationModel(correlated_fraction=1.5)
+        with pytest.raises(ValueError):
+            SpatialCorrelationModel(levels=0)
+
+
+class TestAssignment:
+    def test_assignment_is_deterministic_and_in_range(self):
+        model = SpatialCorrelationModel(grid_size=4)
+        a1 = model.assign("gate_42")
+        a2 = model.assign("gate_42")
+        assert a1 == a2
+        assert 0 <= a1.row < 4 and 0 <= a1.col < 4
+
+    def test_factor_indices_cover_all_levels(self):
+        model = SpatialCorrelationModel(grid_size=4, levels=3)
+        factors = model.factor_indices(model.assign("g"))
+        assert len(factors) == 3
+        assert factors[0] == (0, 0, 0)  # level 0 is the die-wide factor
+
+    def test_num_factors(self):
+        model = SpatialCorrelationModel(grid_size=4, levels=3)
+        assert model.num_factors() == 1 + 4 + 16
+
+
+class TestCorrelation:
+    def test_self_correlation_is_one(self):
+        model = SpatialCorrelationModel()
+        assert model.correlation_between("a", "a") == 1.0
+
+    def test_correlation_bounded_by_fraction(self):
+        model = SpatialCorrelationModel(correlated_fraction=0.5)
+        rho = model.correlation_between("gate_a", "gate_b")
+        assert 0.0 <= rho <= 0.5
+
+    def test_all_gates_share_die_level_factor(self):
+        model = SpatialCorrelationModel(correlated_fraction=0.6, levels=3)
+        rho = model.correlation_between("x1", "x2")
+        assert rho >= 0.6 / 3 - 1e-12
+
+    def test_split_sigma_preserves_variance(self):
+        model = SpatialCorrelationModel(correlated_fraction=0.4)
+        corr, ind = model.split_sigma(10.0)
+        assert corr ** 2 + ind ** 2 == pytest.approx(100.0)
+
+    def test_correlated_component_unit_variance(self):
+        model = SpatialCorrelationModel(grid_size=4, levels=3)
+        rng = np.random.default_rng(0)
+        samples = []
+        for _ in range(4000):
+            draw = model.sample_factors(rng)
+            samples.append(model.correlated_component("some_gate", draw))
+        samples = np.array(samples)
+        assert abs(samples.mean()) < 0.1
+        assert samples.std() == pytest.approx(1.0, abs=0.08)
+
+    def test_sample_factors_keys(self):
+        model = SpatialCorrelationModel(grid_size=4, levels=2)
+        rng = np.random.default_rng(1)
+        draw = model.sample_factors(rng)
+        assert len(draw) == model.num_factors()
