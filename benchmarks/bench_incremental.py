@@ -1,0 +1,233 @@
+"""From-scratch vs incremental/vectorized sizing-pipeline benchmark.
+
+Measures the wall-clock effect of the exactness-preserving evaluation
+pipeline on full :class:`~repro.core.sizer.StatisticalGreedySizer` runs:
+
+* **baseline** — ``SizerConfig(incremental_reanalysis=False,
+  vectorized_fassta=False)``: every outer-loop analysis re-propagates the
+  whole circuit and every inner-loop evaluation re-extracts and re-times
+  its subcircuit from scratch;
+* **fast** — the default pipeline: incremental FULLSSTA re-analysis over
+  dirty cones, memoized subcircuit extraction and whole-gate evaluations,
+  shared delay moments across candidate sizes, vectorized FASSTA.
+
+Because every layer is exactness-preserving the two configurations take
+identical sizing decisions; the benchmark asserts the final mu/sigma match
+to 1e-6 and reports the speedup.  A second section times the raw engines
+(scalar vs vectorized FASSTA; from-scratch vs incremental FULLSSTA under
+random resize sequences).
+
+Run directly::
+
+    PYTHONPATH=src python benchmarks/bench_incremental.py --quick   # CI smoke
+    PYTHONPATH=src python benchmarks/bench_incremental.py           # largest circuit
+
+The report is written to ``benchmarks/results/incremental.txt``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+# Allow running as a plain script from the repo root.
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.circuits.registry import build_benchmark  # noqa: E402
+from repro.core.fassta import FASSTA  # noqa: E402
+from repro.core.fullssta import FULLSSTA, IncrementalReanalysis  # noqa: E402
+from repro.core.sizer import SizerConfig, SizerResult, StatisticalGreedySizer  # noqa: E402
+from repro.library.delay_model import LookupTableDelayModel  # noqa: E402
+from repro.library.synthetic90nm import make_synthetic_90nm_library  # noqa: E402
+from repro.variation.model import VariationModel  # noqa: E402
+
+#: Default circuit for the full benchmark: the largest registry circuit.
+FULL_CIRCUITS = ["c6288"]
+#: Quick (CI smoke) configuration.
+QUICK_CIRCUITS = ["c432"]
+
+MOMENT_TOLERANCE = 1e-6
+
+
+def _substrates():
+    library = make_synthetic_90nm_library()
+    return LookupTableDelayModel(library), VariationModel()
+
+
+def _run_sizer(
+    circuit_name: str,
+    delay_model,
+    variation_model,
+    max_iterations: int,
+    lam: float,
+    fast: bool,
+) -> Tuple[SizerResult, float]:
+    circuit = build_benchmark(circuit_name)
+    config = SizerConfig(
+        lam=lam,
+        max_iterations=max_iterations,
+        incremental_reanalysis=fast,
+        vectorized_fassta=fast,
+    )
+    sizer = StatisticalGreedySizer(delay_model, variation_model, config)
+    start = time.perf_counter()
+    result = sizer.optimize(circuit)
+    return result, time.perf_counter() - start
+
+
+def _time_engines(circuit_name: str, delay_model, variation_model) -> List[str]:
+    """Raw-engine comparison: FASSTA scalar/vectorized, FULLSSTA scratch/incremental."""
+    circuit = build_benchmark(circuit_name)
+    rounds = 3
+
+    scalar = FASSTA(delay_model, variation_model)
+    vectorized = FASSTA(delay_model, variation_model, vectorized=True)
+    scalar.analyze(circuit)
+    vectorized.analyze(circuit)  # warm the levelized plan
+    start = time.perf_counter()
+    for _ in range(rounds):
+        ref = scalar.analyze(circuit)
+    t_scalar = (time.perf_counter() - start) / rounds
+    start = time.perf_counter()
+    for _ in range(rounds):
+        vec = vectorized.analyze(circuit)
+    t_vector = (time.perf_counter() - start) / rounds
+    moment_err = abs(ref.mean - vec.mean) + abs(ref.sigma - vec.sigma)
+
+    engine = FULLSSTA(delay_model, variation_model)
+    incremental = IncrementalReanalysis(engine, circuit)
+    incremental.analyze()
+    rng = np.random.default_rng(2026)
+    names = list(circuit.gates)
+    t_full = t_inc = 0.0
+    steps = 8
+    for _ in range(steps):
+        for gate in rng.choice(names, size=3, replace=False):
+            circuit.set_size(str(gate), int(rng.integers(0, 7)))
+        start = time.perf_counter()
+        inc_result = incremental.analyze()
+        t_inc += time.perf_counter() - start
+        start = time.perf_counter()
+        full_result = engine.analyze(circuit)
+        t_full += time.perf_counter() - start
+        assert abs(inc_result.mean - full_result.mean) <= MOMENT_TOLERANCE
+        assert abs(inc_result.sigma - full_result.sigma) <= MOMENT_TOLERANCE
+
+    return [
+        f"Raw engines on {circuit_name} ({circuit.num_gates()} gates):",
+        f"  FASSTA   scalar {t_scalar * 1e3:8.1f} ms   vectorized {t_vector * 1e3:8.1f} ms   "
+        f"speedup {t_scalar / max(t_vector, 1e-12):.2f}x   moment err {moment_err:.2e}",
+        f"  FULLSSTA scratch {t_full / steps * 1e3:7.1f} ms   incremental {t_inc / steps * 1e3:7.1f} ms   "
+        f"speedup {t_full / max(t_inc, 1e-12):.2f}x   (3 random resizes per step)",
+    ]
+
+
+def run(
+    circuits: List[str],
+    max_iterations: int,
+    lam: float,
+    engine_circuit: Optional[str] = None,
+) -> Tuple[str, bool]:
+    """Run the benchmark; returns (report text, all-checks-passed)."""
+    delay_model, variation_model = _substrates()
+    lines = [
+        "Incremental & vectorized SSTA evaluation pipeline",
+        f"(lam = {lam}, max_iterations = {max_iterations}; "
+        f"tolerance on final moments = {MOMENT_TOLERANCE:g})",
+        "",
+        f"{'circuit':8s} {'gates':>6s} {'scratch (s)':>12s} {'fast (s)':>10s} "
+        f"{'speedup':>8s} {'mu diff':>9s} {'sigma diff':>10s}",
+    ]
+    ok = True
+    speedups = []
+    for name in circuits:
+        baseline, t_base = _run_sizer(
+            name, delay_model, variation_model, max_iterations, lam, fast=False
+        )
+        fast, t_fast = _run_sizer(
+            name, delay_model, variation_model, max_iterations, lam, fast=True
+        )
+        mu_diff = abs(baseline.final.mean - fast.final.mean)
+        sigma_diff = abs(baseline.final.sigma - fast.final.sigma)
+        matched = mu_diff <= MOMENT_TOLERANCE and sigma_diff <= MOMENT_TOLERANCE
+        ok = ok and matched
+        speedup = t_base / max(t_fast, 1e-12)
+        speedups.append(speedup)
+        num_gates = build_benchmark(name).num_gates()
+        lines.append(
+            f"{name:8s} {num_gates:6d} {t_base:12.2f} {t_fast:10.2f} "
+            f"{speedup:7.2f}x {mu_diff:9.2e} {sigma_diff:10.2e}"
+            + ("" if matched else "  << MOMENT MISMATCH")
+        )
+        diag = fast.diagnostics
+        lines.append(
+            f"         eval cache {diag.get('evaluation_cache_hits', 0)}/{diag.get('evaluation_cache_hits', 0) + diag.get('evaluation_cache_misses', 0)} hits, "
+            f"reanalysis {diag.get('incremental_runs', 0)} incremental / {diag.get('full_runs', 0)} full, "
+            f"{diag.get('gates_retimed', 0)} gates retimed over {len(fast.iterations)} passes"
+        )
+
+    lines.append("")
+    lines.extend(
+        _time_engines(engine_circuit or circuits[-1], delay_model, variation_model)
+    )
+    if speedups:
+        lines.append("")
+        lines.append(
+            f"Optimizer speedup: min {min(speedups):.2f}x / max {max(speedups):.2f}x "
+            f"(identical sizing decisions in both configurations)"
+        )
+    return "\n".join(lines), ok
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI smoke mode: small circuit, few passes (finishes in ~1 min)",
+    )
+    parser.add_argument(
+        "--circuits",
+        default=None,
+        help="comma-separated registry circuit names (overrides the mode default)",
+    )
+    parser.add_argument(
+        "--max-iterations",
+        type=int,
+        default=None,
+        help="outer-loop pass cap for both configurations (default: 4 quick / 10 full)",
+    )
+    parser.add_argument("--lam", type=float, default=3.0, help="cost weight lambda")
+    args = parser.parse_args(argv)
+
+    circuits = (
+        [name.strip() for name in args.circuits.split(",") if name.strip()]
+        if args.circuits
+        else (QUICK_CIRCUITS if args.quick else FULL_CIRCUITS)
+    )
+    if args.max_iterations is not None:
+        max_iterations = args.max_iterations
+    else:
+        max_iterations = 4 if args.quick else 10
+
+    report, ok = run(circuits, max_iterations, args.lam)
+    print(report)
+
+    results_dir = Path(__file__).parent / "results"
+    results_dir.mkdir(exist_ok=True)
+    (results_dir / "incremental.txt").write_text(report + "\n")
+
+    if not ok:
+        print("FAILED: incremental/vectorized pipeline diverged from the "
+              "from-scratch engines", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -18,7 +18,7 @@ candidate gate sizes on extracted subcircuits, which is exactly the
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Mapping, Optional
+from typing import Dict, Iterable, Mapping, Optional
 
 from repro.core.fassta import FASSTA
 from repro.core.rv import NormalDelay, ZERO_DELAY
@@ -104,13 +104,17 @@ class CostEvaluator:
         self,
         subcircuit: Subcircuit,
         boundary_arrivals: Mapping[str, NormalDelay],
+        gate_delay_rvs: Optional[Mapping[str, NormalDelay]] = None,
     ) -> Dict[str, NormalDelay]:
         """Propagate moments across the subcircuit's member gates only.
 
         ``boundary_arrivals`` supplies the arrival moments of the
         subcircuit's input nets (typically the values FULLSSTA recorded).
         Loads are computed against the parent circuit so boundary fanout is
-        exact.
+        exact.  ``gate_delay_rvs`` optionally supplies precomputed delay
+        moments for member gates (the size-sweep path uses this to avoid
+        re-deriving delays whose inputs did not change); gates missing from
+        the map are computed fresh.
         """
         circuit = subcircuit.parent
         arrivals: Dict[str, NormalDelay] = {}
@@ -119,7 +123,11 @@ class CostEvaluator:
 
         for gate_name in subcircuit.gate_names:
             gate = circuit.gate(gate_name)
-            delay_rv = self.fassta.gate_delay_rv(circuit, gate_name)
+            delay_rv = None
+            if gate_delay_rvs is not None:
+                delay_rv = gate_delay_rvs.get(gate_name)
+            if delay_rv is None:
+                delay_rv = self.fassta.gate_delay_rv(circuit, gate_name)
             input_rvs = [arrivals.get(net, ZERO_DELAY) for net in gate.inputs]
             if len(input_rvs) == 1:
                 worst_input = input_rvs[0]
@@ -189,6 +197,64 @@ class CostEvaluator:
             return self.subcircuit_cost_components(subcircuit, boundary_arrivals)
         finally:
             gate.size_index = original
+
+    # ------------------------------------------------------------------
+    def size_sweep_components(
+        self,
+        subcircuit: Subcircuit,
+        boundary_arrivals: Mapping[str, NormalDelay],
+        size_indices: Iterable[int],
+        delay_rv_cache: Optional[Dict[str, NormalDelay]] = None,
+    ) -> Dict[int, CostComponents]:
+        """(worst, total) cost for every candidate seed size in one sweep.
+
+        Equivalent to calling :meth:`candidate_size_cost_components` once per
+        size, but the delay moments of *unaffected* member gates — everything
+        except the seed itself and the member drivers of its input nets,
+        whose loads include the seed's input capacitance — are computed once
+        and shared across all candidates instead of once per candidate.
+
+        ``delay_rv_cache`` optionally memoizes those unaffected delay
+        moments across calls; the caller owns the dict and must clear it
+        whenever any gate size in the parent circuit changes.
+
+        The seed's size is restored before returning.
+        """
+        circuit = subcircuit.parent
+        seed_gate = circuit.gate(subcircuit.seed)
+        affected = {subcircuit.seed}
+        for net in seed_gate.inputs:
+            driver = circuit.driver_of(net)
+            if driver is not None and driver.name in subcircuit:
+                affected.add(driver.name)
+
+        static_rvs: Dict[str, NormalDelay] = {}
+        for name in subcircuit.gate_names:
+            if name in affected:
+                continue
+            rv = None if delay_rv_cache is None else delay_rv_cache.get(name)
+            if rv is None:
+                rv = self.fassta.gate_delay_rv(circuit, name)
+                if delay_rv_cache is not None:
+                    delay_rv_cache[name] = rv
+            static_rvs[name] = rv
+
+        results: Dict[int, CostComponents] = {}
+        original = seed_gate.size_index
+        try:
+            for size_index in size_indices:
+                seed_gate.size_index = size_index
+                arrivals = self.subcircuit_arrivals(
+                    subcircuit, boundary_arrivals, gate_delay_rvs=static_rvs
+                )
+                outputs = {
+                    net: arrivals.get(net, ZERO_DELAY)
+                    for net in subcircuit.output_nets
+                }
+                results[size_index] = self.cost.components(outputs)
+        finally:
+            seed_gate.size_index = original
+        return results
 
     # ------------------------------------------------------------------
     def circuit_cost(self, output_rv: NormalDelay) -> float:

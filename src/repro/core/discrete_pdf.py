@@ -21,6 +21,7 @@ import math
 from typing import Iterable, Sequence, Tuple
 
 import numpy as np
+from scipy.special import erf as _erf
 
 #: Default number of samples kept per pdf, the middle of the paper's 10-15 range.
 DEFAULT_SAMPLES = 13
@@ -102,7 +103,7 @@ class DiscretePDF:
         )
         centers = 0.5 * (edges[:-1] + edges[1:])
         z = (edges - mean) / sigma
-        cdf = 0.5 * (1.0 + np.vectorize(math.erf)(z / math.sqrt(2.0)))
+        cdf = 0.5 * (1.0 + _erf(z / math.sqrt(2.0)))
         masses = np.diff(cdf)
         # Fold the tails beyond the span into the extreme bins.
         masses[0] += cdf[0]

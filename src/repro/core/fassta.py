@@ -13,13 +13,29 @@ The engine can time a whole :class:`~repro.netlist.circuit.Circuit` or a
 previously annotated by FULLSSTA — exactly the nesting the paper describes
 ("a slower more accurate approach for tracking statistical critical paths
 and a fast engine for evaluation of gate size assignments").
+
+Two propagation paths are provided:
+
+* the **scalar** path walks gates in topological order, folding the Clark
+  max pairwise per gate — simple, and the reference for correctness;
+* the **levelized vectorized** path (``FASSTA(vectorized=True)``) groups
+  gates by logic level and evaluates the Clark fast-max over NumPy arrays of
+  μ/σ, one fold per input position per level
+  (:func:`repro.core.clark.clark_max_fast_arrays`).  The level structure is
+  compiled once per circuit into a :class:`_VectorPlan` and reused until the
+  circuit's :attr:`~repro.netlist.circuit.Circuit.structure_version`
+  changes.  Both paths perform the same floating-point operations in the
+  same order, so their moments agree to ~1e-12.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Mapping, Optional, Tuple
 
+import numpy as np
+
+from repro.core.clark import clark_max_fast_arrays
 from repro.core.rv import NormalDelay, ZERO_DELAY
 from repro.library.delay_model import BaseDelayModel
 from repro.netlist.circuit import Circuit
@@ -50,6 +66,68 @@ class FasstaResult:
         return self.output_rv.sigma
 
 
+class _VectorPlan:
+    """Levelized propagation schedule compiled from a circuit's structure.
+
+    Valid for one (circuit, structure_version) pair.  Holds a net-name to
+    array-slot mapping plus, per logic level, the member gate names, their
+    output slots, and an input-slot matrix with a validity mask (gates of a
+    level have different fanin counts; missing positions are masked out of
+    the fold rather than padded with sentinel moments).
+    """
+
+    __slots__ = ("structure_version", "net_index", "num_slots", "levels", "floating")
+
+    def __init__(self, circuit: Circuit) -> None:
+        self.structure_version = circuit.structure_version
+        net_index: Dict[str, int] = {}
+
+        def slot(net: str) -> int:
+            idx = net_index.get(net)
+            if idx is None:
+                idx = len(net_index)
+                net_index[net] = idx
+            return idx
+
+        for net in circuit.primary_inputs:
+            slot(net)
+
+        by_level: Dict[int, List[str]] = {}
+        levels = circuit.levels()
+        for name in circuit.topological_order():
+            by_level.setdefault(levels[name], []).append(name)
+            slot(circuit.gate(name).output)
+        # Input nets that are neither primary inputs nor driven by a gate
+        # (floating inputs) still need a slot; they stay at zero arrival
+        # unless a boundary condition overrides them.  They are tracked so
+        # the result map can exclude them, matching the scalar path (which
+        # only records boundary nets, primary inputs and gate outputs).
+        self.floating = set()
+        for gate in circuit.gates.values():
+            for net in gate.inputs:
+                if net not in net_index:
+                    self.floating.add(net)
+                    slot(net)
+
+        self.levels: List[Tuple[List[str], np.ndarray, np.ndarray, np.ndarray]] = []
+        for level in sorted(by_level):
+            names = by_level[level]
+            out_ids = np.array(
+                [net_index[circuit.gate(n).output] for n in names], dtype=np.intp
+            )
+            max_fanin = max(len(circuit.gate(n).inputs) for n in names)
+            in_ids = np.zeros((len(names), max_fanin), dtype=np.intp)
+            in_mask = np.zeros((len(names), max_fanin), dtype=bool)
+            for row, name in enumerate(names):
+                for col, net in enumerate(circuit.gate(name).inputs):
+                    in_ids[row, col] = net_index[net]
+                    in_mask[row, col] = True
+            self.levels.append((names, out_ids, in_ids, in_mask))
+
+        self.net_index = net_index
+        self.num_slots = len(net_index)
+
+
 class FASSTA:
     """Fast moment-propagation SSTA engine.
 
@@ -62,6 +140,15 @@ class FASSTA:
     exact_max:
         When true, use the exact Clark moments instead of the fast
         approximation (used by accuracy studies; default false).
+    vectorized:
+        When true, full-circuit analyses run the levelized NumPy path
+        instead of the per-gate scalar fold.  Ignored when ``exact_max`` is
+        set (the exact cdf is not vectorized).
+    worst_key:
+        Ranking criterion used to report :attr:`FasstaResult.worst_output`.
+        Defaults to the raw mean (a ``lambda = 0`` objective); the sizer
+        passes its weighted cost ``mu + lambda * sigma`` so the reported
+        worst output matches the optimization objective.
     """
 
     def __init__(
@@ -69,10 +156,16 @@ class FASSTA:
         delay_model: BaseDelayModel,
         variation_model: VariationModel,
         exact_max: bool = False,
+        vectorized: bool = False,
+        worst_key: Optional[Callable[[NormalDelay], float]] = None,
     ) -> None:
         self.delay_model = delay_model
         self.variation_model = variation_model
         self.exact_max = exact_max
+        self.vectorized = vectorized
+        self.worst_key = worst_key
+        self._plan: Optional[_VectorPlan] = None
+        self._plan_circuit: Optional[Circuit] = None
 
     # ------------------------------------------------------------------
     def gate_delay_rv(
@@ -103,8 +196,24 @@ class FASSTA:
             (primary inputs default to ``NormalDelay(0, 0)``).
         outputs:
             Net names over which the circuit-level max is taken; defaults to
-            the circuit's primary outputs.
+            the circuit's primary outputs.  Requested nets must exist in the
+            circuit (or the boundary map) — unknown names raise ``KeyError``
+            instead of silently timing as zero.
         """
+        if self.vectorized and not self.exact_max:
+            arrivals, gate_delays = self._propagate_vectorized(
+                circuit, boundary_arrivals
+            )
+        else:
+            arrivals, gate_delays = self._propagate_scalar(circuit, boundary_arrivals)
+        return self._build_result(circuit, arrivals, gate_delays, outputs)
+
+    # ------------------------------------------------------------------
+    def _propagate_scalar(
+        self,
+        circuit: Circuit,
+        boundary_arrivals: Optional[Mapping[str, NormalDelay]],
+    ) -> Tuple[Dict[str, NormalDelay], Dict[str, NormalDelay]]:
         arrivals: Dict[str, NormalDelay] = {}
         if boundary_arrivals:
             arrivals.update(boundary_arrivals)
@@ -121,13 +230,97 @@ class FASSTA:
             else:
                 worst_input = NormalDelay.maximum_of(input_rvs, exact=self.exact_max)
             arrivals[gate.output] = worst_input + delay_rv
+        return arrivals, gate_delays
 
+    # ------------------------------------------------------------------
+    def _propagate_vectorized(
+        self,
+        circuit: Circuit,
+        boundary_arrivals: Optional[Mapping[str, NormalDelay]],
+    ) -> Tuple[Dict[str, NormalDelay], Dict[str, NormalDelay]]:
+        plan = self._plan
+        if (
+            plan is None
+            or self._plan_circuit is not circuit
+            or plan.structure_version != circuit.structure_version
+        ):
+            plan = _VectorPlan(circuit)
+            self._plan = plan
+            self._plan_circuit = circuit
+
+        mu = np.zeros(plan.num_slots)
+        sg = np.zeros(plan.num_slots)
+        extra_boundary: Dict[str, NormalDelay] = {}
+        boundary_nets: set = set()
+        if boundary_arrivals:
+            for net, rv in boundary_arrivals.items():
+                idx = plan.net_index.get(net)
+                if idx is None:
+                    # Net unknown to this circuit: keep it visible in the
+                    # result map, exactly like the scalar path does.
+                    extra_boundary[net] = rv
+                else:
+                    boundary_nets.add(net)
+                    mu[idx] = rv.mean
+                    sg[idx] = rv.sigma
+
+        gate_delays: Dict[str, NormalDelay] = {}
+        for names, out_ids, in_ids, in_mask in plan.levels:
+            d_mu = np.empty(len(names))
+            d_sg = np.empty(len(names))
+            for row, name in enumerate(names):
+                rv = self.gate_delay_rv(circuit, name)
+                gate_delays[name] = rv
+                d_mu[row] = rv.mean
+                d_sg[row] = rv.sigma
+
+            # Left-to-right pairwise fold over input positions, masked so a
+            # gate with fewer inputs keeps its running max untouched — the
+            # same fold order as NormalDelay.maximum_of in the scalar path.
+            worst_mu = mu[in_ids[:, 0]]
+            worst_sg = sg[in_ids[:, 0]]
+            for col in range(1, in_ids.shape[1]):
+                mask = in_mask[:, col]
+                cand_mu = mu[in_ids[:, col]]
+                cand_sg = sg[in_ids[:, col]]
+                max_mu, max_var = clark_max_fast_arrays(
+                    worst_mu, worst_sg, cand_mu, cand_sg
+                )
+                max_sg = np.sqrt(max_var)
+                worst_mu = np.where(mask, max_mu, worst_mu)
+                worst_sg = np.where(mask, max_sg, worst_sg)
+
+            mu[out_ids] = worst_mu + d_mu
+            sg[out_ids] = np.sqrt(worst_sg * worst_sg + d_sg * d_sg)
+
+        arrivals = {
+            net: NormalDelay(float(mu[idx]), float(sg[idx]))
+            for net, idx in plan.net_index.items()
+            if net not in plan.floating or net in boundary_nets
+        }
+        arrivals.update(extra_boundary)
+        return arrivals, gate_delays
+
+    # ------------------------------------------------------------------
+    def _build_result(
+        self,
+        circuit: Circuit,
+        arrivals: Dict[str, NormalDelay],
+        gate_delays: Dict[str, NormalDelay],
+        outputs: Optional[List[str]],
+    ) -> FasstaResult:
         output_nets = outputs if outputs is not None else circuit.primary_outputs
         if not output_nets:
             raise ValueError(f"circuit {circuit.name!r} has no outputs to time")
-        output_rvs = [arrivals.get(net, ZERO_DELAY) for net in output_nets]
+        missing = [net for net in output_nets if net not in arrivals]
+        if missing:
+            raise KeyError(
+                f"unknown output net(s) {missing} in circuit {circuit.name!r}"
+            )
+        output_rvs = [arrivals[net] for net in output_nets]
         output_rv = NormalDelay.maximum_of(output_rvs, exact=self.exact_max)
-        worst_output = max(output_nets, key=lambda net: arrivals.get(net, ZERO_DELAY).mean)
+        key = self.worst_key or (lambda rv: rv.mean)
+        worst_output = max(output_nets, key=lambda net: key(arrivals[net]))
         return FasstaResult(
             arrivals=arrivals,
             gate_delays=gate_delays,

@@ -15,12 +15,22 @@ first order when a :class:`~repro.variation.correlation.SpatialCorrelationModel`
 is supplied; the paper leaves correlation handling to "PCA or other methods"
 in the outer loop, so this is provided as an extension and disabled by
 default.
+
+:class:`IncrementalReanalysis` wraps the engine with a per-net pdf cache:
+after gate resizes it re-propagates only the transitive-fanout cone of the
+changed gates (and of their fanin drivers, whose loads changed) and reuses
+the cached pdfs everywhere else.  Because propagation is deterministic and
+untouched nets keep bitwise-identical pdfs, the incremental result equals a
+from-scratch run exactly — it is a pure wall-clock optimization, which is
+what makes nesting FULLSSTA inside a sizing loop affordable at scale.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List, Mapping, Optional
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional, Set
+
+import numpy as np
 
 from repro.core.discrete_pdf import DEFAULT_SAMPLES, DiscretePDF
 from repro.core.rv import NormalDelay, ZERO_DELAY
@@ -69,6 +79,11 @@ class FULLSSTA:
         Samples kept per pdf (the paper's "10-15 samples"; default 13).
     correlation_model:
         Optional spatial-correlation overlay (see module docstring).
+    worst_key:
+        Ranking criterion used to report :attr:`FullSstaResult.worst_output`.
+        Defaults to the raw mean (a ``lambda = 0`` objective); the sizer
+        passes its weighted cost ``mu + lambda * sigma`` so the reported
+        worst output matches the optimization objective.
     """
 
     def __init__(
@@ -77,6 +92,7 @@ class FULLSSTA:
         variation_model: VariationModel,
         num_samples: int = DEFAULT_SAMPLES,
         correlation_model: Optional[SpatialCorrelationModel] = None,
+        worst_key: Optional[Callable[[NormalDelay], float]] = None,
     ) -> None:
         if num_samples < 3:
             raise ValueError("num_samples must be at least 3 for a useful pdf")
@@ -84,6 +100,7 @@ class FULLSSTA:
         self.variation_model = variation_model
         self.num_samples = num_samples
         self.correlation_model = correlation_model
+        self.worst_key = worst_key
 
     # ------------------------------------------------------------------
     def gate_delay_pdf(self, circuit: Circuit, gate_name: str) -> DiscretePDF:
@@ -99,7 +116,12 @@ class FULLSSTA:
         boundary_arrivals: Optional[Mapping[str, DiscretePDF]] = None,
         outputs: Optional[List[str]] = None,
     ) -> FullSstaResult:
-        """Propagate discrete-pdf arrival times through ``circuit``."""
+        """Propagate discrete-pdf arrival times through ``circuit``.
+
+        Requested ``outputs`` must exist in the circuit (or the boundary
+        map); unknown names raise ``KeyError`` instead of silently timing as
+        zero.
+        """
         arrivals: Dict[str, DiscretePDF] = {}
         if boundary_arrivals:
             arrivals.update(boundary_arrivals)
@@ -122,26 +144,47 @@ class FULLSSTA:
                 worst_input = DiscretePDF.maximum_of(input_pdfs, self.num_samples)
             arrivals[gate.output] = worst_input.add(delay_pdf, self.num_samples)
 
-        output_nets = outputs if outputs is not None else circuit.primary_outputs
-        if not output_nets:
-            raise ValueError(f"circuit {circuit.name!r} has no outputs to time")
-        output_pdfs = [
-            arrivals.get(net, DiscretePDF.point(0.0)) for net in output_nets
-        ]
-        output_pdf = DiscretePDF.maximum_of(output_pdfs, self.num_samples)
-
         arrival_moments = {
             net: NormalDelay(pdf.mean(), pdf.std()) for net, pdf in arrivals.items()
         }
+        return self._build_result(
+            circuit, arrivals, arrival_moments, gate_delay_moments, outputs
+        )
+
+    # ------------------------------------------------------------------
+    def _build_result(
+        self,
+        circuit: Circuit,
+        arrivals: Dict[str, DiscretePDF],
+        arrival_moments: Dict[str, NormalDelay],
+        gate_delay_moments: Dict[str, NormalDelay],
+        outputs: Optional[List[str]],
+    ) -> FullSstaResult:
+        """Assemble a :class:`FullSstaResult` from propagated per-net state.
+
+        Shared by the from-scratch path and :class:`IncrementalReanalysis`
+        so the output max, correlation inflation and worst-output ranking
+        are computed identically in both.
+        """
+        output_nets = outputs if outputs is not None else circuit.primary_outputs
+        if not output_nets:
+            raise ValueError(f"circuit {circuit.name!r} has no outputs to time")
+        missing = [net for net in output_nets if net not in arrivals]
+        if missing:
+            raise KeyError(
+                f"unknown output net(s) {missing} in circuit {circuit.name!r}"
+            )
+        output_pdfs = [arrivals[net] for net in output_nets]
+        output_pdf = DiscretePDF.maximum_of(output_pdfs, self.num_samples)
+
         output_sigma = output_pdf.std()
         if self.correlation_model is not None:
             output_sigma = self._inflate_sigma_for_correlation(
                 circuit, output_sigma, gate_delay_moments
             )
         output_rv = NormalDelay(output_pdf.mean(), output_sigma)
-        worst_output = max(
-            output_nets, key=lambda net: arrival_moments.get(net, ZERO_DELAY).mean
-        )
+        key = self.worst_key or (lambda rv: rv.mean)
+        worst_output = max(output_nets, key=lambda net: key(arrival_moments[net]))
         return FullSstaResult(
             arrival_pdfs=arrivals,
             arrival_moments=arrival_moments,
@@ -183,3 +226,284 @@ class FULLSSTA:
     def output_moments(self, circuit: Circuit) -> NormalDelay:
         """Shortcut: moments of the circuit-level output arrival."""
         return self.analyze(circuit).output_rv
+
+
+class IncrementalReanalysis:
+    """Incremental FULLSSTA over one circuit, driven by its size-change log.
+
+    The wrapper keeps the last committed run's per-net arrival pdfs/moments,
+    the per-gate delay moments and the gate sizes they were computed at.  On
+    :meth:`analyze` it reads the gate names resized since the previous call
+    (recorded by :meth:`~repro.netlist.circuit.Circuit.set_size`), keeps
+    only those whose size actually differs from the cached state (resizes
+    that cancelled out — trial then revert — are recognised as clean), and
+    re-propagates only the gates whose timing can actually have moved:
+
+    * every net-resized gate (its drive, intrinsic delay and sigma changed),
+    * the drivers of its input nets (the resized gate's input capacitance is
+      part of *their* load),
+    * downstream gates, recursively — but propagation stops as soon as a
+      recomputed pdf is bitwise-identical to the cached one, which happens
+      quickly once a dominant side path reasserts itself.
+
+    :meth:`preview` evaluates the pending resizes *without* committing them
+    to the cache; a caller trying a candidate resize calls ``preview``,
+    then either :meth:`commit_preview` (keep it) or simply reverts the
+    resize via ``set_size`` (the cancelled pair then costs nothing).  This
+    is what makes the sizer's accept/reject trial loop cheap.
+
+    Results are exactly equal to a from-scratch :meth:`FULLSSTA.analyze`
+    (same arithmetic on identical inputs), so callers can switch between the
+    two freely.  Contract: all persistent resizes must go through
+    ``Circuit.set_size`` (direct ``Gate.size_index`` writes bypass the log);
+    structural edits are detected via ``structure_version`` and trigger a
+    full rebuild automatically.
+    """
+
+    def __init__(self, engine: FULLSSTA, circuit: Circuit) -> None:
+        self.engine = engine
+        self.circuit = circuit
+        self._cursor = 0
+        self._structure_version: Optional[int] = None
+        self._arrival_pdfs: Optional[Dict[str, DiscretePDF]] = None
+        self._arrival_moments: Dict[str, NormalDelay] = {}
+        self._gate_delay_moments: Dict[str, NormalDelay] = {}
+        self._gate_delay_pdfs: Dict[str, DiscretePDF] = {}
+        self._cached_sizes: Dict[str, int] = {}
+        self._pending: Optional[_PendingDelta] = None
+        # Diagnostics (cumulative over the wrapper's lifetime).
+        self.full_runs = 0
+        self.incremental_runs = 0
+        self.preview_runs = 0
+        self.gates_retimed = 0
+
+    # ------------------------------------------------------------------
+    def invalidate(self) -> None:
+        """Drop the cache; the next :meth:`analyze` runs from scratch."""
+        self._arrival_pdfs = None
+        self._pending = None
+
+    @property
+    def stats(self) -> Dict[str, int]:
+        """Cumulative run counters (full runs, incremental runs, gates retimed)."""
+        return {
+            "full_runs": self.full_runs,
+            "incremental_runs": self.incremental_runs,
+            "preview_runs": self.preview_runs,
+            "gates_retimed": self.gates_retimed,
+        }
+
+    # ------------------------------------------------------------------
+    def analyze(self) -> FullSstaResult:
+        """Full-circuit FULLSSTA result, reusing cached pdfs where possible."""
+        self._pending = None
+        circuit = self.circuit
+        if (
+            self._arrival_pdfs is None
+            or self._structure_version != circuit.structure_version
+        ):
+            return self._full_rebuild()
+
+        dirty = self._net_dirty_gates(self._cursor)
+        if dirty is None:
+            return self._full_rebuild()
+        self._cursor = circuit.size_change_cursor
+
+        self.incremental_runs += 1
+        if dirty:
+            delta = self._compute_delta(dirty)
+            self._apply_delta(delta)
+        return self.engine._build_result(
+            circuit,
+            dict(self._arrival_pdfs),
+            dict(self._arrival_moments),
+            dict(self._gate_delay_moments),
+            outputs=None,
+        )
+
+    # ------------------------------------------------------------------
+    def preview(self) -> Optional[FullSstaResult]:
+        """Evaluate pending resizes against the cache without committing.
+
+        Returns ``None`` when the cache cannot answer incrementally (no
+        prior run, or a structural change) — callers should fall back to
+        :meth:`analyze`.  Otherwise the result reflects the circuit's
+        current sizes while the cache keeps the previously committed state;
+        call :meth:`commit_preview` to fold the evaluated delta in, or
+        revert the resizes (via ``set_size``) to discard it for free.
+        """
+        circuit = self.circuit
+        if (
+            self._arrival_pdfs is None
+            or self._structure_version != circuit.structure_version
+        ):
+            return None
+        dirty = self._net_dirty_gates(self._cursor)
+        if dirty is None:
+            return None
+
+        self.preview_runs += 1
+        delta = self._compute_delta(dirty)
+        self._pending = delta
+        merged_pdfs = dict(self._arrival_pdfs)
+        merged_pdfs.update(delta.arrival_pdfs)
+        merged_moments = dict(self._arrival_moments)
+        merged_moments.update(delta.arrival_moments)
+        merged_gates = dict(self._gate_delay_moments)
+        merged_gates.update(delta.gate_delay_moments)
+        return self.engine._build_result(
+            circuit, merged_pdfs, merged_moments, merged_gates, outputs=None
+        )
+
+    def commit_preview(self) -> bool:
+        """Fold the last :meth:`preview` delta into the cache.
+
+        Returns False (and leaves the cache untouched) when no preview is
+        pending or further resizes happened after it — the next
+        :meth:`analyze`/:meth:`preview` then recomputes from the log as
+        usual, so a refused commit is safe, just not free.
+        """
+        delta = self._pending
+        if delta is None or delta.cursor != self.circuit.size_change_cursor:
+            return False
+        self._apply_delta(delta)
+        self._cursor = delta.cursor
+        self._pending = None
+        return True
+
+    # ------------------------------------------------------------------
+    def _net_dirty_gates(self, since_cursor: int) -> Optional[Set[str]]:
+        """Gates whose delay may differ from the cached state, or None.
+
+        Compares each logged gate's *current* size against the size the
+        cache was computed at, so resize sequences that cancel out are
+        recognised as clean.  Returns ``None`` when the log references a
+        gate the circuit no longer has (defensive: callers rebuild).
+        """
+        circuit = self.circuit
+        dirty: Set[str] = set()
+        for name in circuit.size_changes_since(since_cursor):
+            if not circuit.has_gate(name):
+                return None
+            if circuit.gate(name).size_index == self._cached_sizes.get(name):
+                continue
+            dirty.add(name)
+            for gate in circuit.fanin_gates(name):
+                dirty.add(gate.name)
+        return dirty
+
+    # ------------------------------------------------------------------
+    def _full_rebuild(self) -> FullSstaResult:
+        circuit = self.circuit
+        self._cursor = circuit.size_change_cursor
+        self._structure_version = circuit.structure_version
+        result = self.engine.analyze(circuit)
+        self._arrival_pdfs = dict(result.arrival_pdfs)
+        self._arrival_moments = dict(result.arrival_moments)
+        self._gate_delay_moments = dict(result.gate_delay_moments)
+        self._gate_delay_pdfs = {}
+        self._cached_sizes = circuit.sizes()
+        self.full_runs += 1
+        self.gates_retimed += circuit.num_gates()
+        return result
+
+    # ------------------------------------------------------------------
+    def _compute_delta(self, dirty_delay: Set[str]) -> "_PendingDelta":
+        """Recompute the cone of ``dirty_delay`` gates into an overlay.
+
+        A gate is recomputed when its own delay is dirty or any of its input
+        nets changed; its output is marked changed only when the new pdf
+        differs from the cached one, so the wavefront dies out as soon as
+        the numbers reconverge.  The cache itself is not touched.
+        """
+        engine = self.engine
+        circuit = self.circuit
+        cache = self._arrival_pdfs
+        delta = _PendingDelta(cursor=circuit.size_change_cursor)
+        if not dirty_delay:
+            return delta
+        overlay = delta.arrival_pdfs
+        changed_nets: Set[str] = set()
+        point_zero = DiscretePDF.point(0.0)
+
+        for gate in circuit:
+            recompute = gate.name in dirty_delay or any(
+                net in changed_nets for net in gate.inputs
+            )
+            if not recompute:
+                continue
+            self.gates_retimed += 1
+            if gate.name in dirty_delay:
+                # The gate's own delay distribution moved (its size or one
+                # of its fanout's input caps changed): re-derive it.  The
+                # pdf goes into the delta, not the shared cache — a preview
+                # must not leak trial delays.
+                dist = engine.variation_model.gate_distribution(
+                    circuit, gate, engine.delay_model
+                )
+                delta.gate_delay_moments[gate.name] = NormalDelay(
+                    dist.mean, dist.sigma
+                )
+                delay_pdf = DiscretePDF.from_normal(
+                    dist.mean, dist.sigma, engine.num_samples
+                )
+                delta.gate_delay_pdfs[gate.name] = delay_pdf
+            else:
+                # Only the gate's *inputs* changed; its delay pdf is
+                # bitwise-identical to the committed state, so rebuild it
+                # from the cached moments at most once.
+                delay_pdf = self._gate_delay_pdfs.get(gate.name)
+                if delay_pdf is None:
+                    rv = self._gate_delay_moments[gate.name]
+                    delay_pdf = DiscretePDF.from_normal(
+                        rv.mean, rv.sigma, engine.num_samples
+                    )
+                    self._gate_delay_pdfs[gate.name] = delay_pdf
+            input_pdfs = [
+                overlay[net] if net in overlay else cache.get(net, point_zero)
+                for net in gate.inputs
+            ]
+            if len(input_pdfs) == 1:
+                worst_input = input_pdfs[0]
+            else:
+                worst_input = DiscretePDF.maximum_of(input_pdfs, engine.num_samples)
+            new_pdf = worst_input.add(delay_pdf, engine.num_samples)
+
+            old_pdf = cache.get(gate.output)
+            if old_pdf is not None and _pdfs_equal(old_pdf, new_pdf):
+                continue
+            overlay[gate.output] = new_pdf
+            delta.arrival_moments[gate.output] = NormalDelay(
+                new_pdf.mean(), new_pdf.std()
+            )
+            changed_nets.add(gate.output)
+
+        for name in dirty_delay:
+            delta.sizes[name] = circuit.gate(name).size_index
+        return delta
+
+    def _apply_delta(self, delta: "_PendingDelta") -> None:
+        self._arrival_pdfs.update(delta.arrival_pdfs)
+        self._arrival_moments.update(delta.arrival_moments)
+        self._gate_delay_moments.update(delta.gate_delay_moments)
+        self._gate_delay_pdfs.update(delta.gate_delay_pdfs)
+        self._cached_sizes.update(delta.sizes)
+
+
+@dataclass
+class _PendingDelta:
+    """Uncommitted re-propagation overlay produced by one preview/analyze."""
+
+    cursor: int
+    arrival_pdfs: Dict[str, DiscretePDF] = field(default_factory=dict)
+    arrival_moments: Dict[str, NormalDelay] = field(default_factory=dict)
+    gate_delay_moments: Dict[str, NormalDelay] = field(default_factory=dict)
+    gate_delay_pdfs: Dict[str, DiscretePDF] = field(default_factory=dict)
+    sizes: Dict[str, int] = field(default_factory=dict)
+
+
+def _pdfs_equal(a: DiscretePDF, b: DiscretePDF) -> bool:
+    """Bitwise equality of two discrete pdfs (sample locations and masses)."""
+    return np.array_equal(a.values, b.values) and np.array_equal(
+        a.probabilities, b.probabilities
+    )

@@ -16,19 +16,37 @@ Termination follows the paper: "until constraints are satisfied or no
 further improvements can be made".  Improvement is measured on the
 circuit-level objective ``mu_O + lambda * sigma_O`` computed by FULLSSTA;
 an optional sigma target and iteration cap provide the constrained mode.
+
+Throughput machinery (all exactness-preserving, so enabling it never
+changes the optimization trajectory):
+
+* the outer engine runs behind :class:`~repro.core.fullssta.IncrementalReanalysis`
+  — after each commit only the resized gates' cones are re-propagated;
+* subcircuit extraction is memoized in a
+  :class:`~repro.core.subcircuit.SubcircuitCache` (structure never changes
+  during a run);
+* whole-gate evaluations are memoized per (gate, depth, context signature,
+  boundary moments) — with incremental FULLSSTA, untouched regions keep
+  bitwise-identical moments between passes, so gates far from the action
+  hit this cache every pass;
+* within one evaluation the candidate sizes share the delay moments of
+  unaffected subcircuit members
+  (:meth:`~repro.core.cost.CostEvaluator.size_sweep_components`), and those
+  moments are further shared across neighbouring subcircuits until any gate
+  size changes.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.core.cost import CostComponents, CostEvaluator, WeightedCost
 from repro.core.fassta import FASSTA
-from repro.core.fullssta import FULLSSTA, FullSstaResult
+from repro.core.fullssta import FULLSSTA, FullSstaResult, IncrementalReanalysis
 from repro.core.rv import NormalDelay
-from repro.core.subcircuit import DEFAULT_DEPTH, extract_subcircuit
+from repro.core.subcircuit import DEFAULT_DEPTH, SubcircuitCache
 from repro.core.wnss import WNSSTracer
 from repro.library.delay_model import BaseDelayModel
 from repro.netlist.circuit import Circuit
@@ -40,6 +58,10 @@ class SizerConfig:
     """Tuning knobs of the StatisticalGreedy optimizer.
 
     Parameters mirror the paper's description; defaults reproduce its setup.
+    ``incremental_reanalysis`` and ``vectorized_fassta`` select the fast
+    evaluation pipeline — both are exactness-preserving and on by default;
+    turning them off yields the original from-scratch engines (used as the
+    reference in ``benchmarks/bench_incremental.py``).
     """
 
     lam: float = 3.0
@@ -52,6 +74,8 @@ class SizerConfig:
     incremental_fallback: bool = True
     max_outputs_per_pass: int = 6
     patience: int = 4
+    incremental_reanalysis: bool = True
+    vectorized_fassta: bool = True
 
     def __post_init__(self) -> None:
         if self.lam < 0:
@@ -90,6 +114,7 @@ class SizerResult:
     runtime_seconds: float
     lam: float
     converged: bool
+    diagnostics: Dict[str, int] = field(default_factory=dict)
 
     @property
     def sigma_reduction_pct(self) -> float:
@@ -123,6 +148,9 @@ class SizerResult:
 class StatisticalGreedySizer:
     """The paper's StatisticalGreedy algorithm (Fig. 2)."""
 
+    #: Whole-gate evaluation memo entries kept before a wholesale reset.
+    _EVAL_CACHE_LIMIT = 200_000
+
     def __init__(
         self,
         delay_model: BaseDelayModel,
@@ -133,28 +161,56 @@ class StatisticalGreedySizer:
         self.variation_model = variation_model
         self.config = config or SizerConfig()
 
-        self.fullssta = FULLSSTA(
-            delay_model, variation_model, num_samples=self.config.pdf_samples
-        )
-        self.fassta = FASSTA(delay_model, variation_model)
         self.cost = WeightedCost(self.config.lam)
+        self.fullssta = FULLSSTA(
+            delay_model,
+            variation_model,
+            num_samples=self.config.pdf_samples,
+            worst_key=self.cost.of,
+        )
+        self.fassta = FASSTA(
+            delay_model,
+            variation_model,
+            vectorized=self.config.vectorized_fassta,
+            worst_key=self.cost.of,
+        )
         self.evaluator = CostEvaluator(self.fassta, self.cost)
         self.tracer = WNSSTracer(
             coupling=variation_model.mean_sigma_coupling, lam=self.config.lam
         )
+
+        # Exactness-preserving caches shared by optimize()/_best_size_for().
+        self._subcircuits = SubcircuitCache()
+        self._eval_cache: Dict[tuple, Optional[int]] = {}
+        self._eval_hits = 0
+        self._eval_misses = 0
+        # Delay-rv cache for unaffected subcircuit members, valid only while
+        # no gate size changes; keyed by the circuit's size-change cursor.
+        self._rv_cache: Dict[str, NormalDelay] = {}
+        self._rv_cache_key: Optional[Tuple[int, int]] = None
 
     # ------------------------------------------------------------------
     def optimize(self, circuit: Circuit) -> SizerResult:
         """Run StatisticalGreedy on ``circuit`` in place and return the result."""
         start_time = time.perf_counter()
         config = self.config
-        library = self.delay_model.library
+        self._eval_cache.clear()
+        self._eval_hits = 0
+        self._eval_misses = 0
+        self._rv_cache = {}
+        self._rv_cache_key = None
 
-        initial_full = self.fullssta.analyze(circuit)
+        reanalysis: Optional[IncrementalReanalysis] = None
+        if config.incremental_reanalysis:
+            reanalysis = IncrementalReanalysis(self.fullssta, circuit)
+            analyze: Callable[[], FullSstaResult] = reanalysis.analyze
+        else:
+            analyze = lambda: self.fullssta.analyze(circuit)  # noqa: E731
+
+        initial_full = analyze()
         initial_rv = initial_full.output_rv
         initial_area = self.delay_model.circuit_area(circuit)
 
-        best_objective = self.cost.of(initial_rv)
         best_components = self._objective_components(circuit, initial_full)
         best_sizes = circuit.sizes()
         best_full = initial_full
@@ -212,7 +268,7 @@ class StatisticalGreedySizer:
             for gate_name, size_index in scheduled.items():
                 circuit.set_size(gate_name, size_index)
 
-            new_full = self.fullssta.analyze(circuit)
+            new_full = analyze()
             new_objective = self.cost.of(new_full.output_rv)
             new_components = self._objective_components(circuit, new_full)
 
@@ -226,7 +282,7 @@ class StatisticalGreedySizer:
                 # improve the global objective.
                 circuit.apply_sizes(snapshot)
                 accepted, accepted_full, accepted_components = self._commit_incrementally(
-                    circuit, scheduled, best_components
+                    circuit, scheduled, best_components, analyze, reanalysis
                 )
                 if accepted:
                     scheduled = accepted
@@ -236,7 +292,8 @@ class StatisticalGreedySizer:
                 else:
                     # Nothing helps individually either: keep the bulk pass
                     # (the changed loads may unlock progress next pass) and
-                    # let the patience counter decide when to give up.
+                    # let the patience counter decide when to give up.  The
+                    # bulk-state analysis (new_full) is still valid for it.
                     for gate_name, size_index in scheduled.items():
                         circuit.set_size(gate_name, size_index)
 
@@ -259,7 +316,6 @@ class StatisticalGreedySizer:
             )
 
             if new_components.better_than(best_components):
-                best_objective = new_objective
                 best_components = new_components
                 best_sizes = circuit.sizes()
                 best_full = new_full
@@ -274,6 +330,16 @@ class StatisticalGreedySizer:
         circuit.apply_sizes(best_sizes)
         final_full = best_full
         runtime = time.perf_counter() - start_time
+
+        diagnostics: Dict[str, int] = {
+            "evaluation_cache_hits": self._eval_hits,
+            "evaluation_cache_misses": self._eval_misses,
+            "subcircuit_cache_hits": self._subcircuits.hits,
+            "subcircuit_cache_misses": self._subcircuits.misses,
+        }
+        if reanalysis is not None:
+            diagnostics.update(reanalysis.stats)
+
         return SizerResult(
             circuit=circuit,
             initial=initial_rv,
@@ -284,6 +350,7 @@ class StatisticalGreedySizer:
             runtime_seconds=runtime,
             lam=config.lam,
             converged=converged,
+            diagnostics=diagnostics,
         )
 
     # ------------------------------------------------------------------
@@ -310,29 +377,49 @@ class StatisticalGreedySizer:
         circuit: Circuit,
         scheduled: Dict[str, int],
         best_components: CostComponents,
+        analyze: Optional[Callable[[], FullSstaResult]] = None,
+        reanalysis: Optional[IncrementalReanalysis] = None,
     ) -> "tuple[Dict[str, int], FullSstaResult, CostComponents]":
         """Apply scheduled resizes one at a time, keeping only improving ones.
 
         Fallback used when the bulk commit of a pass does not improve the
         global objective; returns the accepted resizes and the FULLSSTA
-        result / objective components of the resulting circuit.
+        result / objective components of the resulting circuit.  ``analyze``
+        is the outer-loop analysis callable; with ``reanalysis`` available
+        each trial is *previewed* against the cached state — an accepted
+        trial commits its delta, a rejected one is reverted for free instead
+        of paying a second cone re-propagation to undo itself.
         """
+        if analyze is None:
+            analyze = lambda: self.fullssta.analyze(circuit)  # noqa: E731
+        if reanalysis is not None:
+            # Sync the cache to the rolled-back base state once, so each
+            # trial below is a single-cone preview on top of it.
+            analyze()
         accepted: Dict[str, int] = {}
         components = best_components
         full_result: Optional[FullSstaResult] = None
         for gate_name, size_index in scheduled.items():
             previous = circuit.gate(gate_name).size_index
             circuit.set_size(gate_name, size_index)
-            trial_full = self.fullssta.analyze(circuit)
+            trial_full = None
+            previewed = False
+            if reanalysis is not None:
+                trial_full = reanalysis.preview()
+                previewed = trial_full is not None
+            if trial_full is None:
+                trial_full = analyze()
             trial_components = self._objective_components(circuit, trial_full)
             if trial_components.better_than(components):
                 accepted[gate_name] = size_index
                 components = trial_components
                 full_result = trial_full
+                if previewed:
+                    reanalysis.commit_preview()
             else:
                 circuit.set_size(gate_name, previous)
         if full_result is None:
-            full_result = self.fullssta.analyze(circuit)
+            full_result = analyze()
         return accepted, full_result, components
 
     # ------------------------------------------------------------------
@@ -345,26 +432,57 @@ class StatisticalGreedySizer:
         """Inner loop of Fig. 2: best size of one gate by subcircuit cost.
 
         Returns the winning size index, or ``None`` when no size beats the
-        current assignment.
+        current assignment.  The decision is a pure function of the
+        subcircuit structure, the sizes of its members and fringe loads, and
+        the boundary arrival moments — so it is memoized on exactly that
+        key.  With incremental re-analysis upstream, unchanged regions carry
+        bitwise-identical moments between passes and the memo keeps hitting.
         """
         library = self.delay_model.library
         gate = circuit.gate(gate_name)
-        subcircuit = extract_subcircuit(
-            circuit, gate_name, depth=self.config.subcircuit_depth
-        )
+        depth = self.config.subcircuit_depth
+        subcircuit = self._subcircuits.get(circuit, gate_name, depth)
         boundary = {
             net: full_result.arrival(net) for net in subcircuit.input_nets
         }
 
-        best_cost = self.evaluator.subcircuit_cost_components(subcircuit, boundary)
+        cache_key = (
+            id(circuit),
+            circuit.structure_version,
+            gate_name,
+            depth,
+            subcircuit.context_signature(),
+            tuple((rv.mean, rv.sigma) for rv in boundary.values()),
+        )
+        if cache_key in self._eval_cache:
+            self._eval_hits += 1
+            return self._eval_cache[cache_key]
+        self._eval_misses += 1
+        if len(self._eval_cache) > self._EVAL_CACHE_LIMIT:
+            # Boundary moments are part of the key, so entries from passes
+            # whose upstream arrivals moved can never hit again; a periodic
+            # wholesale reset bounds memory on very long constrained runs.
+            self._eval_cache.clear()
+
+        rv_key = (id(circuit), circuit.size_change_cursor)
+        if self._rv_cache_key != rv_key:
+            self._rv_cache = {}
+            self._rv_cache_key = rv_key
+
+        sweep = self.evaluator.size_sweep_components(
+            subcircuit,
+            boundary,
+            library.size_indices(gate.cell_type),
+            delay_rv_cache=self._rv_cache,
+        )
+        best_cost = sweep[gate.size_index]
         best_size = gate.size_index
-        for size_index in library.size_indices(gate.cell_type):
+        for size_index, cost in sweep.items():
             if size_index == gate.size_index:
                 continue
-            cost = self.evaluator.candidate_size_cost_components(
-                subcircuit, boundary, size_index
-            )
             if cost.better_than(best_cost):
                 best_cost = cost
                 best_size = size_index
-        return best_size if best_size != gate.size_index else None
+        choice = best_size if best_size != gate.size_index else None
+        self._eval_cache[cache_key] = choice
+        return choice

@@ -17,7 +17,7 @@ parent is immediately visible to the evaluation.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Set
+from typing import Dict, List, Optional, Set, Tuple
 
 from repro.netlist.circuit import Circuit
 
@@ -51,16 +51,55 @@ class Subcircuit:
     gate_names: List[str]
     input_nets: List[str]
     output_nets: List[str]
+    _member_set: Optional[Set[str]] = field(default=None, repr=False, compare=False)
+    _fringe_gates: Optional[List[str]] = field(default=None, repr=False, compare=False)
 
     @property
     def num_gates(self) -> int:
         return len(self.gate_names)
 
     def member_set(self) -> Set[str]:
-        return set(self.gate_names)
+        if self._member_set is None:
+            self._member_set = set(self.gate_names)
+        return self._member_set
 
     def __contains__(self, gate_name: str) -> bool:
         return gate_name in self.member_set()
+
+    # ------------------------------------------------------------------
+    def fringe_gates(self) -> List[str]:
+        """Non-member gates loading a member output net, in deterministic order.
+
+        Their sizes set the input capacitance seen by member drivers, so a
+        member gate's delay depends on them even though they are outside the
+        evaluated region.
+        """
+        if self._fringe_gates is None:
+            members = self.member_set()
+            fringe: List[str] = []
+            seen: Set[str] = set()
+            for name in self.gate_names:
+                net = self.parent.gate(name).output
+                for load in self.parent.loads_of(net):
+                    if load.name not in members and load.name not in seen:
+                        seen.add(load.name)
+                        fringe.append(load.name)
+            self._fringe_gates = fringe
+        return self._fringe_gates
+
+    def context_signature(self) -> Tuple[int, ...]:
+        """Size indices of every gate that can influence this region's timing
+        given fixed boundary arrivals: the members (delays) plus the fringe
+        loads (member output capacitance).  Two evaluations with the same
+        seed, depth, boundary arrivals and context signature are guaranteed
+        to produce identical costs, which is what makes the sizer's
+        evaluation memo exact.
+        """
+        gates = self.parent.gates
+        return tuple(
+            gates[name].size_index
+            for name in self.gate_names + self.fringe_gates()
+        )
 
     def __repr__(self) -> str:  # pragma: no cover - repr formatting
         return (
@@ -113,6 +152,50 @@ def extract_subcircuit(
         input_nets=input_nets,
         output_nets=output_nets,
     )
+
+
+class SubcircuitCache:
+    """Memoizes :func:`extract_subcircuit` per (seed, depth) for one circuit.
+
+    Extraction walks the parent's full topological order, so the greedy
+    sizer — which extracts around every WNSS-path gate every pass — pays
+    O(gates) per visit without a cache.  Subcircuit structure only depends
+    on the netlist, not on gate sizes, so entries stay valid until the
+    circuit's :attr:`~repro.netlist.circuit.Circuit.structure_version`
+    changes (or a different circuit is queried), at which point the cache
+    resets itself.
+    """
+
+    def __init__(self) -> None:
+        self._circuit: Optional[Circuit] = None
+        self._structure_version: Optional[int] = None
+        self._entries: Dict[Tuple[str, int], Subcircuit] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, circuit: Circuit, seed: str, depth: int = DEFAULT_DEPTH) -> Subcircuit:
+        """Cached extraction of the (seed, depth) region of ``circuit``."""
+        if (
+            self._circuit is not circuit
+            or self._structure_version != circuit.structure_version
+        ):
+            self._entries.clear()
+            self._circuit = circuit
+            self._structure_version = circuit.structure_version
+        key = (seed, depth)
+        subcircuit = self._entries.get(key)
+        if subcircuit is None:
+            self.misses += 1
+            subcircuit = extract_subcircuit(circuit, seed, depth)
+            self._entries[key] = subcircuit
+        else:
+            self.hits += 1
+        return subcircuit
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self._circuit = None
+        self._structure_version = None
 
 
 def extraction_statistics(circuit: Circuit, depth: int = DEFAULT_DEPTH) -> Dict[str, float]:

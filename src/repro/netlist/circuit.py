@@ -11,7 +11,10 @@ Design notes
   or a gate output) and any number of loads.
 * The class caches its topological order and invalidates the cache on any
   structural mutation (adding/removing gates).  Re-sizing a gate is *not* a
-  structural mutation and does not invalidate anything.
+  structural mutation and does not invalidate anything structural, but it is
+  recorded in an append-only *size-change log* so incremental consumers
+  (:class:`~repro.core.fullssta.IncrementalReanalysis`, the sizer's
+  evaluation caches) can find the dirty cone without re-walking the netlist.
 * All queries return data in deterministic order so that optimization runs
   are reproducible.
 """
@@ -71,6 +74,8 @@ class Circuit:
         self._loads: Dict[str, List[str]] = {}  # net -> gate names reading it
         self._topo_cache: Optional[List[str]] = None
         self._level_cache: Optional[Dict[str, int]] = None
+        self._structure_version: int = 0
+        self._size_change_log: List[str] = []
 
         seen: Set[str] = set()
         for pi in self._primary_inputs:
@@ -167,13 +172,56 @@ class Circuit:
             self._invalidate()
 
     def set_size(self, gate_name: str, size_index: int) -> None:
-        """Set the discrete size of a gate in place (no cache invalidation)."""
+        """Set the discrete size of a gate in place (no structural invalidation).
+
+        Actual changes (new index differs from the current one) are appended
+        to the size-change log consumed by incremental re-analysis; setting a
+        gate to its current size is a no-op and is not logged.
+        """
         gate = self.gate(gate_name)
-        gate.size_index = size_index
+        if gate.size_index != size_index:
+            gate.size_index = size_index
+            self._size_change_log.append(gate_name)
 
     def _invalidate(self) -> None:
         self._topo_cache = None
         self._level_cache = None
+        self._structure_version += 1
+
+    # ------------------------------------------------------------------
+    # Change tracking (consumed by incremental re-analysis)
+    # ------------------------------------------------------------------
+    @property
+    def structure_version(self) -> int:
+        """Monotone counter bumped on every structural mutation.
+
+        Consumers caching structure-derived data (topological order,
+        extracted subcircuits, levelized propagation plans) compare this
+        against the version they cached at.
+        """
+        return self._structure_version
+
+    @property
+    def size_change_cursor(self) -> int:
+        """Current position in the append-only size-change log.
+
+        Remember the cursor, mutate sizes through :meth:`set_size`, then call
+        :meth:`size_changes_since` with the remembered value to learn exactly
+        which gates were resized in between.
+        """
+        return len(self._size_change_log)
+
+    def size_changes_since(self, cursor: int) -> List[str]:
+        """Gate names resized (via :meth:`set_size`) since ``cursor``.
+
+        Names appear in mutation order and may repeat; callers typically
+        de-duplicate into a dirty set.  Direct mutation of
+        ``Gate.size_index`` bypasses the log — incremental consumers rely on
+        all persistent resizes going through :meth:`set_size`.
+        """
+        if cursor < 0:
+            raise CircuitError("size-change cursor must be non-negative")
+        return self._size_change_log[cursor:]
 
     # ------------------------------------------------------------------
     # Basic accessors

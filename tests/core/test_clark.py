@@ -159,3 +159,40 @@ class TestSensitivities:
         # contributes additional variance to the max.
         assert high[0] > low[0]
         assert high[1] > low[1]
+
+
+class TestClarkMaxFastArrays:
+    def test_elementwise_matches_scalar(self):
+        import numpy as np
+
+        rng = np.random.default_rng(11)
+        mu_a = rng.uniform(-50.0, 500.0, 400)
+        mu_b = rng.uniform(-50.0, 500.0, 400)
+        sigma_a = rng.uniform(0.0, 40.0, 400)
+        sigma_b = rng.uniform(0.0, 40.0, 400)
+        mean, var = clark.clark_max_fast_arrays(mu_a, sigma_a, mu_b, sigma_b)
+        for i in range(mu_a.size):
+            ref_mean, ref_var = clark.clark_max_fast(
+                mu_a[i], sigma_a[i], mu_b[i], sigma_b[i]
+            )
+            assert mean[i] == pytest.approx(ref_mean, abs=1e-12)
+            assert var[i] == pytest.approx(ref_var, abs=1e-12)
+
+    def test_deterministic_pairs_collapse_to_plain_max(self):
+        import numpy as np
+
+        mean, var = clark.clark_max_fast_arrays(
+            np.array([3.0, 7.0]), np.zeros(2), np.array([5.0, 2.0]), np.zeros(2)
+        )
+        assert mean.tolist() == [5.0, 7.0]
+        assert var.tolist() == [0.0, 0.0]
+
+    def test_dominant_operand_passes_through(self):
+        import numpy as np
+
+        # Separation far beyond 2.6 normalized sigmas: Eq. 5 applies.
+        mean, var = clark.clark_max_fast_arrays(
+            np.array([1000.0]), np.array([5.0]), np.array([10.0]), np.array([5.0])
+        )
+        assert mean[0] == 1000.0
+        assert var[0] == 25.0

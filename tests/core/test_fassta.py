@@ -109,3 +109,36 @@ class TestBoundaryArrivals:
             chain_circuit.set_size(name, 6)
         after = fassta.analyze(chain_circuit).output_rv
         assert after.sigma < before.sigma
+
+
+class TestOutputValidation:
+    def test_unknown_output_net_raises_key_error(self, fassta, c17_circuit):
+        # Regression: this used to silently time the typo as ZERO_DELAY.
+        with pytest.raises(KeyError, match="typo"):
+            fassta.analyze(c17_circuit, outputs=["typo"])
+
+    def test_known_outputs_still_work(self, fassta, c17_circuit):
+        result = fassta.analyze(c17_circuit, outputs=["N22", "N23"])
+        assert result.output_rv.mean > 0
+
+
+class TestWorstOutputRanking:
+    def test_default_ranks_by_mean(self, fassta, c17_circuit):
+        result = fassta.analyze(c17_circuit)
+        means = {net: result.arrival(net).mean for net in c17_circuit.primary_outputs}
+        assert result.worst_output == max(means, key=means.get)
+
+    def test_worst_key_threads_cost_criterion(self, delay_model, c17_circuit):
+        # A sigma-heavy criterion must be able to flip the reported worst
+        # output relative to pure-mean ranking when means are close.
+        from repro.core.cost import WeightedCost
+
+        variation = VariationModel()
+        lam = 50.0
+        cost = WeightedCost(lam)
+        engine = FASSTA(delay_model, variation, worst_key=cost.of)
+        result = engine.analyze(c17_circuit)
+        costs = {
+            net: cost.of(result.arrival(net)) for net in c17_circuit.primary_outputs
+        }
+        assert result.worst_output == max(costs, key=costs.get)

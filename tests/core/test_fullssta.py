@@ -118,3 +118,35 @@ class TestCorrelationOverlay:
 @pytest.fixture
 def fassta_pair(delay_model, variation_model):
     return FASSTA(delay_model, variation_model)
+
+
+class TestOutputValidationAndRanking:
+    def test_unknown_output_net_raises_key_error(self, delay_model, variation_model, c17_circuit):
+        # Regression: this used to silently time the typo as a zero pdf.
+        engine = FULLSSTA(delay_model, variation_model)
+        with pytest.raises(KeyError, match="typo"):
+            engine.analyze(c17_circuit, outputs=["typo"])
+
+    def test_worst_key_threads_cost_criterion(self, delay_model, variation_model, c17_circuit):
+        from repro.core.cost import WeightedCost
+
+        cost = WeightedCost(50.0)
+        engine = FULLSSTA(delay_model, variation_model, worst_key=cost.of)
+        result = engine.analyze(c17_circuit)
+        costs = {
+            net: cost.of(result.arrival(net)) for net in c17_circuit.primary_outputs
+        }
+        assert result.worst_output == max(costs, key=costs.get)
+
+    def test_worst_output_matches_sizer_objective(self, delay_model, variation_model, c17_circuit):
+        # The sizer constructs its engines with its weighted cost, so the
+        # reported worst output agrees with the mu + lambda*sigma objective.
+        from repro.core.sizer import SizerConfig, StatisticalGreedySizer
+
+        sizer = StatisticalGreedySizer(delay_model, variation_model, SizerConfig(lam=9.0))
+        result = sizer.fullssta.analyze(c17_circuit)
+        costs = {
+            net: sizer.cost.of(result.arrival(net))
+            for net in c17_circuit.primary_outputs
+        }
+        assert result.worst_output == max(costs, key=costs.get)

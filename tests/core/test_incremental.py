@@ -1,0 +1,351 @@
+"""Equivalence tests for the incremental/vectorized evaluation pipeline.
+
+The whole point of the pipeline is that it is *exactness-preserving*: the
+vectorized FASSTA path, the incremental FULLSSTA re-analysis and the sizer's
+caches must reproduce the from-scratch engines' moments (to ~1e-9; in
+practice they agree bitwise) while doing less work.  These tests pin that
+contract across registry circuits and randomized resize sequences.
+"""
+
+import numpy as np
+import pytest
+
+from repro.circuits.registry import build_benchmark
+from repro.core.fassta import FASSTA
+from repro.core.fullssta import FULLSSTA, IncrementalReanalysis
+from repro.core.sizer import SizerConfig, StatisticalGreedySizer
+from repro.core.subcircuit import SubcircuitCache, extract_subcircuit
+from repro.netlist.circuit import Circuit
+
+TOL = 1e-9
+
+#: Registry circuits used for equivalence sweeps (kept small enough that the
+#: whole module runs in a few seconds; shapes cover wide/shallow c499,
+#: reconvergent c432 and the larger c880).
+EQUIV_CIRCUITS = ["alu1", "c432", "c499", "c880"]
+
+
+def assert_results_close(reference, candidate, circuit, tol=TOL):
+    """All per-net moments and the output moments agree within ``tol``."""
+    for net in circuit.nets():
+        ref = reference.arrival(net)
+        cand = candidate.arrival(net)
+        assert cand.mean == pytest.approx(ref.mean, abs=tol), net
+        assert cand.sigma == pytest.approx(ref.sigma, abs=tol), net
+    assert candidate.output_rv.mean == pytest.approx(reference.output_rv.mean, abs=tol)
+    assert candidate.output_rv.sigma == pytest.approx(reference.output_rv.sigma, abs=tol)
+    assert candidate.worst_output == reference.worst_output
+
+
+class TestVectorizedFassta:
+    @pytest.mark.parametrize("name", EQUIV_CIRCUITS)
+    def test_matches_scalar_on_registry_circuits(self, name, delay_model, variation_model):
+        circuit = build_benchmark(name)
+        scalar = FASSTA(delay_model, variation_model).analyze(circuit)
+        vectorized = FASSTA(delay_model, variation_model, vectorized=True).analyze(circuit)
+        assert_results_close(scalar, vectorized, circuit)
+
+    def test_matches_scalar_after_random_resizes(self, delay_model, variation_model):
+        circuit = build_benchmark("c432")
+        scalar_engine = FASSTA(delay_model, variation_model)
+        vector_engine = FASSTA(delay_model, variation_model, vectorized=True)
+        rng = np.random.default_rng(7)
+        names = list(circuit.gates)
+        for _ in range(5):
+            for gate in rng.choice(names, size=4, replace=False):
+                circuit.set_size(str(gate), int(rng.integers(0, 7)))
+            assert_results_close(
+                scalar_engine.analyze(circuit), vector_engine.analyze(circuit), circuit
+            )
+
+    def test_boundary_arrivals_respected(self, delay_model, variation_model, chain_circuit):
+        from repro.core.rv import NormalDelay
+
+        boundary = {"in": NormalDelay(42.0, 5.0)}
+        scalar = FASSTA(delay_model, variation_model).analyze(
+            chain_circuit, boundary_arrivals=boundary
+        )
+        vectorized = FASSTA(delay_model, variation_model, vectorized=True).analyze(
+            chain_circuit, boundary_arrivals=boundary
+        )
+        assert_results_close(scalar, vectorized, chain_circuit)
+
+    def test_plan_rebuilt_after_structural_change(self, delay_model, variation_model):
+        circuit = build_benchmark("c17")
+        engine = FASSTA(delay_model, variation_model, vectorized=True)
+        engine.analyze(circuit)
+        circuit.add("extra", "INV", ["N22"], "n_extra")
+        circuit.add_primary_output("n_extra")
+        fresh = FASSTA(delay_model, variation_model).analyze(circuit)
+        assert_results_close(fresh, engine.analyze(circuit), circuit)
+
+    def test_exact_max_falls_back_to_scalar_path(self, delay_model, variation_model, c17_circuit):
+        exact_scalar = FASSTA(delay_model, variation_model, exact_max=True)
+        exact_vector = FASSTA(
+            delay_model, variation_model, exact_max=True, vectorized=True
+        )
+        assert_results_close(
+            exact_scalar.analyze(c17_circuit), exact_vector.analyze(c17_circuit), c17_circuit
+        )
+
+
+class TestIncrementalReanalysis:
+    @pytest.mark.parametrize("name", EQUIV_CIRCUITS)
+    def test_random_resize_sequences_match_scratch(self, name, delay_model, variation_model):
+        circuit = build_benchmark(name)
+        engine = FULLSSTA(delay_model, variation_model)
+        incremental = IncrementalReanalysis(engine, circuit)
+        incremental.analyze()
+        rng = np.random.default_rng(sum(map(ord, name)))
+        names = list(circuit.gates)
+        for _ in range(4):
+            for gate in rng.choice(names, size=3, replace=False):
+                circuit.set_size(str(gate), int(rng.integers(0, 7)))
+            assert_results_close(incremental.analyze(), engine.analyze(circuit), circuit)
+
+    def test_resize_and_revert_matches_original(self, delay_model, variation_model):
+        circuit = build_benchmark("c432")
+        engine = FULLSSTA(delay_model, variation_model)
+        incremental = IncrementalReanalysis(engine, circuit)
+        before = incremental.analyze()
+        gate = next(iter(circuit.gates))
+        original = circuit.gate(gate).size_index
+        circuit.set_size(gate, 6)
+        incremental.analyze()
+        circuit.set_size(gate, original)
+        after = incremental.analyze()
+        assert_results_close(before, after, circuit, tol=0.0)
+
+    def test_noop_resize_recomputes_nothing(self, delay_model, variation_model):
+        circuit = build_benchmark("alu1")
+        incremental = IncrementalReanalysis(
+            FULLSSTA(delay_model, variation_model), circuit
+        )
+        incremental.analyze()
+        retimed = incremental.gates_retimed
+        gate = next(iter(circuit.gates))
+        circuit.set_size(gate, circuit.gate(gate).size_index)  # same size: no-op
+        incremental.analyze()
+        assert incremental.gates_retimed == retimed
+
+    def test_incremental_retimes_fewer_gates_than_scratch(self, delay_model, variation_model):
+        circuit = build_benchmark("c880")
+        incremental = IncrementalReanalysis(
+            FULLSSTA(delay_model, variation_model), circuit
+        )
+        incremental.analyze()
+        baseline = incremental.gates_retimed
+        assert baseline == circuit.num_gates()
+        # A single resize must not re-time the whole circuit.
+        name = circuit.topological_order()[len(circuit) // 2]
+        circuit.set_size(name, 6)
+        incremental.analyze()
+        assert incremental.gates_retimed - baseline < circuit.num_gates() // 2
+        assert incremental.stats["incremental_runs"] == 1
+
+    def test_structural_change_triggers_full_rebuild(self, delay_model, variation_model):
+        circuit = build_benchmark("c17")
+        engine = FULLSSTA(delay_model, variation_model)
+        incremental = IncrementalReanalysis(engine, circuit)
+        incremental.analyze()
+        circuit.add("extra", "INV", ["N22"], "n_extra")
+        circuit.add_primary_output("n_extra")
+        result = incremental.analyze()
+        assert incremental.full_runs == 2
+        assert_results_close(engine.analyze(circuit), result, circuit)
+
+    def test_invalidate_forces_rebuild(self, delay_model, variation_model, c17_circuit):
+        incremental = IncrementalReanalysis(
+            FULLSSTA(delay_model, variation_model), c17_circuit
+        )
+        incremental.analyze()
+        incremental.invalidate()
+        incremental.analyze()
+        assert incremental.full_runs == 2
+
+
+class TestSizerPipelineEquivalence:
+    @pytest.mark.parametrize("name", ["c17", "alu2"])
+    def test_fast_pipeline_matches_scratch_decisions(self, name, delay_model, variation_model):
+        config_kwargs = dict(lam=3.0, max_iterations=4)
+        scratch = StatisticalGreedySizer(
+            delay_model,
+            variation_model,
+            SizerConfig(
+                incremental_reanalysis=False, vectorized_fassta=False, **config_kwargs
+            ),
+        ).optimize(build_benchmark(name))
+        fast = StatisticalGreedySizer(
+            delay_model, variation_model, SizerConfig(**config_kwargs)
+        ).optimize(build_benchmark(name))
+        # Identical decisions, not merely similar quality.
+        assert scratch.circuit.sizes() == fast.circuit.sizes()
+        assert fast.final.mean == pytest.approx(scratch.final.mean, abs=1e-6)
+        assert fast.final.sigma == pytest.approx(scratch.final.sigma, abs=1e-6)
+        assert len(fast.iterations) == len(scratch.iterations)
+
+    def test_diagnostics_populated(self, delay_model, variation_model, small_adder):
+        result = StatisticalGreedySizer(
+            delay_model, variation_model, SizerConfig(lam=3.0, max_iterations=3)
+        ).optimize(small_adder)
+        diag = result.diagnostics
+        assert diag["full_runs"] >= 1
+        assert diag["evaluation_cache_misses"] > 0
+        assert diag["subcircuit_cache_misses"] > 0
+        assert "incremental_runs" in diag
+
+
+class TestSubcircuitCache:
+    def test_returns_equivalent_subcircuits(self, delay_model, variation_model):
+        circuit = build_benchmark("c432")
+        cache = SubcircuitCache()
+        for seed in list(circuit.gates)[:10]:
+            cached = cache.get(circuit, seed, 2)
+            fresh = extract_subcircuit(circuit, seed, 2)
+            assert cached.gate_names == fresh.gate_names
+            assert cached.input_nets == fresh.input_nets
+            assert cached.output_nets == fresh.output_nets
+
+    def test_hit_miss_accounting(self, c17_circuit):
+        cache = SubcircuitCache()
+        cache.get(c17_circuit, "g16", 2)
+        cache.get(c17_circuit, "g16", 2)
+        cache.get(c17_circuit, "g16", 1)  # different depth: a distinct region
+        assert cache.hits == 1
+        assert cache.misses == 2
+
+    def test_structural_change_invalidates(self, c17_circuit):
+        cache = SubcircuitCache()
+        before = cache.get(c17_circuit, "g16", 2)
+        c17_circuit.add("extra", "INV", ["N22"], "n_extra")
+        after = cache.get(c17_circuit, "g16", 2)
+        assert after is not before
+
+    def test_context_signature_tracks_member_and_fringe_sizes(self, c17_circuit):
+        sub = extract_subcircuit(c17_circuit, "g16", depth=1)
+        base = sub.context_signature()
+        member = sub.gate_names[0]
+        c17_circuit.set_size(member, 5)
+        assert sub.context_signature() != base
+        c17_circuit.set_size(member, 0)
+        assert sub.context_signature() == base
+
+
+class TestSizeChangeLog:
+    def test_set_size_logs_only_real_changes(self, c17_circuit):
+        cursor = c17_circuit.size_change_cursor
+        c17_circuit.set_size("g10", c17_circuit.gate("g10").size_index)
+        assert c17_circuit.size_changes_since(cursor) == []
+        c17_circuit.set_size("g10", 4)
+        c17_circuit.set_size("g11", 2)
+        assert c17_circuit.size_changes_since(cursor) == ["g10", "g11"]
+
+    def test_cursor_is_stable_snapshot(self, c17_circuit):
+        c17_circuit.set_size("g10", 3)
+        cursor = c17_circuit.size_change_cursor
+        c17_circuit.set_size("g11", 5)
+        assert c17_circuit.size_changes_since(cursor) == ["g11"]
+
+    def test_apply_sizes_logs_through_set_size(self, c17_circuit):
+        cursor = c17_circuit.size_change_cursor
+        sizes = c17_circuit.sizes()
+        sizes["g19"] = 6
+        c17_circuit.apply_sizes(sizes)
+        assert c17_circuit.size_changes_since(cursor) == ["g19"]
+
+    def test_negative_cursor_rejected(self, c17_circuit):
+        from repro.netlist.circuit import CircuitError
+
+        with pytest.raises(CircuitError):
+            c17_circuit.size_changes_since(-1)
+
+    def test_structure_version_bumps_on_mutation(self):
+        circuit = Circuit("v", primary_inputs=["a"], primary_outputs=["y"])
+        v0 = circuit.structure_version
+        circuit.add("g", "INV", ["a"], "y")
+        assert circuit.structure_version > v0
+        version = circuit.structure_version
+        circuit.set_size("g", 3)  # resizes are not structural
+        assert circuit.structure_version == version
+        circuit.remove_gate("g")
+        assert circuit.structure_version > version
+
+
+class TestPreviewProtocol:
+    def test_preview_matches_scratch_without_committing(self, delay_model, variation_model):
+        circuit = build_benchmark("c432")
+        engine = FULLSSTA(delay_model, variation_model)
+        incremental = IncrementalReanalysis(engine, circuit)
+        base = incremental.analyze()
+        gate = circuit.topological_order()[3]
+        circuit.set_size(gate, 6)
+        previewed = incremental.preview()
+        assert previewed is not None
+        assert_results_close(engine.analyze(circuit), previewed, circuit)
+        # Reverting discards the trial for free: the next analyze sees a
+        # clean circuit and recomputes nothing.
+        circuit.set_size(gate, 0)
+        retimed = incremental.gates_retimed
+        after = incremental.analyze()
+        assert incremental.gates_retimed == retimed
+        assert_results_close(base, after, circuit, tol=0.0)
+
+    def test_commit_preview_folds_delta_in(self, delay_model, variation_model):
+        circuit = build_benchmark("c432")
+        engine = FULLSSTA(delay_model, variation_model)
+        incremental = IncrementalReanalysis(engine, circuit)
+        incremental.analyze()
+        gate = circuit.topological_order()[3]
+        circuit.set_size(gate, 6)
+        previewed = incremental.preview()
+        assert incremental.commit_preview()
+        retimed = incremental.gates_retimed
+        committed = incremental.analyze()
+        assert incremental.gates_retimed == retimed  # nothing left to do
+        assert_results_close(previewed, committed, circuit, tol=0.0)
+        assert_results_close(engine.analyze(circuit), committed, circuit)
+
+    def test_commit_preview_refused_after_further_resizes(self, delay_model, variation_model):
+        circuit = build_benchmark("c17")
+        incremental = IncrementalReanalysis(
+            FULLSSTA(delay_model, variation_model), circuit
+        )
+        incremental.analyze()
+        circuit.set_size("g10", 5)
+        assert incremental.preview() is not None
+        circuit.set_size("g11", 5)  # a resize the preview did not see
+        assert not incremental.commit_preview()
+        # The log-driven path still converges to the right answer.
+        assert_results_close(
+            FULLSSTA(delay_model, variation_model).analyze(circuit),
+            incremental.analyze(),
+            circuit,
+        )
+
+    def test_preview_without_prior_analysis_returns_none(self, delay_model, variation_model, c17_circuit):
+        incremental = IncrementalReanalysis(
+            FULLSSTA(delay_model, variation_model), c17_circuit
+        )
+        assert incremental.preview() is None
+
+
+class TestFloatingNetConsistency:
+    def test_floating_output_raises_in_both_fassta_paths(self, delay_model, variation_model):
+        # A gate input that is neither a primary input nor driven by a gate:
+        # both propagation paths must reject it as an output (it is not a
+        # timeable net), not silently report a zero arrival.
+        circuit = Circuit("floaty", primary_inputs=["a"], primary_outputs=["y"])
+        circuit.add("g", "NAND2", ["a", "dangling"], "y")
+        for vectorized in (False, True):
+            engine = FASSTA(delay_model, variation_model, vectorized=vectorized)
+            with pytest.raises(KeyError, match="dangling"):
+                engine.analyze(circuit, outputs=["dangling"])
+            # With a boundary arrival the net becomes timeable in both paths.
+            from repro.core.rv import NormalDelay
+
+            result = engine.analyze(
+                circuit,
+                boundary_arrivals={"dangling": NormalDelay(5.0, 1.0)},
+                outputs=["dangling"],
+            )
+            assert result.output_rv.mean == pytest.approx(5.0)
