@@ -1,0 +1,215 @@
+"""Serial vs parallel sweep-orchestration benchmark.
+
+Runs the same Table-1 (circuit, lambda) grid three times through
+:func:`repro.runner.sweep.run_cells`:
+
+1. **serial** — ``jobs=1``, the historical single-process path;
+2. **parallel** — ``jobs=N`` across a process pool;
+3. **resume** — ``jobs=N`` again over the parallel run's artifact
+   directory with ``resume=True``, which must complete with **zero**
+   recomputed cells.
+
+The benchmark asserts that serial and parallel produce identical Table-1
+rows (everything except the measured wall-clock runtimes), that the resumed
+run reuses every artifact, and that the parallel sweep is at least
+``MIN_SPEEDUP``x faster than the serial one.  The speedup assertion only
+arms in full (non ``--quick``) mode with >= 4 effective workers
+(``min(jobs, usable cores)``): on fewer cores a process pool cannot reach
+2x, and the quick grid is dominated by its largest cell (its serial total /
+longest cell ratio sits below 2), so in those configurations the speedup is
+reported but not asserted.
+
+Run directly::
+
+    PYTHONPATH=src python benchmarks/bench_sweep.py --quick    # CI smoke
+    PYTHONPATH=src python benchmarks/bench_sweep.py            # acceptance set
+
+The report is written to ``benchmarks/results/sweep.txt``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import shutil
+import sys
+import tempfile
+import time
+from pathlib import Path
+from typing import List, Optional, Tuple
+
+# Allow running as a plain script from the repo root.
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.analysis.report import format_table1  # noqa: E402
+from repro.core.sizer import SizerConfig  # noqa: E402
+from repro.runner.sweep import run_cells, table1_specs  # noqa: E402
+
+#: Acceptance grid: >= 5 circuits x 2 lambdas (ISSUE 3 acceptance criteria).
+FULL_CIRCUITS = ["alu1", "alu2", "alu3", "c432", "c499"]
+FULL_LAMS = (3.0, 9.0)
+#: Quick (CI smoke) configuration.
+QUICK_CIRCUITS = ["c17", "alu1"]
+QUICK_LAMS = (3.0, 9.0)
+
+MIN_SPEEDUP = 2.0
+
+
+def _usable_cores() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux fallback
+        return os.cpu_count() or 1
+
+
+def _rows_without_runtime(results) -> List[dict]:
+    rows = []
+    for result in results:
+        row = dict(result.result)
+        row.pop("runtime_seconds", None)
+        rows.append(row)
+    return rows
+
+
+def run(
+    circuits: List[str],
+    lams: Tuple[float, ...],
+    jobs: int,
+    max_iterations: int,
+    assert_speedup: bool = True,
+) -> Tuple[str, bool]:
+    """Run the benchmark; returns (report text, all-checks-passed)."""
+    config = SizerConfig(lam=lams[0], max_iterations=max_iterations)
+    specs = table1_specs(circuits, lams, sizer_config=config)
+    cores = _usable_cores()
+    lines = [
+        "Parallel sweep orchestration (repro.runner)",
+        f"({len(circuits)} circuits x {len(lams)} lambdas = {len(specs)} cells, "
+        f"max_iterations = {max_iterations}, jobs = {jobs}, "
+        f"usable cores = {cores})",
+        "",
+    ]
+    ok = True
+    workdir = Path(tempfile.mkdtemp(prefix="bench_sweep_"))
+    try:
+        serial_dir = workdir / "serial"
+        parallel_dir = workdir / "parallel"
+
+        start = time.perf_counter()
+        serial = run_cells(specs, jobs=1, out_dir=serial_dir)
+        t_serial = time.perf_counter() - start
+
+        start = time.perf_counter()
+        parallel = run_cells(specs, jobs=jobs, out_dir=parallel_dir)
+        t_parallel = time.perf_counter() - start
+
+        identical = _rows_without_runtime(serial.results) == _rows_without_runtime(
+            parallel.results
+        )
+        ok = ok and identical
+        speedup = t_serial / max(t_parallel, 1e-12)
+        lines.append(
+            f"serial   (jobs=1) : {t_serial:8.1f} s   "
+            f"({serial.computed} computed / {serial.skipped} reused)"
+        )
+        lines.append(
+            f"parallel (jobs={jobs}) : {t_parallel:8.1f} s   "
+            f"({parallel.computed} computed / {parallel.skipped} reused)"
+        )
+        lines.append(
+            f"speedup           : {speedup:8.2f}x   rows identical: "
+            f"{'yes' if identical else 'NO  << MISMATCH'}"
+        )
+        effective_workers = min(jobs, cores)
+        if assert_speedup and effective_workers >= 4:
+            met = speedup >= MIN_SPEEDUP
+            ok = ok and met
+            lines.append(
+                f"speedup target    : >= {MIN_SPEEDUP:.1f}x "
+                f"{'met' if met else 'NOT MET  << FAILURE'}"
+            )
+        else:
+            reason = (
+                f"only {effective_workers} effective worker(s) = "
+                f"min(jobs={jobs}, cores={cores})"
+                if effective_workers < 4
+                else "quick mode"
+            )
+            lines.append(f"speedup target    : reported only ({reason})")
+
+        start = time.perf_counter()
+        resumed = run_cells(specs, jobs=jobs, out_dir=parallel_dir, resume=True)
+        t_resume = time.perf_counter() - start
+        zero_recomputed = resumed.computed == 0 and resumed.skipped == len(specs)
+        ok = ok and zero_recomputed
+        lines.append(
+            f"resume   (jobs={jobs}) : {t_resume:8.1f} s   "
+            f"({resumed.computed} computed / {resumed.skipped} reused) "
+            f"{'-- zero re-sized cells' if zero_recomputed else '<< RECOMPUTED CELLS'}"
+        )
+        resumed_identical = _rows_without_runtime(
+            resumed.results
+        ) == _rows_without_runtime(parallel.results)
+        ok = ok and resumed_identical
+        if not resumed_identical:
+            lines.append("resume rows DIVERGED from the parallel run  << FAILURE")
+
+        lines.append("")
+        lines.append(format_table1([r.table1_row() for r in serial.results]))
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)
+    return "\n".join(lines), ok
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI smoke mode: tiny circuits, few passes (finishes in ~1 min)",
+    )
+    parser.add_argument(
+        "--circuits",
+        default=None,
+        help="comma-separated registry circuit names (overrides the mode default)",
+    )
+    parser.add_argument("--lam", type=float, nargs="+", default=None)
+    parser.add_argument("--jobs", type=int, default=4, metavar="N",
+                        help="worker processes for the parallel run")
+    parser.add_argument(
+        "--max-iterations",
+        type=int,
+        default=None,
+        help="outer-loop pass cap per cell (default: 3 quick / 8 full)",
+    )
+    args = parser.parse_args(argv)
+
+    circuits = (
+        [name.strip() for name in args.circuits.split(",") if name.strip()]
+        if args.circuits
+        else (QUICK_CIRCUITS if args.quick else FULL_CIRCUITS)
+    )
+    lams = tuple(args.lam) if args.lam else (QUICK_LAMS if args.quick else FULL_LAMS)
+    max_iterations = (
+        args.max_iterations
+        if args.max_iterations is not None
+        else (3 if args.quick else 8)
+    )
+
+    report, ok = run(
+        circuits, lams, args.jobs, max_iterations, assert_speedup=not args.quick
+    )
+    print(report)
+
+    results_dir = Path(__file__).parent / "results"
+    results_dir.mkdir(exist_ok=True)
+    (results_dir / "sweep.txt").write_text(report + "\n")
+
+    if not ok:
+        print("FAILED: sweep benchmark checks did not pass", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -33,6 +33,9 @@ The public API is organised into subpackages:
 ``repro.analysis``
     Experiment harnesses that regenerate the paper's Table 1 and
     Figures 1, 3 and 4, plus metrics and text reporting.
+``repro.runner``
+    Parallel sweep orchestration: (circuit, lambda) cells fanned across a
+    process pool with persistent, resumable JSON artifacts.
 
 Quickstart
 ----------

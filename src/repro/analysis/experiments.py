@@ -16,7 +16,8 @@ rendering lives in :mod:`repro.analysis.report`.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.analysis.metrics import Table1Row
 from repro.circuits.registry import BENCHMARK_NAMES, build_benchmark
@@ -26,10 +27,18 @@ from repro.core.fullssta import FULLSSTA
 from repro.core.rv import NormalDelay
 from repro.core.sizer import SizerConfig
 from repro.core.wnss import WNSSTracer
-from repro.flow import FlowResult, run_sizing_flow
 from repro.library.delay_model import LookupTableDelayModel
 from repro.library.synthetic90nm import make_synthetic_90nm_library
-from repro.netlist.circuit import Circuit
+from repro.runner.sweep import (
+    CellSpec,
+    ProgressFn,
+    SubstrateSpec,
+    config_with_lam,
+    evaluate_cell,
+    fig4_specs,
+    run_cells,
+    table1_specs,
+)
 from repro.variation.model import VariationModel
 
 
@@ -48,49 +57,61 @@ def run_table1_row(
     lam: float,
     sizer_config: Optional[SizerConfig] = None,
     monte_carlo_samples: int = 0,
+    substrates: Optional[SubstrateSpec] = None,
+    seed: int = 0,
 ) -> Table1Row:
-    """Run the paper's flow for one circuit at one lambda and return its row."""
-    circuit = build_benchmark(circuit_name)
-    library, delay_model, variation_model = _default_substrates()
-    flow = run_sizing_flow(
-        circuit,
+    """Run the paper's flow for one circuit at one lambda and return its row.
+
+    ``sizer_config`` is evaluated at ``lam`` (only its lambda is replaced;
+    every other tuning field is preserved); ``seed`` drives the optional
+    Monte-Carlo validation.
+    """
+    spec = CellSpec(
+        kind="table1",
+        circuit=circuit_name,
         lam=lam,
-        library=library,
-        delay_model=delay_model,
-        variation_model=variation_model,
-        sizer_config=sizer_config,
+        sizer_config=config_with_lam(sizer_config, lam),
         monte_carlo_samples=monte_carlo_samples,
+        seed=seed,
+        substrates=substrates or SubstrateSpec(),
     )
-    return Table1Row.from_flow(circuit_name, flow)
+    return evaluate_cell(spec).table1_row()
 
 
 def run_table1(
     circuit_names: Optional[Sequence[str]] = None,
     lams: Sequence[float] = (3.0, 9.0),
     sizer_config: Optional[SizerConfig] = None,
+    substrates: Optional[SubstrateSpec] = None,
+    monte_carlo_samples: int = 0,
+    seed: int = 0,
+    jobs: int = 1,
+    out_dir: Optional[Union[str, Path]] = None,
+    resume: bool = False,
+    progress: Optional[ProgressFn] = None,
 ) -> List[Table1Row]:
     """Regenerate Table 1 for the given circuits and lambda values.
 
-    Running the full 13-circuit set takes a while on the larger circuits; the
-    benchmarks default to a representative subset and the full sweep is
-    enabled with an environment variable (see ``benchmarks/bench_table1.py``).
+    A thin driver over :func:`repro.runner.sweep.run_cells`: ``jobs`` fans
+    the (circuit, lambda) cells across worker processes (``jobs=1`` keeps
+    the historical serial in-process path), ``out_dir`` persists each cell
+    as a JSON artifact and ``resume`` skips cells whose artifact matches
+    the current configuration.  Running the full 13-circuit set takes a
+    while on the larger circuits; the benchmarks default to a
+    representative subset (see ``benchmarks/bench_table1.py``).
     """
-    rows: List[Table1Row] = []
-    for name in circuit_names or BENCHMARK_NAMES:
-        for lam in lams:
-            config = sizer_config
-            if config is not None:
-                config = SizerConfig(
-                    lam=lam,
-                    subcircuit_depth=config.subcircuit_depth,
-                    max_iterations=config.max_iterations,
-                    min_relative_gain=config.min_relative_gain,
-                    sigma_target=config.sigma_target,
-                    pdf_samples=config.pdf_samples,
-                    freeze_no_gain_gates=config.freeze_no_gain_gates,
-                )
-            rows.append(run_table1_row(name, lam, config))
-    return rows
+    specs = table1_specs(
+        circuit_names or BENCHMARK_NAMES,
+        lams,
+        sizer_config=sizer_config,
+        substrates=substrates,
+        monte_carlo_samples=monte_carlo_samples,
+        seed=seed,
+    )
+    report = run_cells(
+        specs, jobs=jobs, out_dir=out_dir, resume=resume, progress=progress
+    )
+    return [result.table1_row() for result in report.results]
 
 
 # ---------------------------------------------------------------------------
@@ -139,9 +160,7 @@ def run_fig1(
     for lam in lams:
         circuit = base_circuit.copy()
         circuit.apply_sizes(original_sizes)
-        config = sizer_config or SizerConfig(lam=lam)
-        if config.lam != lam:
-            config = SizerConfig(lam=lam)
+        config = config_with_lam(sizer_config, lam)
         from repro.core.sizer import StatisticalGreedySizer
 
         StatisticalGreedySizer(delay_model, variation_model, config).optimize(circuit)
@@ -214,43 +233,44 @@ def run_fig4_sweep(
     circuit_name: str = "c432",
     lams: Sequence[float] = (0.0, 3.0, 6.0, 9.0),
     sizer_config: Optional[SizerConfig] = None,
+    substrates: Optional[SubstrateSpec] = None,
+    jobs: int = 1,
+    out_dir: Optional[Union[str, Path]] = None,
+    resume: bool = False,
+    progress: Optional[ProgressFn] = None,
 ) -> List[Fig4Point]:
     """Regenerate Figure 4: (mu, sigma) of one circuit across lambda values.
 
     Values are normalized to the original (mean-optimized, lambda = 0) design
     point, as in the paper's plot: the x axis is mu / mu_original, the y axis
     sigma / mu_original.
+
+    A thin driver over :func:`repro.runner.sweep.run_cells` — each lambda is
+    one independent cell (every worker re-derives the deterministic
+    mean-delay baseline), so the sweep parallelizes and resumes exactly like
+    :func:`run_table1`.  ``sizer_config`` is re-targeted per lambda with
+    :func:`~repro.runner.sweep.config_with_lam`, preserving all its tuning
+    fields.
     """
-    library, delay_model, variation_model = _default_substrates()
-    fullssta = FULLSSTA(delay_model, variation_model)
-
-    base_circuit = build_benchmark(circuit_name)
-    from repro.core.baseline import MeanDelaySizer
-    from repro.core.sizer import StatisticalGreedySizer
-
-    MeanDelaySizer(delay_model).optimize(base_circuit)
-    base_sizes = base_circuit.sizes()
-    original_rv = fullssta.analyze(base_circuit).output_rv
-    mu0 = original_rv.mean if original_rv.mean else 1.0
-
-    points: List[Fig4Point] = []
-    for lam in lams:
-        circuit = base_circuit.copy()
-        circuit.apply_sizes(base_sizes)
-        if lam > 0:
-            config = sizer_config or SizerConfig(lam=lam)
-            if config.lam != lam:
-                config = SizerConfig(lam=lam)
-            StatisticalGreedySizer(delay_model, variation_model, config).optimize(circuit)
-        rv = fullssta.analyze(circuit).output_rv
-        points.append(
-            Fig4Point(
-                lam=lam,
-                mean=rv.mean,
-                sigma=rv.sigma,
-                normalized_mean=rv.mean / mu0,
-                normalized_sigma=rv.sigma / mu0,
-                area=delay_model.circuit_area(circuit),
-            )
+    specs = fig4_specs(
+        circuit_name, lams, sizer_config=sizer_config, substrates=substrates
+    )
+    report = run_cells(
+        specs, jobs=jobs, out_dir=out_dir, resume=resume, progress=progress
+    )
+    results = [result.result for result in report.results]
+    if not results:
+        return []
+    # Every cell measures the same deterministic baseline; normalize to it.
+    mu0 = results[0]["original_mean"] or 1.0
+    return [
+        Fig4Point(
+            lam=cell["lam"],
+            mean=cell["mean"],
+            sigma=cell["sigma"],
+            normalized_mean=cell["mean"] / mu0,
+            normalized_sigma=cell["sigma"] / mu0,
+            area=cell["area"],
         )
-    return points
+        for cell in results
+    ]

@@ -10,6 +10,9 @@ exposes the main flows without writing any Python:
 * ``size``   — run the full flow (baseline mean-delay sizing followed by
   StatisticalGreedy) and report the Table 1 metrics for one circuit;
 * ``table1`` — regenerate Table 1 rows for a list of circuits;
+* ``sweep``  — parallel, resumable (circuit, lambda) sweep: fans the cells
+  across a process pool (``--jobs``), persists each completed cell as a
+  JSON artifact (``--out``) and skips up-to-date cells on ``--resume``;
 * ``benchmarks`` — list the available benchmark circuits and their stand-in
   gate counts versus the paper's.
 
@@ -26,6 +29,7 @@ from typing import Optional, Tuple
 
 from repro.analysis.experiments import run_table1
 from repro.analysis.report import format_table, format_table1
+from repro.runner.sweep import SubstrateSpec, fig4_specs, run_cells, table1_specs
 from repro.analysis.timing_yield import YieldReport
 from repro.circuits.registry import BENCHMARK_NAMES, PAPER_GATE_COUNTS, build_benchmark
 from repro.core.baseline import MeanDelaySizer
@@ -33,14 +37,11 @@ from repro.core.fassta import FASSTA
 from repro.core.fullssta import FULLSSTA
 from repro.core.sizer import SizerConfig, StatisticalGreedySizer
 from repro.flow import run_sizing_flow
-from repro.library.delay_model import LookupTableDelayModel
-from repro.library.synthetic90nm import make_synthetic_90nm_library
 from repro.montecarlo.mc import MonteCarloTimer
 from repro.netlist.bench import parse_bench_file
 from repro.netlist.circuit import Circuit
 from repro.netlist.validate import validate_circuit
 from repro.sta.dsta import DeterministicSTA
-from repro.variation.model import VariationModel
 
 
 def load_circuit(name_or_path: str) -> Circuit:
@@ -51,13 +52,17 @@ def load_circuit(name_or_path: str) -> Circuit:
     return build_benchmark(name_or_path)
 
 
-def _substrates(args) -> Tuple:
-    library = make_synthetic_90nm_library(sizes_per_cell=args.sizes_per_cell)
-    delay_model = LookupTableDelayModel(library)
-    variation_model = VariationModel(
-        proportional_alpha=args.alpha, random_sigma=args.random_sigma
+def _substrate_spec(args) -> SubstrateSpec:
+    """The picklable substrate recipe matching the common CLI options."""
+    return SubstrateSpec(
+        sizes_per_cell=args.sizes_per_cell,
+        proportional_alpha=args.alpha,
+        random_sigma=args.random_sigma,
     )
-    return library, delay_model, variation_model
+
+
+def _substrates(args) -> Tuple:
+    return _substrate_spec(args).build()
 
 
 def _add_common_options(parser: argparse.ArgumentParser) -> None:
@@ -150,17 +155,110 @@ def cmd_size(args) -> int:
     print(f"  sigma/mu   : {result.original_cv:9.4f} -> {result.final_cv:9.4f}")
     print(f"  area       : {result.original_area:9.0f} -> {result.final_area:9.0f} um^2 "
           f"({result.area_increase_pct:+.1f} %)")
-    print(f"  runtime    : {result.sizer_result.runtime_seconds:.1f} s "
-          f"({len(result.sizer_result.iterations)} passes)")
+    print(f"  runtime    : {result.sizer_result.runtime_seconds:.1f} s sizer "
+          f"({len(result.sizer_result.iterations)} passes), "
+          f"{result.total_runtime_seconds:.1f} s total flow")
     if result.mc_original and result.mc_final:
         print(f"  MC sigma   : {result.mc_original.sigma:9.2f} -> {result.mc_final.sigma:9.2f} ps")
     return 0
 
 
+#: Default circuit subset for table1/sweep runs (small enough to regenerate
+#: interactively; the full 13-circuit set is spelled out explicitly).
+DEFAULT_TABLE1_CIRCUITS = ["alu1", "alu2", "alu3", "c432", "c499"]
+#: Circuits for ``sweep --quick`` (CI smoke).
+QUICK_SWEEP_CIRCUITS = ["c17", "alu1"]
+
+
+def _sweep_sizer_config(args, quick: bool) -> Optional[SizerConfig]:
+    """Sizer configuration for table1/sweep runs (lambda replaced per cell)."""
+    if quick:
+        return SizerConfig(
+            lam=args.lam[0],
+            max_iterations=(
+                args.max_iterations if args.max_iterations is not None else 4
+            ),
+            max_outputs_per_pass=2,
+            patience=2,
+        )
+    if args.max_iterations is not None:
+        return SizerConfig(lam=args.lam[0], max_iterations=args.max_iterations)
+    return None
+
+
 def cmd_table1(args) -> int:
-    circuits = args.circuits or ["alu1", "alu2", "alu3", "c432", "c499"]
-    rows = run_table1(circuits, lams=tuple(args.lam))
+    circuits = args.circuits or DEFAULT_TABLE1_CIRCUITS
+    rows = run_table1(
+        circuits,
+        lams=tuple(args.lam),
+        sizer_config=_sweep_sizer_config(args, quick=False),
+        substrates=_substrate_spec(args),
+    )
     print(format_table1(rows))
+    return 0
+
+
+def cmd_sweep(args) -> int:
+    if args.kind == "fig4" and args.monte_carlo:
+        print("error: --monte-carlo is only supported with --kind table1",
+              file=sys.stderr)
+        return 2
+    substrates = _substrate_spec(args)
+    config = _sweep_sizer_config(args, quick=args.quick)
+    circuits = args.circuits or (
+        QUICK_SWEEP_CIRCUITS if args.quick else DEFAULT_TABLE1_CIRCUITS
+    )
+    if args.kind == "table1":
+        specs = table1_specs(
+            circuits,
+            args.lam,
+            sizer_config=config,
+            substrates=substrates,
+            monte_carlo_samples=args.monte_carlo,
+            seed=args.seed,
+        )
+    else:
+        specs = [
+            spec
+            for name in circuits
+            for spec in fig4_specs(
+                name, args.lam, sizer_config=config, substrates=substrates
+            )
+        ]
+
+    def progress(done, total, result):
+        status = "cached" if result.from_cache else "computed"
+        print(
+            f"[{done:3d}/{total:3d}] {result.spec.kind} "
+            f"{result.spec.circuit:<8s} lam={result.spec.lam:<4g} "
+            f"{status:8s} {result.runtime_seconds:8.1f} s",
+            flush=True,
+        )
+
+    report = run_cells(
+        specs,
+        jobs=args.jobs,
+        out_dir=args.out,
+        resume=args.resume,
+        progress=progress,
+    )
+    print()
+    if args.kind == "table1":
+        print(format_table1([r.table1_row() for r in report.results]))
+    else:
+        headers = ["circuit", "lambda", "mean_ps", "sigma_ps", "norm_mean",
+                   "norm_sigma", "area_um2"]
+        body = []
+        for result in report.results:
+            cell = result.result
+            mu0 = cell["original_mean"] or 1.0
+            body.append((
+                cell["circuit"], f"{cell['lam']:g}", f"{cell['mean']:.1f}",
+                f"{cell['sigma']:.2f}", f"{cell['mean'] / mu0:.3f}",
+                f"{cell['sigma'] / mu0:.4f}", f"{cell['area']:.0f}",
+            ))
+        print(format_table(headers, body))
+    print(report.summary())
     return 0
 
 
@@ -217,8 +315,36 @@ def build_parser() -> argparse.ArgumentParser:
     p_table = sub.add_parser("table1", help="regenerate Table 1 rows")
     p_table.add_argument("circuits", nargs="*", help="circuit names (default: small subset)")
     p_table.add_argument("--lam", type=float, nargs="+", default=[3.0, 9.0])
+    p_table.add_argument("--max-iterations", type=int, default=None,
+                         help="cap the sizer's outer-loop passes per cell")
     _add_common_options(p_table)
     p_table.set_defaults(func=cmd_table1)
+
+    p_sweep = sub.add_parser(
+        "sweep",
+        help="parallel, resumable (circuit, lambda) sweep with JSON artifacts",
+    )
+    p_sweep.add_argument("circuits", nargs="*",
+                         help="circuit names (default: small subset; "
+                              "--quick shrinks it further)")
+    p_sweep.add_argument("--lam", type=float, nargs="+", default=[3.0, 9.0])
+    p_sweep.add_argument("--jobs", type=int, default=1, metavar="N",
+                         help="worker processes (1 = serial, in-process)")
+    p_sweep.add_argument("--out", default="sweep-results", metavar="DIR",
+                         help="artifact directory (one JSON file per cell)")
+    p_sweep.add_argument("--resume", action="store_true",
+                         help="skip cells whose artifact matches the current config")
+    p_sweep.add_argument("--quick", action="store_true",
+                         help="CI smoke mode: tiny circuits, reduced sizer budget")
+    p_sweep.add_argument("--kind", choices=["table1", "fig4"], default="table1",
+                         help="cell type: Table-1 rows or Fig-4 trade-off points")
+    p_sweep.add_argument("--monte-carlo", type=int, default=0, metavar="N",
+                         help="validate each table1 cell with N MC samples")
+    p_sweep.add_argument("--max-iterations", type=int, default=None,
+                         help="cap the sizer's outer-loop passes per cell")
+    p_sweep.add_argument("--seed", type=int, default=0)
+    _add_common_options(p_sweep)
+    p_sweep.set_defaults(func=cmd_sweep)
 
     p_bench = sub.add_parser("benchmarks", help="list available benchmark circuits")
     _add_common_options(p_bench)

@@ -110,10 +110,21 @@ class MonteCarloTimer:
                 dist = distributions[name]
                 gate_samples[name] = rng.normal(dist.mean, dist.sigma, num_samples)
         else:
-            factor_draws = [
-                self.correlation_model.sample_factors(rng) for _ in range(num_samples)
-            ]
-            for name in order:
+            # Vectorized correlated path: one (num_samples, num_factors) draw
+            # for the shared grid factors and one matmul for every gate's
+            # correlated component; the independent/random parts stay
+            # per-gate (2, num_samples) draws, which consume the exact same
+            # generator stream without an O(gates x samples) upfront tensor.
+            # Stream and arithmetic match the historical per-sample loop
+            # bit-for-bit (pinned by tests/montecarlo/test_mc.py).
+            factor_array = self.correlation_model.sample_factor_array(
+                rng, num_samples
+            )
+            correlated_all = self.correlation_model.correlated_components(
+                order, factor_array
+            )
+            sigma_rand = self.variation_model.random_sigma
+            for j, name in enumerate(order):
                 dist = distributions[name]
                 gate = circuit.gate(name)
                 drive = self.delay_model.library.size(
@@ -124,43 +135,47 @@ class MonteCarloTimer:
                     * dist.mean
                     / (drive ** self.variation_model.size_exponent)
                 )
-                sigma_rand = self.variation_model.random_sigma
                 sigma_corr, sigma_ind = self.correlation_model.split_sigma(sigma_prop)
-                correlated = np.array(
-                    [
-                        self.correlation_model.correlated_component(name, draw)
-                        for draw in factor_draws
-                    ]
-                )
-                independent = rng.standard_normal(num_samples)
-                random_part = rng.standard_normal(num_samples)
+                noise = rng.standard_normal((2, num_samples))
                 gate_samples[name] = (
                     dist.mean
-                    + sigma_corr * correlated
-                    + sigma_ind * independent
-                    + sigma_rand * random_part
+                    + sigma_corr * correlated_all[:, j]
+                    + sigma_ind * noise[0]
+                    + sigma_rand * noise[1]
                 )
 
+        # Zero arrival is the documented boundary condition for true primary
+        # inputs only; any other undriven net is a netlist bug and raises,
+        # mirroring the SSTA engines.
         arrivals: Dict[str, np.ndarray] = {
             net: np.zeros(num_samples) for net in circuit.primary_inputs
         }
-        zeros = np.zeros(num_samples)
         for name in order:
             gate = circuit.gate(name)
             worst = None
             for net in gate.inputs:
-                arr = arrivals.get(net, zeros)
+                arr = arrivals.get(net)
+                if arr is None:
+                    raise KeyError(
+                        f"gate {name!r} input net {net!r} is neither a primary "
+                        f"input nor a gate output in circuit {circuit.name!r}"
+                    )
                 worst = arr if worst is None else np.maximum(worst, arr)
             arrivals[gate.output] = worst + gate_samples[name]
 
         outputs = circuit.primary_outputs
         if not outputs:
             raise ValueError(f"circuit {circuit.name!r} has no primary outputs")
+        missing = [net for net in outputs if net not in arrivals]
+        if missing:
+            raise KeyError(
+                f"unknown output net(s) {missing} in circuit {circuit.name!r}"
+            )
         circuit_delay = None
         per_output_mean: Dict[str, float] = {}
         per_output_sigma: Dict[str, float] = {}
         for net in outputs:
-            arr = arrivals.get(net, zeros)
+            arr = arrivals[net]
             per_output_mean[net] = float(arr.mean())
             per_output_sigma[net] = float(arr.std(ddof=1))
             circuit_delay = arr if circuit_delay is None else np.maximum(circuit_delay, arr)

@@ -1,0 +1,54 @@
+"""Parallel sweep orchestration with persistent, resumable artifacts.
+
+The experiment layer regenerates the paper's evidence as grids of
+independent (circuit, lambda) cells — Table 1 is 13 circuits x 2 lambdas,
+Figure 4 is one circuit x 4 lambdas.  This package fans those cells across
+a process pool, persists every completed cell as a JSON artifact keyed by a
+hash of its full input spec, and on resume skips any cell whose artifact
+still matches the current configuration.
+
+* :mod:`repro.runner.artifacts` — artifact layout, spec hashing, load/save;
+* :mod:`repro.runner.sweep` — cell specs, the per-cell evaluators (plain
+  module-level functions so they pickle into worker processes) and the
+  :func:`~repro.runner.sweep.run_cells` orchestrator.
+
+``repro.analysis.experiments`` drives its Table-1/Fig-4 runners through
+this package, and the ``repro-sizer sweep`` CLI command exposes it
+directly.
+"""
+
+from repro.runner.artifacts import (
+    ARTIFACT_SCHEMA,
+    artifact_path,
+    load_artifact,
+    spec_key,
+    write_artifact,
+)
+from repro.runner.sweep import (
+    CellResult,
+    CellSpec,
+    SubstrateSpec,
+    SweepReport,
+    config_with_lam,
+    evaluate_cell,
+    fig4_specs,
+    run_cells,
+    table1_specs,
+)
+
+__all__ = [
+    "ARTIFACT_SCHEMA",
+    "artifact_path",
+    "load_artifact",
+    "spec_key",
+    "write_artifact",
+    "CellResult",
+    "CellSpec",
+    "SubstrateSpec",
+    "SweepReport",
+    "config_with_lam",
+    "evaluate_cell",
+    "fig4_specs",
+    "run_cells",
+    "table1_specs",
+]

@@ -1,0 +1,90 @@
+"""Persistent JSON artifacts for completed sweep cells.
+
+One artifact per (kind, circuit, lambda) cell, named
+``<kind>__<circuit>__lam<lambda>.json`` (e.g. ``table1__c432__lam3.0.json``)
+inside the sweep's results directory::
+
+    {
+      "schema": 1,
+      "key": "<sha256 over the canonical cell spec>",
+      "spec": { ... },              # every input that shaped the result
+      "result": { ... },            # Table1Row fields / Fig-4 moments
+      "runtime_seconds": 12.3       # wall-clock of the producing worker
+    }
+
+Resume semantics: a cell is skipped if and only if its artifact exists,
+parses, carries the current schema number and its ``key`` equals the hash
+of the *current* spec.  Any change to the circuit, lambda, sizer
+configuration, library/variation substrates, Monte-Carlo sample count or
+seed changes the key and forces recomputation; stale artifacts are simply
+overwritten.  Artifacts are written atomically (temp file + ``os.replace``)
+so a killed sweep never leaves a half-written cell behind.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Any, Dict, Mapping, Optional, Union
+
+#: Bump when the artifact layout or the result payloads change shape;
+#: older artifacts are then recomputed instead of trusted.
+ARTIFACT_SCHEMA = 1
+
+
+def spec_key(payload: Mapping[str, Any]) -> str:
+    """Deterministic sha256 over a JSON-able spec payload."""
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def artifact_path(out_dir: Union[str, Path], kind: str, circuit: str, lam: float) -> Path:
+    """Canonical artifact file for one sweep cell.
+
+    The lambda is rendered with ``repr`` (shortest round-trip form), not
+    ``%g`` — two lambdas that differ only past the sixth significant digit
+    must not collide on one file, or resume would recompute them forever.
+    """
+    return Path(out_dir) / f"{kind}__{circuit}__lam{lam!r}.json"
+
+
+def write_artifact(
+    path: Union[str, Path],
+    key: str,
+    spec: Mapping[str, Any],
+    result: Mapping[str, Any],
+    runtime_seconds: float,
+) -> None:
+    """Atomically persist one completed cell."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload = {
+        "schema": ARTIFACT_SCHEMA,
+        "key": key,
+        "spec": dict(spec),
+        "result": dict(result),
+        "runtime_seconds": float(runtime_seconds),
+    }
+    tmp = path.with_suffix(path.suffix + ".tmp")
+    tmp.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    os.replace(tmp, path)
+
+
+def load_artifact(path: Union[str, Path]) -> Optional[Dict[str, Any]]:
+    """Load an artifact; ``None`` if missing, unparsable or schema-mismatched."""
+    path = Path(path)
+    if not path.is_file():
+        return None
+    try:
+        payload = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError):
+        return None
+    if not isinstance(payload, dict) or payload.get("schema") != ARTIFACT_SCHEMA:
+        return None
+    if not isinstance(payload.get("key"), str) or not isinstance(
+        payload.get("result"), dict
+    ):
+        return None
+    return payload

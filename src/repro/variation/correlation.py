@@ -102,6 +102,20 @@ class SpatialCorrelationModel:
         shared = len(fa & fb)
         return self.correlated_fraction * shared / self.levels
 
+    def factor_order(self) -> List[Tuple[int, int, int]]:
+        """All factor coordinates in the order :meth:`sample_factors` draws them.
+
+        Level-ascending, row-major within each level — the flattened layout of
+        :meth:`sample_factor_array` columns.
+        """
+        order: List[Tuple[int, int, int]] = []
+        for level in range(self.levels):
+            cells = min(self.grid_size, 2 ** level)
+            for row in range(cells):
+                for col in range(cells):
+                    order.append((level, row, col))
+        return order
+
     def sample_factors(self, rng: np.random.Generator) -> Dict[Tuple[int, int, int], float]:
         """Draw one sample of all global factors (each standard normal)."""
         samples: Dict[Tuple[int, int, int], float] = {}
@@ -112,6 +126,55 @@ class SpatialCorrelationModel:
                 for col in range(cells):
                     samples[(level, row, col)] = float(values[row, col])
         return samples
+
+    def sample_factor_array(
+        self, rng: np.random.Generator, num_samples: int
+    ) -> np.ndarray:
+        """Draw all factors for ``num_samples`` samples in one call.
+
+        Returns a ``(num_samples, num_factors)`` array whose columns follow
+        :meth:`factor_order`.  The generator stream is consumed in exactly the
+        same element order as ``num_samples`` successive :meth:`sample_factors`
+        calls, so for a given seed the two paths yield bitwise-identical
+        factor values.
+        """
+        return rng.standard_normal((num_samples, self.num_factors()))
+
+    def factor_weights(self, gate_names: List[str]) -> np.ndarray:
+        """0/1 membership matrix mapping factors to gates.
+
+        Shape ``(num_factors, num_gates)``; column ``j`` has a 1 at every
+        factor of ``gate_names[j]``'s quad-tree stack.
+        """
+        column = {idx: j for j, idx in enumerate(self.factor_order())}
+        weights = np.zeros((self.num_factors(), len(gate_names)))
+        for j, name in enumerate(gate_names):
+            for idx in self.factor_indices(self.assign(name)):
+                weights[column[idx], j] = 1.0
+        return weights
+
+    def correlated_components(
+        self, gate_names: List[str], factor_array: np.ndarray
+    ) -> np.ndarray:
+        """Standard-normal correlated disturbances for many gates and samples.
+
+        ``factor_array`` is a ``(num_samples, num_factors)`` draw from
+        :meth:`sample_factor_array`; the result is ``(num_samples, num_gates)``
+        with column ``j`` equal to :meth:`correlated_component` of
+        ``gate_names[j]`` evaluated per sample.  The factor sum is one matmul
+        against the 0/1 membership matrix: the products are exact and the
+        zero terms are additive identities, so on mainstream BLAS builds
+        (which reduce the tiny K dimension in order) this reproduces the
+        scalar path's left-to-right summation bit-for-bit — the equivalence
+        is pinned by ``tests/montecarlo/test_mc.py``, which will flag any
+        platform whose GEMM reassociates the reduction.
+        """
+        if factor_array.ndim != 2 or factor_array.shape[1] != self.num_factors():
+            raise ValueError(
+                f"factor_array must have shape (num_samples, {self.num_factors()})"
+            )
+        weights = self.factor_weights(gate_names)
+        return (factor_array @ weights) / np.sqrt(self.levels)
 
     def correlated_component(
         self,

@@ -5,6 +5,8 @@ budgets so the whole file stays fast; the full-scale regeneration lives in
 the benchmark harness.
 """
 
+import dataclasses
+
 import pytest
 
 from repro.analysis.experiments import (
@@ -14,9 +16,39 @@ from repro.analysis.experiments import (
     run_table1,
     run_table1_row,
 )
-from repro.core.sizer import SizerConfig
+from repro.core.sizer import SizerConfig, StatisticalGreedySizer
+from repro.runner.sweep import SubstrateSpec
 
 FAST = SizerConfig(lam=3.0, max_iterations=4, max_outputs_per_pass=2, patience=2)
+
+#: A config whose non-lambda fields are all distinguishable from defaults —
+#: used to prove the runners no longer clobber a caller's configuration.
+CUSTOM = SizerConfig(
+    lam=3.0,
+    subcircuit_depth=1,
+    max_iterations=2,
+    max_outputs_per_pass=1,
+    patience=1,
+)
+
+
+class _SizerSpy:
+    """Capture every SizerConfig the experiment runners actually use."""
+
+    def __init__(self, monkeypatch):
+        self.configs = []
+        spy = self
+
+        class Spy(StatisticalGreedySizer):
+            def __init__(self, delay_model, variation_model, config):
+                spy.configs.append(config)
+                super().__init__(delay_model, variation_model, config)
+
+        import repro.core.sizer as sizer_module
+        import repro.flow as flow_module
+
+        monkeypatch.setattr(sizer_module, "StatisticalGreedySizer", Spy)
+        monkeypatch.setattr(flow_module, "StatisticalGreedySizer", Spy)
 
 
 class TestTable1Runner:
@@ -41,6 +73,48 @@ class TestTable1Runner:
         for row in rows:
             assert row.sigma_change_pct <= 0.0
 
+    def test_config_fields_survive_lambda_replacement(self, monkeypatch):
+        # Regression: a caller's config used to be swapped for a default
+        # SizerConfig(lam=lam) whenever its lambda differed from the cell's,
+        # silently dropping subcircuit_depth, max_iterations, etc.
+        spy = _SizerSpy(monkeypatch)
+        run_table1(["c17"], lams=(9.0,), sizer_config=CUSTOM)
+        (config,) = spy.configs
+        assert config.lam == 9.0
+        expected = dataclasses.asdict(CUSTOM)
+        expected["lam"] = 9.0
+        assert dataclasses.asdict(config) == expected
+
+    def test_substrates_take_effect(self):
+        # With variation disabled through the substrates the original design
+        # must measure a zero sigma/mu — the flags are not cosmetic.
+        row = run_table1_row(
+            "c17", lam=3.0, sizer_config=FAST,
+            substrates=SubstrateSpec(proportional_alpha=0.0, random_sigma=0.0),
+        )
+        assert row.original_cv == pytest.approx(0.0, abs=1e-12)
+        default_row = run_table1_row("c17", lam=3.0, sizer_config=FAST)
+        assert default_row.original_cv > 0
+
+    def test_parallel_matches_serial(self, tmp_path):
+        serial = run_table1(["c17"], lams=(3.0, 9.0), sizer_config=FAST)
+        parallel = run_table1(
+            ["c17"], lams=(3.0, 9.0), sizer_config=FAST, jobs=2,
+            out_dir=tmp_path, resume=False,
+        )
+        for a, b in zip(serial, parallel):
+            a_dict, b_dict = dataclasses.asdict(a), dataclasses.asdict(b)
+            a_dict.pop("runtime_seconds"), b_dict.pop("runtime_seconds")
+            assert a_dict == b_dict
+        # A resumed rerun reuses every artifact and returns the same rows.
+        resumed = run_table1(
+            ["c17"], lams=(3.0, 9.0), sizer_config=FAST, jobs=2,
+            out_dir=tmp_path, resume=True,
+        )
+        assert [dataclasses.asdict(r) for r in resumed] == [
+            dataclasses.asdict(r) for r in parallel
+        ]
+
 
 class TestFig1Runner:
     def test_curves_structure(self):
@@ -56,6 +130,14 @@ class TestFig1Runner:
     def test_optimized_pdf_is_tighter(self):
         curves = run_fig1("c17", lams=(9.0,), sizer_config=SizerConfig(lam=9.0, max_iterations=6, patience=2))
         assert curves.optimized[9.0].std() <= curves.original.std() + 1e-9
+
+    def test_config_fields_survive_lambda_replacement(self, monkeypatch):
+        spy = _SizerSpy(monkeypatch)
+        run_fig1("c17", lams=(9.0,), sizer_config=CUSTOM, pdf_samples=11)
+        (config,) = spy.configs
+        assert config.lam == 9.0
+        assert config.max_iterations == CUSTOM.max_iterations
+        assert config.subcircuit_depth == CUSTOM.subcircuit_depth
 
 
 class TestFig3Runner:
@@ -90,3 +172,19 @@ class TestFig4Runner:
     def test_sigma_decreases_along_sweep(self):
         points = run_fig4_sweep("c17", lams=(0.0, 9.0), sizer_config=SizerConfig(lam=9.0, max_iterations=6, patience=2))
         assert points[1].sigma <= points[0].sigma + 1e-9
+
+    def test_config_fields_survive_lambda_replacement(self, monkeypatch):
+        spy = _SizerSpy(monkeypatch)
+        run_fig4_sweep("c17", lams=(9.0,), sizer_config=CUSTOM)
+        (config,) = spy.configs
+        assert config.lam == 9.0
+        assert config.max_iterations == CUSTOM.max_iterations
+        assert config.subcircuit_depth == CUSTOM.subcircuit_depth
+
+    def test_parallel_matches_serial(self, tmp_path):
+        serial = run_fig4_sweep("c17", lams=(0.0, 3.0), sizer_config=FAST)
+        parallel = run_fig4_sweep(
+            "c17", lams=(0.0, 3.0), sizer_config=FAST, jobs=2,
+            out_dir=tmp_path, resume=False,
+        )
+        assert parallel == serial  # Fig4Point is a frozen value dataclass

@@ -1,0 +1,261 @@
+"""Tests for the parallel sweep orchestrator and its artifacts.
+
+All sweeps here run the smallest circuits with a reduced sizer budget; the
+full-scale serial-vs-parallel comparison lives in
+``benchmarks/bench_sweep.py``.
+"""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.core.sizer import SizerConfig
+from repro.runner.artifacts import (
+    ARTIFACT_SCHEMA,
+    artifact_path,
+    load_artifact,
+    spec_key,
+    write_artifact,
+)
+from repro.runner.sweep import (
+    CellSpec,
+    SubstrateSpec,
+    config_with_lam,
+    evaluate_cell,
+    fig4_specs,
+    run_cells,
+    table1_specs,
+)
+
+FAST = SizerConfig(lam=3.0, max_iterations=3, max_outputs_per_pass=2, patience=2)
+
+
+def _row_fields_except_runtime(result):
+    fields = dict(result.result)
+    fields.pop("runtime_seconds", None)
+    return fields
+
+
+class TestConfigWithLam:
+    def test_none_gives_default_at_lam(self):
+        config = config_with_lam(None, 9.0)
+        assert config == SizerConfig(lam=9.0)
+
+    def test_preserves_every_other_field(self):
+        base = SizerConfig(
+            lam=3.0,
+            subcircuit_depth=1,
+            max_iterations=7,
+            min_relative_gain=1e-3,
+            sigma_target=5.0,
+            pdf_samples=11,
+            freeze_no_gain_gates=True,
+            max_outputs_per_pass=2,
+            patience=3,
+        )
+        replaced = config_with_lam(base, 9.0)
+        assert replaced.lam == 9.0
+        expected = dataclasses.asdict(base)
+        expected["lam"] = 9.0
+        assert dataclasses.asdict(replaced) == expected
+
+    def test_same_lam_returns_config_unchanged(self):
+        assert config_with_lam(FAST, FAST.lam) is FAST
+
+
+class TestSpecsAndKeys:
+    def test_table1_grid(self):
+        specs = table1_specs(["c17", "alu1"], (3.0, 9.0), sizer_config=FAST)
+        assert len(specs) == 4
+        assert {(s.circuit, s.lam) for s in specs} == {
+            ("c17", 3.0), ("c17", 9.0), ("alu1", 3.0), ("alu1", 9.0)
+        }
+        # Each cell's config carries the cell lambda but keeps FAST's budget.
+        for spec in specs:
+            assert spec.sizer_config.lam == spec.lam
+            assert spec.sizer_config.max_iterations == FAST.max_iterations
+
+    def test_key_is_deterministic_and_config_sensitive(self):
+        spec = CellSpec(kind="table1", circuit="c17", lam=3.0, sizer_config=FAST)
+        same = CellSpec(kind="table1", circuit="c17", lam=3.0, sizer_config=FAST)
+        assert spec.key() == same.key()
+        other_config = dataclasses.replace(FAST, max_iterations=5)
+        changed = CellSpec(
+            kind="table1", circuit="c17", lam=3.0, sizer_config=other_config
+        )
+        assert changed.key() != spec.key()
+
+    def test_int_and_float_lambda_are_the_same_cell(self, tmp_path):
+        as_int = CellSpec(kind="table1", circuit="c17", lam=3,
+                          sizer_config=SizerConfig(lam=3))
+        as_float = CellSpec(kind="table1", circuit="c17", lam=3.0,
+                            sizer_config=SizerConfig(lam=3.0))
+        assert as_int.key() == as_float.key()
+        assert artifact_path(tmp_path, "table1", "c17", as_int.lam) == \
+            artifact_path(tmp_path, "table1", "c17", as_float.lam)
+
+    def test_key_sensitive_to_seed(self):
+        base = CellSpec(kind="table1", circuit="c17", lam=3.0)
+        assert CellSpec(kind="table1", circuit="c17", lam=3.0, seed=1).key() != base.key()
+
+    def test_key_sensitive_to_substrates_and_mc(self):
+        base = CellSpec(kind="table1", circuit="c17", lam=3.0)
+        assert (
+            CellSpec(
+                kind="table1", circuit="c17", lam=3.0,
+                substrates=SubstrateSpec(proportional_alpha=0.3),
+            ).key()
+            != base.key()
+        )
+        assert (
+            CellSpec(
+                kind="table1", circuit="c17", lam=3.0, monte_carlo_samples=100
+            ).key()
+            != base.key()
+        )
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            CellSpec(kind="table2", circuit="c17", lam=3.0)
+
+
+class TestArtifacts:
+    def test_roundtrip(self, tmp_path):
+        path = artifact_path(tmp_path, "table1", "c17", 3.0)
+        write_artifact(path, key="k", spec={"a": 1}, result={"b": 2.5},
+                       runtime_seconds=1.25)
+        payload = load_artifact(path)
+        assert payload["schema"] == ARTIFACT_SCHEMA
+        assert payload["key"] == "k"
+        assert payload["result"] == {"b": 2.5}
+        assert payload["runtime_seconds"] == 1.25
+
+    def test_missing_and_corrupt_return_none(self, tmp_path):
+        assert load_artifact(tmp_path / "nope.json") is None
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        assert load_artifact(bad) is None
+
+    def test_schema_mismatch_returns_none(self, tmp_path):
+        path = artifact_path(tmp_path, "table1", "c17", 3.0)
+        write_artifact(path, key="k", spec={}, result={}, runtime_seconds=0.0)
+        payload = json.loads(path.read_text())
+        payload["schema"] = ARTIFACT_SCHEMA + 1
+        path.write_text(json.dumps(payload))
+        assert load_artifact(path) is None
+
+    def test_spec_key_order_independent(self):
+        assert spec_key({"a": 1, "b": 2}) == spec_key({"b": 2, "a": 1})
+
+    def test_close_lambdas_do_not_collide(self, tmp_path):
+        # %g-style formatting would map 3.0 and 3.0000001 onto one file,
+        # making the up-to-date resume state unreachable.
+        a = artifact_path(tmp_path, "table1", "c17", 3.0)
+        b = artifact_path(tmp_path, "table1", "c17", 3.0000001)
+        assert a != b
+
+
+class TestRunCells:
+    def test_serial_matches_parallel(self, tmp_path):
+        specs = table1_specs(["c17"], (3.0, 9.0), sizer_config=FAST)
+        serial = run_cells(specs, jobs=1)
+        parallel = run_cells(specs, jobs=2)
+        assert serial.computed == 2 and parallel.computed == 2
+        for a, b in zip(serial.results, parallel.results):
+            assert a.spec == b.spec
+            # Rows are bitwise identical apart from measured wall-clock.
+            assert _row_fields_except_runtime(a) == _row_fields_except_runtime(b)
+
+    def test_results_follow_spec_order(self):
+        specs = table1_specs(["c17"], (9.0, 3.0), sizer_config=FAST)
+        report = run_cells(specs, jobs=2)
+        assert [r.spec.lam for r in report.results] == [9.0, 3.0]
+
+    def test_resume_skips_up_to_date_cells(self, tmp_path):
+        specs = table1_specs(["c17"], (3.0, 9.0), sizer_config=FAST)
+        first = run_cells(specs, jobs=1, out_dir=tmp_path, resume=True)
+        assert first.computed == 2 and first.skipped == 0
+        mtimes = {p.name: p.stat().st_mtime_ns for p in tmp_path.glob("*.json")}
+        second = run_cells(specs, jobs=2, out_dir=tmp_path, resume=True)
+        assert second.computed == 0 and second.skipped == 2
+        assert all(r.from_cache for r in second.results)
+        # Artifacts were not rewritten.
+        assert mtimes == {p.name: p.stat().st_mtime_ns for p in tmp_path.glob("*.json")}
+        # Cached rows equal the originally computed ones.
+        for a, b in zip(first.results, second.results):
+            assert _row_fields_except_runtime(a) == _row_fields_except_runtime(b)
+
+    def test_resume_recomputes_on_config_change(self, tmp_path):
+        specs = table1_specs(["c17"], (3.0,), sizer_config=FAST)
+        run_cells(specs, jobs=1, out_dir=tmp_path, resume=True)
+        changed = table1_specs(
+            ["c17"], (3.0,),
+            sizer_config=dataclasses.replace(FAST, max_iterations=2),
+        )
+        report = run_cells(changed, jobs=1, out_dir=tmp_path, resume=True)
+        assert report.computed == 1 and report.skipped == 0
+
+    def test_resume_without_out_dir_computes(self):
+        specs = table1_specs(["c17"], (3.0,), sizer_config=FAST)
+        report = run_cells(specs, jobs=1, out_dir=None, resume=True)
+        assert report.computed == 1
+
+    def test_progress_callback_sees_every_cell(self, tmp_path):
+        specs = table1_specs(["c17"], (3.0, 9.0), sizer_config=FAST)
+        seen = []
+        run_cells(specs, jobs=1, out_dir=tmp_path,
+                  progress=lambda done, total, r: seen.append((done, total)))
+        assert seen == [(1, 2), (2, 2)]
+
+    def test_invalid_jobs_rejected(self):
+        with pytest.raises(ValueError):
+            run_cells([], jobs=0)
+
+    @pytest.mark.parametrize("jobs", [1, 2])
+    def test_failing_cell_preserves_siblings(self, tmp_path, jobs):
+        # One bad cell must not discard the completed ones: their artifacts
+        # persist, and a later resume only pays for the failure.
+        specs = table1_specs(["c17", "no_such_circuit"], (3.0,),
+                             sizer_config=FAST)
+        with pytest.raises(RuntimeError, match="no_such_circuit"):
+            run_cells(specs, jobs=jobs, out_dir=tmp_path)
+        good = load_artifact(artifact_path(tmp_path, "table1", "c17", 3.0))
+        assert good is not None
+        report = run_cells(specs[:1], jobs=1, out_dir=tmp_path, resume=True)
+        assert report.computed == 0 and report.skipped == 1
+
+
+class TestFig4Cells:
+    def test_lam_zero_is_pure_baseline(self):
+        (spec,) = fig4_specs("c17", (0.0,), sizer_config=FAST)
+        result = evaluate_cell(spec).result
+        assert result["mean"] == result["original_mean"]
+        assert result["sigma"] == result["original_sigma"]
+
+    def test_optimized_cell_reduces_sigma(self):
+        (spec,) = fig4_specs("c17", (9.0,),
+                             sizer_config=SizerConfig(lam=9.0, max_iterations=6,
+                                                      patience=2))
+        result = evaluate_cell(spec).result
+        assert result["sigma"] <= result["original_sigma"] + 1e-9
+        assert result["area"] > 0
+
+    def test_baseline_memoized_across_lambdas(self):
+        # A serial fig4 sweep derives the deterministic mean-delay baseline
+        # once per (circuit, substrates), not once per lambda.
+        import repro.runner.sweep as sweep_module
+
+        sweep_module._FIG4_BASELINES.clear()
+        results = [
+            evaluate_cell(spec).result
+            for spec in fig4_specs("c17", (0.0, 3.0), sizer_config=FAST)
+        ]
+        assert len(sweep_module._FIG4_BASELINES) == 1
+        assert results[0]["original_mean"] == results[1]["original_mean"]
+        assert results[0]["original_sigma"] == results[1]["original_sigma"]
+
+    def test_table1_row_rejected_for_fig4(self):
+        (spec,) = fig4_specs("c17", (0.0,), sizer_config=FAST)
+        with pytest.raises(ValueError):
+            evaluate_cell(spec).table1_row()

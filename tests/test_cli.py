@@ -37,6 +37,25 @@ class TestParser:
         args = build_parser().parse_args(["table1", "c17", "--lam", "3", "6", "9"])
         assert args.lam == [3.0, 6.0, 9.0]
 
+    def test_sweep_defaults(self):
+        args = build_parser().parse_args(["sweep"])
+        assert args.jobs == 1
+        assert args.out == "sweep-results"
+        assert args.resume is False
+        assert args.quick is False
+        assert args.kind == "table1"
+        assert args.lam == [3.0, 9.0]
+
+    def test_sweep_flags(self):
+        args = build_parser().parse_args(
+            ["sweep", "c17", "alu1", "--jobs", "4", "--out", "/tmp/x",
+             "--resume", "--quick", "--kind", "fig4", "--lam", "0", "3"]
+        )
+        assert args.circuits == ["c17", "alu1"]
+        assert args.jobs == 4
+        assert args.resume and args.quick
+        assert args.kind == "fig4"
+
 
 class TestCommands:
     def test_info(self, capsys):
@@ -75,3 +94,49 @@ class TestCommands:
         path.write_text(write_bench(c17()))
         assert main(["info", str(path)]) == 0
         assert "gates          : 6" in capsys.readouterr().out
+
+    def test_table1_substrate_flags_take_effect(self, capsys):
+        # Regression: --alpha/--random-sigma/--sizes-per-cell were parsed but
+        # never reached the runs.  With variation zeroed out the original
+        # sigma/mu column must read exactly 0.000.
+        assert main(["table1", "c17", "--lam", "3", "--max-iterations", "2",
+                     "--alpha", "0", "--random-sigma", "0"]) == 0
+        out = capsys.readouterr().out
+        row = next(line for line in out.splitlines() if line.startswith("c17"))
+        assert row.split()[3] == "0.000"
+
+
+class TestSweepCommand:
+    def test_quick_sweep_then_resume(self, tmp_path, capsys):
+        out_dir = tmp_path / "artifacts"
+        argv = ["sweep", "c17", "--quick", "--lam", "3", "9",
+                "--jobs", "2", "--out", str(out_dir)]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert "2 computed, 0 reused" in first
+        assert len(list(out_dir.glob("table1__c17__lam*.json"))) == 2
+
+        assert main(argv + ["--resume"]) == 0
+        second = capsys.readouterr().out
+        assert "0 computed, 2 reused" in second
+        assert "cached" in second
+        # The resumed table is identical to the computed one.
+        table = lambda text: [l for l in text.splitlines() if l.startswith("c17")]
+        assert table(first) == table(second)
+
+    def test_fig4_rejects_monte_carlo(self, tmp_path, capsys):
+        # fig4 cells have no MC validation path; silently dropping the flag
+        # would let the user believe the points were validated.
+        assert main(["sweep", "c17", "--kind", "fig4", "--monte-carlo", "100",
+                     "--out", str(tmp_path)]) == 2
+        assert "--monte-carlo" in capsys.readouterr().err
+
+    def test_fig4_sweep(self, tmp_path, capsys):
+        assert main(["sweep", "c17", "--quick", "--kind", "fig4",
+                     "--lam", "0", "9", "--out", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "norm_mean" in out
+        rows = [l for l in out.splitlines() if l.startswith("c17")]
+        assert len(rows) == 2
+        # The lambda = 0 point is the normalization anchor.
+        assert rows[0].split()[4] == "1.000"
