@@ -66,8 +66,14 @@ def timing_yield(distribution: DelayDistribution, clock_period: float) -> float:
 def period_for_yield(distribution: DelayDistribution, target_yield: float) -> float:
     """Smallest clock period that achieves ``target_yield``.
 
-    For normal moments this is the exact quantile; for discrete pdfs and
-    sample sets it is the corresponding empirical quantile.
+    For normal moments this is the exact quantile; for discrete pdfs it is
+    the generalized inverse CDF (:meth:`DiscretePDF.quantile`); for sample
+    sets it is the inverted ECDF — the smallest *sample* whose empirical
+    yield reaches the target.  ``np.quantile``'s default linear
+    interpolation would instead return a period strictly between two
+    samples whose empirical yield falls *below* the target, contradicting
+    this function's contract; ``method="inverted_cdf"`` guarantees
+    ``timing_yield(samples, period_for_yield(samples, q)) >= q``.
     """
     if not 0.0 < target_yield < 1.0:
         raise ValueError("target_yield must be in (0, 1)")
@@ -78,7 +84,7 @@ def period_for_yield(distribution: DelayDistribution, target_yield: float) -> fl
     samples = np.asarray(distribution, dtype=float)
     if samples.size == 0:
         raise ValueError("an empirical delay distribution needs at least one sample")
-    return float(np.quantile(samples, target_yield))
+    return float(np.quantile(samples, target_yield, method="inverted_cdf"))
 
 
 def yield_improvement(

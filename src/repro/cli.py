@@ -29,7 +29,13 @@ from typing import Optional, Tuple
 
 from repro.analysis.experiments import run_table1
 from repro.analysis.report import format_table, format_table1
-from repro.runner.sweep import SubstrateSpec, fig4_specs, run_cells, table1_specs
+from repro.runner.sweep import (
+    SubstrateSpec,
+    fig4_specs,
+    run_cells,
+    table1_specs,
+    yield_specs,
+)
 from repro.analysis.timing_yield import YieldReport
 from repro.circuits.registry import BENCHMARK_NAMES, PAPER_GATE_COUNTS, build_benchmark
 from repro.core.baseline import MeanDelaySizer
@@ -133,10 +139,36 @@ def cmd_ssta(args) -> int:
     return 0
 
 
+def _check_yield_options(objective: str, target_yields, max_area_ratio=None,
+                         pdf_samples=None) -> Optional[str]:
+    """Validate yield-mode CLI inputs; returns an error message or None."""
+    if objective == "yield":
+        for target in target_yields:
+            if not 0.5 <= target < 1.0:
+                return f"--target-yield must be in [0.5, 1), got {target:g}"
+    if max_area_ratio is not None and max_area_ratio < 1.0:
+        return f"--max-area-ratio must be >= 1, got {max_area_ratio:g}"
+    if pdf_samples is not None and pdf_samples < 3:
+        return f"--pdf-samples must be >= 3, got {pdf_samples}"
+    return None
+
+
 def cmd_size(args) -> int:
+    problem = _check_yield_options(args.objective, [args.target_yield],
+                                   args.max_area_ratio, args.pdf_samples)
+    if problem:
+        print(f"error: {problem}", file=sys.stderr)
+        return 2
     circuit = load_circuit(args.circuit)
     library, delay_model, variation_model = _substrates(args)
-    config = SizerConfig(lam=args.lam, max_iterations=args.max_iterations)
+    config = SizerConfig(
+        lam=args.lam,
+        max_iterations=args.max_iterations,
+        objective=args.objective,
+        target_yield=args.target_yield,
+        max_area_ratio=args.max_area_ratio,
+        pdf_samples=args.pdf_samples,
+    )
     result = run_sizing_flow(
         circuit,
         lam=args.lam,
@@ -147,7 +179,12 @@ def cmd_size(args) -> int:
         monte_carlo_samples=args.monte_carlo,
         run_baseline=not args.no_baseline,
     )
-    print(f"circuit {circuit.name}: {circuit.num_gates()} gates, lambda={args.lam:g}")
+    if args.objective == "yield":
+        print(f"circuit {circuit.name}: {circuit.num_gates()} gates, "
+              f"objective=yield target={args.target_yield:g} "
+              f"(equivalent lambda={result.sizer_result.lam:.3f})")
+    else:
+        print(f"circuit {circuit.name}: {circuit.num_gates()} gates, lambda={args.lam:g}")
     print(f"  mean delay : {result.original_rv.mean:9.1f} -> {result.final_rv.mean:9.1f} ps "
           f"({result.mean_increase_pct:+.1f} %)")
     print(f"  sigma      : {result.original_rv.sigma:9.2f} -> {result.final_rv.sigma:9.2f} ps "
@@ -158,6 +195,13 @@ def cmd_size(args) -> int:
     print(f"  runtime    : {result.sizer_result.runtime_seconds:.1f} s sizer "
           f"({len(result.sizer_result.iterations)} passes), "
           f"{result.total_runtime_seconds:.1f} s total flow")
+    if args.objective == "yield":
+        ys = result.yield_summary(args.target_yield)
+        print(f"  period@{100 * args.target_yield:.4g}% : {ys['original_period']:9.1f} -> "
+              f"{ys['final_period']:9.1f} ps ({-ys['period_reduction_pct']:+.1f} %)")
+        print(f"  yield at {ys['final_period']:.1f} ps : "
+              f"{100 * ys['original_yield_at_final_period']:.2f} % -> "
+              f"{100 * ys['final_yield_at_final_period']:.2f} %")
     if result.mc_original and result.mc_final:
         print(f"  MC sigma   : {result.mc_original.sigma:9.2f} -> {result.mc_final.sigma:9.2f} ps")
     return 0
@@ -199,10 +243,15 @@ def cmd_table1(args) -> int:
 
 
 def cmd_sweep(args) -> int:
-    if args.kind == "fig4" and args.monte_carlo:
+    if args.kind != "table1" and args.monte_carlo:
         print("error: --monte-carlo is only supported with --kind table1",
               file=sys.stderr)
         return 2
+    if args.kind == "yield":
+        problem = _check_yield_options("yield", args.target_yield)
+        if problem:
+            print(f"error: {problem}", file=sys.stderr)
+            return 2
     substrates = _substrate_spec(args)
     config = _sweep_sizer_config(args, quick=args.quick)
     circuits = args.circuits or (
@@ -217,6 +266,13 @@ def cmd_sweep(args) -> int:
             monte_carlo_samples=args.monte_carlo,
             seed=args.seed,
         )
+    elif args.kind == "yield":
+        specs = yield_specs(
+            circuits,
+            args.target_yield,
+            sizer_config=config,
+            substrates=substrates,
+        )
     else:
         specs = [
             spec
@@ -228,9 +284,14 @@ def cmd_sweep(args) -> int:
 
     def progress(done, total, result):
         status = "cached" if result.from_cache else "computed"
+        axis = (
+            f"y={result.spec.target_yield:<5g}"
+            if result.spec.kind == "yield"
+            else f"lam={result.spec.lam:<4g}"
+        )
         print(
             f"[{done:3d}/{total:3d}] {result.spec.kind} "
-            f"{result.spec.circuit:<8s} lam={result.spec.lam:<4g} "
+            f"{result.spec.circuit:<8s} {axis} "
             f"{status:8s} {result.runtime_seconds:8.1f} s",
             flush=True,
         )
@@ -245,6 +306,20 @@ def cmd_sweep(args) -> int:
     print()
     if args.kind == "table1":
         print(format_table1([r.table1_row() for r in report.results]))
+    elif args.kind == "yield":
+        headers = ["circuit", "target", "orig_period", "period_ps", "delta_pct",
+                   "orig_yield_pct", "area_um2"]
+        body = []
+        for result in report.results:
+            cell = result.result
+            body.append((
+                cell["circuit"], f"{cell['target_yield']:g}",
+                f"{cell['original_period']:.1f}", f"{cell['final_period']:.1f}",
+                f"{-cell['period_reduction_pct']:+.1f}",
+                f"{100 * cell['original_yield_at_final_period']:.2f}",
+                f"{cell['area']:.0f}",
+            ))
+        print(format_table(headers, body))
     else:
         headers = ["circuit", "lambda", "mean_ps", "sigma_ps", "norm_mean",
                    "norm_sigma", "area_um2"]
@@ -305,6 +380,18 @@ def build_parser() -> argparse.ArgumentParser:
     p_size = sub.add_parser("size", help="run the full statistical sizing flow")
     p_size.add_argument("circuit")
     p_size.add_argument("--lam", type=float, default=3.0, help="Eq. 7 sigma weight")
+    p_size.add_argument("--objective", choices=["cost", "yield"], default="cost",
+                        help="minimize the weighted cost (Eq. 7) or the clock "
+                             "period achieving --target-yield")
+    p_size.add_argument("--target-yield", type=float, default=0.99,
+                        help="parametric timing-yield target for "
+                             "--objective yield (in [0.5, 1))")
+    p_size.add_argument("--max-area-ratio", type=float, default=None,
+                        help="reject sizings whose area exceeds this multiple "
+                             "of the starting area (>= 1)")
+    p_size.add_argument("--pdf-samples", type=int, default=13,
+                        help="FULLSSTA samples per pdf (more sharpens the "
+                             "yield-objective quantile)")
     p_size.add_argument("--max-iterations", type=int, default=60)
     p_size.add_argument("--monte-carlo", type=int, default=0, metavar="N")
     p_size.add_argument("--no-baseline", action="store_true",
@@ -336,8 +423,12 @@ def build_parser() -> argparse.ArgumentParser:
                          help="skip cells whose artifact matches the current config")
     p_sweep.add_argument("--quick", action="store_true",
                          help="CI smoke mode: tiny circuits, reduced sizer budget")
-    p_sweep.add_argument("--kind", choices=["table1", "fig4"], default="table1",
-                         help="cell type: Table-1 rows or Fig-4 trade-off points")
+    p_sweep.add_argument("--kind", choices=["table1", "fig4", "yield"],
+                         default="table1",
+                         help="cell type: Table-1 rows, Fig-4 trade-off points "
+                              "or yield-objective cells")
+    p_sweep.add_argument("--target-yield", type=float, nargs="+", default=[0.99],
+                         help="target yields swept by --kind yield")
     p_sweep.add_argument("--monte-carlo", type=int, default=0, metavar="N",
                          help="validate each table1 cell with N MC samples")
     p_sweep.add_argument("--max-iterations", type=int, default=None,

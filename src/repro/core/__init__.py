@@ -31,7 +31,7 @@ from repro.core.fassta import FASSTA, FasstaResult
 from repro.core.fullssta import FULLSSTA, FullSstaResult
 from repro.core.wnss import WNSSTracer, WNSSPath
 from repro.core.subcircuit import Subcircuit, extract_subcircuit
-from repro.core.cost import WeightedCost, CostEvaluator
+from repro.core.cost import WeightedCost, CostEvaluator, YieldObjective
 from repro.core.sizer import StatisticalGreedySizer, SizerConfig, SizerResult
 from repro.core.baseline import MeanDelaySizer, BaselineResult
 
@@ -54,6 +54,7 @@ __all__ = [
     "extract_subcircuit",
     "WeightedCost",
     "CostEvaluator",
+    "YieldObjective",
     "StatisticalGreedySizer",
     "SizerConfig",
     "SizerResult",

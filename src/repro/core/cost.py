@@ -10,6 +10,14 @@ of minimizing standard variation against mean of delay"; the cost of the
 recovers a pure mean-delay objective; the paper's experiments use
 ``lambda in {3, 9}`` (and 6 in Fig. 4).
 
+:class:`YieldObjective` recasts the same machinery as a *parametric timing
+yield* target (the paper's Fig. 1 motivation): minimize the clock period at
+which ``target_yield`` of manufactured parts meet timing.  Under the normal
+approximation that period is exactly ``mu + z * sigma`` with
+``z = Phi^{-1}(target_yield)`` — i.e. a weighted cost whose lambda is the
+target's z-score — which is what the sizer's inner loop uses; circuit-level
+accept/reject decisions use the exact discrete-pdf quantile instead.
+
 :class:`CostEvaluator` binds the cost to a FASSTA engine and evaluates
 candidate gate sizes on extracted subcircuits, which is exactly the
 ``Cost(S)`` procedure of the Fig. 2 pseudocode.
@@ -18,10 +26,11 @@ candidate gate sizes on extracted subcircuits, which is exactly the
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, Mapping, Optional
+from typing import Dict, Iterable, Mapping, Optional, Union
 
+from repro.core.discrete_pdf import DiscretePDF
 from repro.core.fassta import FASSTA
-from repro.core.rv import NormalDelay, ZERO_DELAY
+from repro.core.rv import NormalDelay, ZERO_DELAY, _standard_normal_quantile
 from repro.core.subcircuit import Subcircuit
 
 
@@ -62,6 +71,58 @@ class WeightedCost:
             raise ValueError("components() needs at least one output arrival")
         costs = [self.of(rv) for rv in arrivals.values()]
         return CostComponents(worst=max(costs), total=sum(costs))
+
+
+@dataclass(frozen=True)
+class YieldObjective:
+    """Size for the smallest clock period achieving ``target_yield``.
+
+    Parameters
+    ----------
+    target_yield:
+        Fraction of manufactured parts that must meet the period, in
+        ``[0.5, 1)``.  Targets below one half would reward *increasing*
+        variance (negative z-score) and are rejected.
+    max_area_ratio:
+        Optional area constraint for the sizer: candidate states whose
+        total area exceeds ``max_area_ratio`` times the starting area are
+        rejected even when they improve the period (the area-constrained
+        variant of the yield mode).
+    """
+
+    target_yield: float
+    max_area_ratio: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if not 0.5 <= self.target_yield < 1.0:
+            raise ValueError("target_yield must be in [0.5, 1)")
+        if self.max_area_ratio is not None and self.max_area_ratio < 1.0:
+            raise ValueError("max_area_ratio must be >= 1 (relative to start)")
+
+    @property
+    def z(self) -> float:
+        """z-score of the target yield, ``Phi^{-1}(target_yield)``."""
+        return _standard_normal_quantile(self.target_yield)
+
+    def equivalent_cost(self) -> WeightedCost:
+        """The Eq. 7 cost whose lambda equals the target's z-score.
+
+        For normal moments ``mu + z * sigma`` *is* the period that achieves
+        the target yield, so the sizer's moment-based inner loop optimizes
+        the yield objective by reusing the weighted cost unchanged.
+        """
+        return WeightedCost(self.z)
+
+    def period_for(self, distribution: Union[NormalDelay, DiscretePDF]) -> float:
+        """Smallest clock period achieving the target on ``distribution``.
+
+        Delegates to :func:`repro.analysis.timing_yield.period_for_yield`
+        (imported lazily: the analysis package imports the sizer stack at
+        module scope, so a top-level import here would be circular).
+        """
+        from repro.analysis.timing_yield import period_for_yield
+
+        return period_for_yield(distribution, self.target_yield)
 
 
 @dataclass(frozen=True)

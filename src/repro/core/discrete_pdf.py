@@ -79,6 +79,20 @@ class DiscretePDF:
         return cls([value], [1.0])
 
     @classmethod
+    def _from_canonical(cls, values: np.ndarray, probabilities: np.ndarray) -> "DiscretePDF":
+        """Wrap arrays already in canonical form (sorted unique values,
+        normalized probabilities) without re-canonicalising them.
+
+        Used by the batched propagation path, whose rows are canonical by
+        construction; going through ``__init__`` would re-normalize and
+        perturb the stored probabilities at the last bit.
+        """
+        pdf = object.__new__(cls)
+        pdf.values = values
+        pdf.probabilities = probabilities
+        return pdf
+
+    @classmethod
     def from_normal(
         cls,
         mean: float,
@@ -141,15 +155,31 @@ class DiscretePDF:
         return math.sqrt(max(self.variance(), 0.0))
 
     def cdf(self, x: float) -> float:
-        """P(X <= x)."""
-        return float(self.probabilities[self.values <= x].sum())
+        """P(X <= x), normalized by the stored probabilities' total.
+
+        The normalization mirrors :meth:`quantile`, keeping the pair
+        self-consistent (``cdf(quantile(q)) >= q`` up to summation order)
+        even when floating-point drift leaves the stored probabilities
+        summing slightly off 1.0.
+        """
+        return float(
+            self.probabilities[self.values <= x].sum() / self.probabilities.sum()
+        )
 
     def quantile(self, q: float) -> float:
-        """Smallest value whose cumulative probability reaches ``q``."""
+        """Generalized inverse CDF: smallest value ``v`` with ``cdf(v) >= q``.
+
+        The cumulative probabilities are normalized by their final sum, so
+        the inverse is well defined even when the stored probabilities do
+        not sum to exactly 1.0 (floating-point drift after repeated
+        ``compact``/truncation).  ``q = 1.0`` always returns the largest
+        sample; a single-sample pdf returns its sole value for every ``q``.
+        """
         if not 0.0 < q <= 1.0:
             raise ValueError("quantile level must be in (0, 1]")
         cum = np.cumsum(self.probabilities)
-        idx = int(np.searchsorted(cum, q - 1e-12))
+        cum /= cum[-1]
+        idx = int(np.searchsorted(cum, q, side="left"))
         idx = min(idx, self.values.size - 1)
         return float(self.values[idx])
 
@@ -226,3 +256,183 @@ class DiscretePDF:
             f"DiscretePDF(n={self.num_samples}, mean={self.mean():.3f}, "
             f"std={self.std():.3f})"
         )
+
+
+# ---------------------------------------------------------------------------
+# Batched (vectorized) discrete-pdf machinery
+# ---------------------------------------------------------------------------
+# The levelized FULLSSTA path processes one circuit level at a time: all K
+# arrival pdfs of a level live in padded ``(K, width)`` arrays.  Row ``k``
+# keeps its ``counts[k]`` canonical samples (sorted unique values, normalized
+# probabilities) in the leading columns; trailing columns repeat the row's
+# largest value with probability 0.0, so every row stays sorted, its support
+# maximum is always the last column, and padding contributes nothing to any
+# mass, mean or bin sum.  Because a pad duplicates a real sample, pairwise
+# products against pads also duplicate real (value, 0.0) pairs and vanish in
+# the merge — the batched results reproduce the scalar ``add``/``maximum``/
+# ``compact`` arithmetic operation for operation.
+
+
+def _pad_rows(values: np.ndarray, probabilities: np.ndarray, counts: np.ndarray) -> None:
+    """In place, overwrite each row's trailing columns with its last sample."""
+    width = values.shape[1]
+    hi = np.take_along_axis(values, (counts - 1)[:, None], axis=1)
+    pad = np.arange(width)[None, :] >= counts[:, None]
+    np.copyto(values, np.broadcast_to(hi, values.shape), where=pad)
+    probabilities[pad] = 0.0
+
+
+def batched_from_normal(
+    means: np.ndarray,
+    sigmas: np.ndarray,
+    num_samples: int = DEFAULT_SAMPLES,
+    span_sigmas: float = NORMAL_SPAN_SIGMAS,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Row-wise :meth:`DiscretePDF.from_normal` over ``(means, sigmas)`` arrays.
+
+    Returns padded ``(values, probabilities, counts)`` arrays of width
+    ``num_samples``.  Rows with ``sigma == 0`` become single-sample points,
+    exactly as the scalar constructor does.
+    """
+    means = np.asarray(means, dtype=float)
+    sigmas = np.asarray(sigmas, dtype=float)
+    num_rows = means.size
+    if np.any(sigmas < 0):
+        raise ValueError("sigma must be non-negative")
+    if num_samples < 2:
+        raise ValueError("batched_from_normal needs num_samples >= 2")
+
+    safe_sigma = np.where(sigmas > 0, sigmas, 1.0)
+    lo = means - span_sigmas * safe_sigma
+    step = (2.0 * span_sigmas * safe_sigma) / num_samples
+    edges = lo[:, None] + np.arange(num_samples + 1) * step[:, None]
+    edges[:, -1] = means + span_sigmas * safe_sigma
+    centers = 0.5 * (edges[:, :-1] + edges[:, 1:])
+    z = (edges - means[:, None]) / safe_sigma[:, None]
+    cdf = 0.5 * (1.0 + _erf(z / math.sqrt(2.0)))
+    masses = np.diff(cdf, axis=1)
+    masses[:, 0] += cdf[:, 0]
+    masses[:, -1] += 1.0 - cdf[:, -1]
+    masses /= masses.sum(axis=1, keepdims=True)
+
+    counts = np.full(num_rows, num_samples, dtype=np.intp)
+    degenerate = sigmas == 0
+    if np.any(degenerate):
+        centers[degenerate] = means[degenerate, None]
+        masses[degenerate] = 0.0
+        masses[degenerate, 0] = 1.0
+        counts[degenerate] = 1
+    return centers, masses, counts
+
+
+def batched_combine(
+    a_values: np.ndarray,
+    a_probs: np.ndarray,
+    b_values: np.ndarray,
+    b_probs: np.ndarray,
+    op: str,
+    num_samples: int = DEFAULT_SAMPLES,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Row-wise ``a.add(b)`` (``op="add"``) or ``a.maximum(b)`` (``op="max"``).
+
+    Inputs are padded row batches; the result is a padded batch of width
+    ``num_samples`` holding, per row, the same canonicalized and compacted
+    samples the scalar operations produce.
+    """
+    num_rows = a_values.shape[0]
+    if op == "add":
+        pair_values = a_values[:, :, None] + b_values[:, None, :]
+    elif op == "max":
+        pair_values = np.maximum(a_values[:, :, None], b_values[:, None, :])
+    else:
+        raise ValueError(f"unknown op {op!r}; expected 'add' or 'max'")
+    pair_probs = a_probs[:, :, None] * b_probs[:, None, :]
+    return _canonicalize_and_compact_rows(
+        pair_values.reshape(num_rows, -1),
+        pair_probs.reshape(num_rows, -1),
+        num_samples,
+    )
+
+
+def _canonicalize_and_compact_rows(
+    values: np.ndarray, probs: np.ndarray, num_samples: int
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Row-wise ``DiscretePDF(values, probs).compact(num_samples)``.
+
+    Mirrors the scalar pipeline: normalize, sort, merge duplicate values,
+    and re-bin rows whose unique count exceeds the sample budget onto
+    equispaced bins re-centred on their conditional means.
+    """
+    num_rows, width = values.shape
+    probs = probs / probs.sum(axis=1, keepdims=True)
+    order = np.argsort(values, axis=1, kind="stable")
+    values = np.take_along_axis(values, order, axis=1)
+    probs = np.take_along_axis(probs, order, axis=1)
+
+    # Merge duplicate values (the constructor's unique/add.at step).
+    fresh = np.ones((num_rows, width), dtype=bool)
+    fresh[:, 1:] = values[:, 1:] != values[:, :-1]
+    group = np.cumsum(fresh, axis=1) - 1
+    counts = group[:, -1] + 1
+    merged_width = int(counts.max())
+    flat_group = (np.arange(num_rows)[:, None] * merged_width + group).ravel()
+    merged_probs = np.bincount(
+        flat_group, weights=probs.ravel(), minlength=num_rows * merged_width
+    ).reshape(num_rows, merged_width)
+    merged_values = np.zeros((num_rows, merged_width))
+    merged_values[np.arange(num_rows)[:, None], group] = values
+    _pad_rows(merged_values, merged_probs, counts)
+
+    if merged_width <= num_samples:
+        if merged_width < num_samples:
+            # Callers scatter fixed-width rows; grow to the full budget.
+            pad_cols = num_samples - merged_width
+            merged_values = np.concatenate(
+                [merged_values, np.repeat(merged_values[:, -1:], pad_cols, axis=1)],
+                axis=1,
+            )
+            merged_probs = np.concatenate(
+                [merged_probs, np.zeros((num_rows, pad_cols))], axis=1
+            )
+        return merged_values, merged_probs, counts
+
+    # Re-bin rows over budget; computed for every row, selected per row.
+    lo = merged_values[:, :1]
+    hi = merged_values[:, -1:]
+    span = np.where(hi > lo, hi - lo, 1.0)
+    edges = lo + np.arange(num_samples + 1) * (span / num_samples)
+    edges[:, -1:] = hi
+    # np.digitize(v, edges) - 1 clipped into range, row-wise.
+    bin_idx = np.clip(
+        (merged_values[:, :, None] >= edges[:, None, :]).sum(axis=2) - 1,
+        0,
+        num_samples - 1,
+    )
+    flat_bins = (np.arange(num_rows)[:, None] * num_samples + bin_idx).ravel()
+    minlength = num_rows * num_samples
+    masses = np.bincount(
+        flat_bins, weights=merged_probs.ravel(), minlength=minlength
+    ).reshape(num_rows, num_samples)
+    sums = np.bincount(
+        flat_bins, weights=(merged_probs * merged_values).ravel(), minlength=minlength
+    ).reshape(num_rows, num_samples)
+    occupied = masses > 0
+    centers = 0.5 * (edges[:, :-1] + edges[:, 1:])
+    centers = np.where(occupied, sums / np.where(occupied, masses, 1.0), centers)
+
+    # Left-compact the occupied bins and renormalize (the constructor pass
+    # at the end of the scalar compact()).
+    keep_order = np.argsort(~occupied, axis=1, kind="stable")
+    binned_values = np.take_along_axis(centers, keep_order, axis=1)
+    binned_probs = np.take_along_axis(
+        np.where(occupied, masses, 0.0), keep_order, axis=1
+    )
+    binned_counts = occupied.sum(axis=1).astype(np.intp)
+    binned_probs /= binned_probs.sum(axis=1, keepdims=True)
+    _pad_rows(binned_values, binned_probs, binned_counts)
+
+    over_budget = counts > num_samples
+    out_values = np.where(over_budget[:, None], binned_values, merged_values[:, :num_samples])
+    out_probs = np.where(over_budget[:, None], binned_probs, merged_probs[:, :num_samples])
+    out_counts = np.where(over_budget, binned_counts, counts)
+    return out_values, out_probs, out_counts

@@ -32,7 +32,13 @@ from typing import Callable, Dict, List, Mapping, Optional, Set
 
 import numpy as np
 
-from repro.core.discrete_pdf import DEFAULT_SAMPLES, DiscretePDF
+from repro.core.discrete_pdf import (
+    DEFAULT_SAMPLES,
+    DiscretePDF,
+    batched_combine,
+    batched_from_normal,
+)
+from repro.core.fassta import _VectorPlan
 from repro.core.rv import NormalDelay, ZERO_DELAY
 from repro.library.delay_model import BaseDelayModel
 from repro.netlist.circuit import Circuit
@@ -79,6 +85,15 @@ class FULLSSTA:
         Samples kept per pdf (the paper's "10-15 samples"; default 13).
     correlation_model:
         Optional spatial-correlation overlay (see module docstring).
+    vectorized:
+        When true, full-circuit analyses run the levelized batched-NumPy
+        propagation over padded sample arrays (one
+        :func:`~repro.core.discrete_pdf.batched_combine` per input position
+        per level) instead of the per-gate scalar pdf fold — the same
+        treatment :class:`~repro.core.fassta.FASSTA` received for moments.
+        Both paths perform the same canonicalize/compact arithmetic, so
+        their moments agree to ~1e-12 (pinned on every registry circuit by
+        ``tests/core/test_fullssta_vectorized.py``).
     worst_key:
         Ranking criterion used to report :attr:`FullSstaResult.worst_output`.
         Defaults to the raw mean (a ``lambda = 0`` objective); the sizer
@@ -92,6 +107,7 @@ class FULLSSTA:
         variation_model: VariationModel,
         num_samples: int = DEFAULT_SAMPLES,
         correlation_model: Optional[SpatialCorrelationModel] = None,
+        vectorized: bool = False,
         worst_key: Optional[Callable[[NormalDelay], float]] = None,
     ) -> None:
         if num_samples < 3:
@@ -100,7 +116,10 @@ class FULLSSTA:
         self.variation_model = variation_model
         self.num_samples = num_samples
         self.correlation_model = correlation_model
+        self.vectorized = vectorized
         self.worst_key = worst_key
+        self._plan: Optional[_VectorPlan] = None
+        self._plan_circuit: Optional[Circuit] = None
 
     # ------------------------------------------------------------------
     def gate_delay_pdf(self, circuit: Circuit, gate_name: str) -> DiscretePDF:
@@ -122,6 +141,27 @@ class FULLSSTA:
         map); unknown names raise ``KeyError`` instead of silently timing as
         zero.
         """
+        if self.vectorized:
+            arrivals, gate_delay_moments = self._propagate_vectorized(
+                circuit, boundary_arrivals
+            )
+        else:
+            arrivals, gate_delay_moments = self._propagate_scalar(
+                circuit, boundary_arrivals
+            )
+        arrival_moments = {
+            net: NormalDelay(pdf.mean(), pdf.std()) for net, pdf in arrivals.items()
+        }
+        return self._build_result(
+            circuit, arrivals, arrival_moments, gate_delay_moments, outputs
+        )
+
+    # ------------------------------------------------------------------
+    def _propagate_scalar(
+        self,
+        circuit: Circuit,
+        boundary_arrivals: Optional[Mapping[str, DiscretePDF]],
+    ) -> "tuple[Dict[str, DiscretePDF], Dict[str, NormalDelay]]":
         arrivals: Dict[str, DiscretePDF] = {}
         if boundary_arrivals:
             arrivals.update(boundary_arrivals)
@@ -143,13 +183,133 @@ class FULLSSTA:
             else:
                 worst_input = DiscretePDF.maximum_of(input_pdfs, self.num_samples)
             arrivals[gate.output] = worst_input.add(delay_pdf, self.num_samples)
+        return arrivals, gate_delay_moments
 
-        arrival_moments = {
-            net: NormalDelay(pdf.mean(), pdf.std()) for net, pdf in arrivals.items()
-        }
-        return self._build_result(
-            circuit, arrivals, arrival_moments, gate_delay_moments, outputs
+    # ------------------------------------------------------------------
+    def _propagate_vectorized(
+        self,
+        circuit: Circuit,
+        boundary_arrivals: Optional[Mapping[str, DiscretePDF]],
+    ) -> "tuple[Dict[str, DiscretePDF], Dict[str, NormalDelay]]":
+        """Levelized batched propagation over padded (net, sample) arrays.
+
+        Every net owns one row of the ``values``/``probs`` state arrays
+        (padding convention of :mod:`repro.core.discrete_pdf`); each level
+        folds its gates' input rows pairwise with masked
+        :func:`batched_combine` calls — the identical fold order the scalar
+        path uses — then convolves the fold with the level's batched gate
+        delay pdfs and scatters the rows to the output nets.
+        """
+        plan = self._plan
+        if (
+            plan is None
+            or self._plan_circuit is not circuit
+            or plan.structure_version != circuit.structure_version
+        ):
+            plan = _VectorPlan(circuit)
+            self._plan = plan
+            self._plan_circuit = circuit
+
+        # Boundary pdfs may carry more samples than the engine budget; the
+        # scalar path folds them at full width (only the *results* are
+        # compacted), so the state arrays are sized for the widest row.
+        extra_boundary: Dict[str, DiscretePDF] = {}
+        known_boundary: Dict[str, DiscretePDF] = {}
+        if boundary_arrivals:
+            for net, pdf in boundary_arrivals.items():
+                if net in plan.net_index:
+                    known_boundary[net] = pdf
+                else:
+                    # Net unknown to this circuit: keep it visible in the
+                    # result map, exactly like the scalar path does.
+                    extra_boundary[net] = pdf
+        num_samples = self.num_samples
+        width = max(
+            [num_samples] + [pdf.num_samples for pdf in known_boundary.values()]
         )
+        values = np.zeros((plan.num_slots, width))
+        probs = np.zeros((plan.num_slots, width))
+        probs[:, 0] = 1.0  # every slot starts as the point pdf at 0.0
+        counts = np.ones(plan.num_slots, dtype=np.intp)
+
+        def scatter(slot_ids, row_values, row_probs, row_counts) -> None:
+            n = row_values.shape[1]
+            values[slot_ids, :n] = row_values
+            probs[slot_ids, :n] = row_probs
+            if width > n:
+                values[slot_ids, n:] = row_values[:, -1:]
+                probs[slot_ids, n:] = 0.0
+            counts[slot_ids] = row_counts
+
+        for net, pdf in known_boundary.items():
+            idx = plan.net_index[net]
+            scatter(
+                np.array([idx]),
+                pdf.values[None, :],
+                pdf.probabilities[None, :],
+                pdf.num_samples,
+            )
+
+        gate_delay_moments: Dict[str, NormalDelay] = {}
+        for names, out_ids, in_ids, in_mask in plan.levels:
+            d_mu = np.empty(len(names))
+            d_sg = np.empty(len(names))
+            for row, name in enumerate(names):
+                dist = self.variation_model.gate_distribution(
+                    circuit, circuit.gate(name), self.delay_model
+                )
+                gate_delay_moments[name] = NormalDelay(dist.mean, dist.sigma)
+                d_mu[row] = dist.mean
+                d_sg[row] = dist.sigma
+            delay_values, delay_probs, _ = batched_from_normal(
+                d_mu, d_sg, num_samples
+            )
+
+            # Left-to-right pairwise fold over input positions, masked so a
+            # gate with fewer inputs keeps its running max untouched — the
+            # same fold order as DiscretePDF.maximum_of in the scalar path.
+            # The running rows start at the state width (wide when boundary
+            # pdfs exceed the budget); combine results are padded back to it
+            # so masked-out rows merge shape-compatibly.
+            worst_values = values[in_ids[:, 0]]
+            worst_probs = probs[in_ids[:, 0]]
+            for col in range(1, in_ids.shape[1]):
+                mask = in_mask[:, col]
+                max_values, max_probs, _ = batched_combine(
+                    worst_values,
+                    worst_probs,
+                    values[in_ids[:, col]],
+                    probs[in_ids[:, col]],
+                    "max",
+                    num_samples,
+                )
+                pad = worst_values.shape[1] - max_values.shape[1]
+                if pad > 0:
+                    max_values = np.concatenate(
+                        [max_values, np.repeat(max_values[:, -1:], pad, axis=1)],
+                        axis=1,
+                    )
+                    max_probs = np.concatenate(
+                        [max_probs, np.zeros((max_probs.shape[0], pad))], axis=1
+                    )
+                worst_values = np.where(mask[:, None], max_values, worst_values)
+                worst_probs = np.where(mask[:, None], max_probs, worst_probs)
+
+            out_values, out_probs, out_counts = batched_combine(
+                worst_values, worst_probs, delay_values, delay_probs, "add",
+                num_samples,
+            )
+            scatter(out_ids, out_values, out_probs, out_counts)
+
+        arrivals = {
+            net: DiscretePDF._from_canonical(
+                values[idx, : counts[idx]].copy(), probs[idx, : counts[idx]].copy()
+            )
+            for net, idx in plan.net_index.items()
+            if net not in plan.floating or net in boundary_nets
+        }
+        arrivals.update(extra_boundary)
+        return arrivals, gate_delay_moments
 
     # ------------------------------------------------------------------
     def _build_result(

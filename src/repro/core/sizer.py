@@ -42,7 +42,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
-from repro.core.cost import CostComponents, CostEvaluator, WeightedCost
+from repro.core.cost import CostComponents, CostEvaluator, WeightedCost, YieldObjective
 from repro.core.fassta import FASSTA
 from repro.core.fullssta import FULLSSTA, FullSstaResult, IncrementalReanalysis
 from repro.core.rv import NormalDelay
@@ -62,6 +62,18 @@ class SizerConfig:
     evaluation pipeline — both are exactness-preserving and on by default;
     turning them off yields the original from-scratch engines (used as the
     reference in ``benchmarks/bench_incremental.py``).
+
+    ``objective`` selects what the optimizer minimizes:
+
+    * ``"cost"`` (default) — the paper's weighted cost ``mu + lam * sigma``;
+    * ``"yield"`` — the smallest clock period achieving ``target_yield``
+      (:class:`~repro.core.cost.YieldObjective`).  ``lam`` is then ignored:
+      the inner loop scores candidates with the equivalent weight
+      ``z = Phi^{-1}(target_yield)`` while circuit-level accept/reject
+      decisions use the exact FULLSSTA discrete-pdf quantile.  An optional
+      ``max_area_ratio`` rejects states whose area exceeds that multiple of
+      the starting area (the area-constrained variant); the constraint also
+      applies under the cost objective when set.
     """
 
     lam: float = 3.0
@@ -76,6 +88,9 @@ class SizerConfig:
     patience: int = 4
     incremental_reanalysis: bool = True
     vectorized_fassta: bool = True
+    objective: str = "cost"
+    target_yield: float = 0.99
+    max_area_ratio: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.lam < 0:
@@ -86,6 +101,14 @@ class SizerConfig:
             raise ValueError("max_iterations must be >= 1")
         if self.min_relative_gain < 0:
             raise ValueError("min_relative_gain must be non-negative")
+        if self.objective not in ("cost", "yield"):
+            raise ValueError(
+                f"objective must be 'cost' or 'yield', got {self.objective!r}"
+            )
+        if self.objective == "yield" and not 0.5 <= self.target_yield < 1.0:
+            raise ValueError("target_yield must be in [0.5, 1)")
+        if self.max_area_ratio is not None and self.max_area_ratio < 1.0:
+            raise ValueError("max_area_ratio must be >= 1 (relative to start)")
 
 
 @dataclass
@@ -115,6 +138,10 @@ class SizerResult:
     lam: float
     converged: bool
     diagnostics: Dict[str, int] = field(default_factory=dict)
+    #: Which objective drove the run ("cost" or "yield"); in yield mode
+    #: ``lam`` records the equivalent z-score weight actually used.
+    objective: str = "cost"
+    target_yield: Optional[float] = None
 
     @property
     def sigma_reduction_pct(self) -> float:
@@ -161,7 +188,19 @@ class StatisticalGreedySizer:
         self.variation_model = variation_model
         self.config = config or SizerConfig()
 
-        self.cost = WeightedCost(self.config.lam)
+        # Under the yield objective every moment-based ranking (inner-loop
+        # candidate scores, WNSS tracing, output ordering) uses the target's
+        # z-score as the lambda weight — for normal moments mu + z * sigma
+        # *is* the period achieving the target yield — while circuit-level
+        # accept/reject decisions use the discrete-pdf quantile directly.
+        self.yield_objective: Optional[YieldObjective] = None
+        if self.config.objective == "yield":
+            self.yield_objective = YieldObjective(
+                self.config.target_yield, self.config.max_area_ratio
+            )
+            self.cost = self.yield_objective.equivalent_cost()
+        else:
+            self.cost = WeightedCost(self.config.lam)
         self.fullssta = FULLSSTA(
             delay_model,
             variation_model,
@@ -176,7 +215,7 @@ class StatisticalGreedySizer:
         )
         self.evaluator = CostEvaluator(self.fassta, self.cost)
         self.tracer = WNSSTracer(
-            coupling=variation_model.mean_sigma_coupling, lam=self.config.lam
+            coupling=variation_model.mean_sigma_coupling, lam=self.cost.lam
         )
 
         # Exactness-preserving caches shared by optimize()/_best_size_for().
@@ -210,6 +249,11 @@ class StatisticalGreedySizer:
         initial_full = analyze()
         initial_rv = initial_full.output_rv
         initial_area = self.delay_model.circuit_area(circuit)
+        area_limit = (
+            config.max_area_ratio * initial_area
+            if config.max_area_ratio is not None
+            else None
+        )
 
         best_components = self._objective_components(circuit, initial_full)
         best_sizes = circuit.sizes()
@@ -272,17 +316,18 @@ class StatisticalGreedySizer:
             new_objective = self.cost.of(new_full.output_rv)
             new_components = self._objective_components(circuit, new_full)
 
-            if (
-                not new_components.better_than(best_components)
-                and config.incremental_fallback
-            ):
+            bulk_improved = new_components.better_than(
+                best_components
+            ) and self._area_ok(circuit, area_limit)
+            if not bulk_improved and config.incremental_fallback:
                 # Bulk commit did not help (individually good moves can
-                # interact through shared loads).  Roll back and retry the
-                # scheduled resizes one at a time, keeping only those that
-                # improve the global objective.
+                # interact through shared loads, or blow the area budget).
+                # Roll back and retry the scheduled resizes one at a time,
+                # keeping only those that improve the global objective.
                 circuit.apply_sizes(snapshot)
                 accepted, accepted_full, accepted_components = self._commit_incrementally(
-                    circuit, scheduled, best_components, analyze, reanalysis
+                    circuit, scheduled, best_components, analyze, reanalysis,
+                    area_limit,
                 )
                 if accepted:
                     scheduled = accepted
@@ -315,7 +360,9 @@ class StatisticalGreedySizer:
                 )
             )
 
-            if new_components.better_than(best_components):
+            if new_components.better_than(best_components) and self._area_ok(
+                circuit, area_limit
+            ):
                 best_components = new_components
                 best_sizes = circuit.sizes()
                 best_full = new_full
@@ -348,9 +395,13 @@ class StatisticalGreedySizer:
             final_area=self.delay_model.circuit_area(circuit),
             iterations=iterations,
             runtime_seconds=runtime,
-            lam=config.lam,
+            lam=self.cost.lam,
             converged=converged,
             diagnostics=diagnostics,
+            objective=config.objective,
+            target_yield=(
+                config.target_yield if self.yield_objective is not None else None
+            ),
         )
 
     # ------------------------------------------------------------------
@@ -359,17 +410,35 @@ class StatisticalGreedySizer:
     ) -> CostComponents:
         """Global objective as (worst, total) components.
 
-        The worst component is the paper's objective, ``mu + lambda * sigma``
-        of the circuit-level max arrival.  The total component sums the
-        weighted cost over all primary outputs and acts as a tie-breaker so
-        progress on non-worst outputs (which still feeds the overall
-        variance) is recognised between passes.
+        Cost mode: the worst component is the paper's objective,
+        ``mu + lambda * sigma`` of the circuit-level max arrival; the total
+        sums the weighted cost over all primary outputs and acts as a
+        tie-breaker so progress on non-worst outputs (which still feeds the
+        overall variance) is recognised between passes.
+
+        Yield mode: the same shape, but worst is the exact discrete-pdf
+        period achieving the target yield on the circuit-level output pdf,
+        and the tie-breaker sums the per-output pdf periods.
         """
+        if self.yield_objective is not None:
+            worst = self.yield_objective.period_for(full_result.output_pdf)
+            total = sum(
+                self.yield_objective.period_for(full_result.arrival_pdfs[net])
+                for net in circuit.primary_outputs
+            )
+            return CostComponents(worst=worst, total=total)
         worst = self.cost.of(full_result.output_rv)
         total = sum(
             self.cost.of(full_result.arrival(net)) for net in circuit.primary_outputs
         )
         return CostComponents(worst=worst, total=total)
+
+    # ------------------------------------------------------------------
+    def _area_ok(self, circuit: Circuit, area_limit: Optional[float]) -> bool:
+        """True when the circuit respects the optional area constraint."""
+        if area_limit is None:
+            return True
+        return self.delay_model.circuit_area(circuit) <= area_limit * (1.0 + 1e-12)
 
     # ------------------------------------------------------------------
     def _commit_incrementally(
@@ -379,6 +448,7 @@ class StatisticalGreedySizer:
         best_components: CostComponents,
         analyze: Optional[Callable[[], FullSstaResult]] = None,
         reanalysis: Optional[IncrementalReanalysis] = None,
+        area_limit: Optional[float] = None,
     ) -> "tuple[Dict[str, int], FullSstaResult, CostComponents]":
         """Apply scheduled resizes one at a time, keeping only improving ones.
 
@@ -410,7 +480,9 @@ class StatisticalGreedySizer:
             if trial_full is None:
                 trial_full = analyze()
             trial_components = self._objective_components(circuit, trial_full)
-            if trial_components.better_than(components):
+            if trial_components.better_than(components) and self._area_ok(
+                circuit, area_limit
+            ):
                 accepted[gate_name] = size_index
                 components = trial_components
                 full_result = trial_full

@@ -24,6 +24,7 @@ from typing import Dict, Optional
 
 from repro.circuits.registry import build_benchmark
 from repro.core.baseline import BaselineResult, MeanDelaySizer
+from repro.core.discrete_pdf import DiscretePDF
 from repro.core.fullssta import FULLSSTA
 from repro.core.rv import NormalDelay
 from repro.core.sizer import SizerConfig, SizerResult, StatisticalGreedySizer
@@ -54,6 +55,10 @@ class FlowResult:
     #: (``sizer_result.runtime_seconds``), which hides the analysis/MC cost
     #: from sweep accounting.
     total_runtime_seconds: float = 0.0
+    #: Circuit-level output arrival pdfs of the original and final designs
+    #: (the distributions yield numbers are computed from).
+    original_output_pdf: Optional[DiscretePDF] = None
+    final_output_pdf: Optional[DiscretePDF] = None
 
     # -- Table 1 style metrics -------------------------------------------
     @property
@@ -82,6 +87,34 @@ class FlowResult:
         if self.original_area == 0:
             return 0.0
         return 100.0 * (self.final_area - self.original_area) / self.original_area
+
+    def yield_summary(self, target_yield: float) -> Dict[str, float]:
+        """Fig. 1 style yield comparison of the original vs final design.
+
+        Periods come from the exact discrete-pdf quantiles when the flow
+        recorded output pdfs, falling back to the normal moments otherwise.
+        """
+        # Imported lazily: repro.analysis's package __init__ pulls in the
+        # experiment runners, which import this module — a top-level import
+        # would be circular.
+        from repro.analysis.timing_yield import period_for_yield, timing_yield
+
+        original = self.original_output_pdf or self.original_rv
+        final = self.final_output_pdf or self.final_rv
+        original_period = period_for_yield(original, target_yield)
+        final_period = period_for_yield(final, target_yield)
+        return {
+            "target_yield": target_yield,
+            "original_period": original_period,
+            "final_period": final_period,
+            "period_reduction_pct": (
+                100.0 * (original_period - final_period) / original_period
+                if original_period
+                else 0.0
+            ),
+            "original_yield_at_final_period": timing_yield(original, final_period),
+            "final_yield_at_final_period": timing_yield(final, final_period),
+        }
 
     def as_table1_row(self) -> Dict[str, float]:
         """The quantities the paper reports per circuit and lambda."""
@@ -151,8 +184,13 @@ def run_sizing_flow(
             runtime_seconds=0.0,
         )
 
-    fullssta = FULLSSTA(delay_model, variation_model, num_samples=config.pdf_samples)
-    original_rv = fullssta.analyze(circuit).output_rv
+    # The flow's own before/after analyses are standalone full-circuit runs,
+    # so they use the levelized vectorized FULLSSTA path.
+    fullssta = FULLSSTA(
+        delay_model, variation_model, num_samples=config.pdf_samples, vectorized=True
+    )
+    original_full = fullssta.analyze(circuit)
+    original_rv = original_full.output_rv
     original_area = delay_model.circuit_area(circuit)
 
     mc_original = None
@@ -164,7 +202,8 @@ def run_sizing_flow(
     sizer = StatisticalGreedySizer(delay_model, variation_model, config)
     sizer_result = sizer.optimize(circuit)
 
-    final_rv = fullssta.analyze(circuit).output_rv
+    final_full = fullssta.analyze(circuit)
+    final_rv = final_full.output_rv
     final_area = delay_model.circuit_area(circuit)
 
     mc_final = None
@@ -185,6 +224,8 @@ def run_sizing_flow(
         mc_original=mc_original,
         mc_final=mc_final,
         total_runtime_seconds=time.perf_counter() - flow_start,
+        original_output_pdf=original_full.output_pdf,
+        final_output_pdf=final_full.output_pdf,
     )
 
 

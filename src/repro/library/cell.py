@@ -210,11 +210,14 @@ def _interpolate_table(table: Sequence[Tuple[float, float]], load: float) -> flo
     """Piecewise-linear interpolation of a (load, delay) table.
 
     Loads outside the table range are extrapolated from the nearest segment,
-    matching how Liberty NLDM tables are commonly extended.
+    matching how Liberty NLDM tables are commonly extended.  Extrapolating
+    below the smallest tabulated load of a steep table can cross zero; a
+    negative delay is physically meaningless (and would corrupt arrival
+    times downstream), so the result is floored at 0.
     """
     points = sorted(table)
     if len(points) == 1:
-        return points[0][1]
+        return max(points[0][1], 0.0)
     if load <= points[0][0]:
         (x0, y0), (x1, y1) = points[0], points[1]
     elif load >= points[-1][0]:
@@ -224,6 +227,6 @@ def _interpolate_table(table: Sequence[Tuple[float, float]], load: float) -> flo
             if x0 <= load <= x1:
                 break
     if x1 == x0:
-        return y0
+        return max(y0, 0.0)
     frac = (load - x0) / (x1 - x0)
-    return y0 + frac * (y1 - y0)
+    return max(y0 + frac * (y1 - y0), 0.0)

@@ -40,14 +40,24 @@ def spec_key(payload: Mapping[str, Any]) -> str:
     return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
 
-def artifact_path(out_dir: Union[str, Path], kind: str, circuit: str, lam: float) -> Path:
+def artifact_path(
+    out_dir: Union[str, Path],
+    kind: str,
+    circuit: str,
+    lam: float,
+    target_yield: Optional[float] = None,
+) -> Path:
     """Canonical artifact file for one sweep cell.
 
-    The lambda is rendered with ``repr`` (shortest round-trip form), not
-    ``%g`` — two lambdas that differ only past the sixth significant digit
-    must not collide on one file, or resume would recompute them forever.
+    The lambda (and, for yield cells, the target yield) is rendered with
+    ``repr`` (shortest round-trip form), not ``%g`` — two values that differ
+    only past the sixth significant digit must not collide on one file, or
+    resume would recompute them forever.
     """
-    return Path(out_dir) / f"{kind}__{circuit}__lam{lam!r}.json"
+    stem = f"{kind}__{circuit}__lam{lam!r}"
+    if target_yield is not None:
+        stem += f"__y{target_yield!r}"
+    return Path(out_dir) / f"{stem}.json"
 
 
 def write_artifact(

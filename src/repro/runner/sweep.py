@@ -39,7 +39,7 @@ from repro.runner.artifacts import (
 from repro.variation.model import VariationModel
 
 #: Cell kinds understood by :func:`evaluate_cell`.
-KINDS = ("table1", "fig4")
+KINDS = ("table1", "fig4", "yield")
 
 
 def config_with_lam(config: Optional[SizerConfig], lam: float) -> SizerConfig:
@@ -83,7 +83,13 @@ class SubstrateSpec:
 
 @dataclass(frozen=True)
 class CellSpec:
-    """One (circuit, lambda) cell of a sweep, fully self-describing."""
+    """One (circuit, lambda) cell of a sweep, fully self-describing.
+
+    ``yield`` cells sweep a target yield instead of a lambda: their
+    ``target_yield`` is set, their ``lam`` is fixed at 0.0 (the weight is
+    derived from the target inside the sizer) and the artifact filename
+    carries the target so different targets never collide.
+    """
 
     kind: str
     circuit: str
@@ -92,14 +98,19 @@ class CellSpec:
     monte_carlo_samples: int = 0
     seed: int = 0
     substrates: SubstrateSpec = SubstrateSpec()
+    target_yield: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.kind not in KINDS:
             raise ValueError(f"unknown cell kind {self.kind!r}; expected one of {KINDS}")
+        if self.kind == "yield" and self.target_yield is None:
+            raise ValueError("yield cells need a target_yield")
         # Normalize so lam=3 and lam=3.0 describe the same cell: both the
         # artifact filename and the json-encoded key payload must agree, or
         # resume would recompute (and duplicate) semantically identical cells.
         object.__setattr__(self, "lam", float(self.lam))
+        if self.target_yield is not None:
+            object.__setattr__(self, "target_yield", float(self.target_yield))
 
     def payload(self) -> Dict[str, Any]:
         """Canonical JSON-able description of every input shaping the result."""
@@ -111,6 +122,7 @@ class CellSpec:
             "kind": self.kind,
             "circuit": self.circuit,
             "lam": self.lam,
+            "target_yield": self.target_yield,
             "sizer_config": sizer_config,
             "monte_carlo_samples": self.monte_carlo_samples,
             "seed": self.seed,
@@ -212,6 +224,37 @@ def fig4_specs(
     ]
 
 
+def yield_specs(
+    circuit_names: Sequence[str],
+    target_yields: Sequence[float],
+    sizer_config: Optional[SizerConfig] = None,
+    substrates: Optional[SubstrateSpec] = None,
+) -> List[CellSpec]:
+    """The (circuit, target_yield) grid of a yield-objective sweep.
+
+    Each cell sizes its circuit for the minimum clock period achieving the
+    target yield.  ``sizer_config`` supplies the budget knobs
+    (``max_iterations``, ``pdf_samples``, ...); its objective, target and
+    lambda are overridden per cell.
+    """
+    substrates = substrates or SubstrateSpec()
+    base = sizer_config or SizerConfig()
+    return [
+        CellSpec(
+            kind="yield",
+            circuit=name,
+            lam=0.0,
+            sizer_config=dataclasses.replace(
+                base, lam=0.0, objective="yield", target_yield=float(target)
+            ),
+            substrates=substrates,
+            target_yield=target,
+        )
+        for name in circuit_names
+        for target in target_yields
+    ]
+
+
 # ---------------------------------------------------------------------------
 # Per-cell evaluators (module-level so they pickle into workers)
 # ---------------------------------------------------------------------------
@@ -280,9 +323,41 @@ def _evaluate_fig4(spec: CellSpec) -> Dict[str, Any]:
     }
 
 
+def _evaluate_yield(spec: CellSpec) -> Dict[str, Any]:
+    from repro.flow import run_sizing_flow
+
+    circuit = build_benchmark(spec.circuit)
+    library, delay_model, variation_model = spec.substrates.build()
+    config = dataclasses.replace(
+        config_with_lam(spec.sizer_config, spec.lam),
+        objective="yield",
+        target_yield=spec.target_yield,
+    )
+    flow = run_sizing_flow(
+        circuit,
+        lam=config.lam,
+        library=library,
+        delay_model=delay_model,
+        variation_model=variation_model,
+        sizer_config=config,
+    )
+    result: Dict[str, Any] = {
+        "circuit": spec.circuit,
+        "original_mean": flow.original_rv.mean,
+        "original_sigma": flow.original_rv.sigma,
+        "mean": flow.final_rv.mean,
+        "sigma": flow.final_rv.sigma,
+        "area": flow.final_area,
+        "original_area": flow.original_area,
+    }
+    result.update(flow.yield_summary(spec.target_yield))
+    return result
+
+
 _EVALUATORS: Dict[str, Callable[[CellSpec], Dict[str, Any]]] = {
     "table1": _evaluate_table1,
     "fig4": _evaluate_fig4,
+    "yield": _evaluate_yield,
 }
 
 
@@ -341,7 +416,9 @@ def run_cells(
         cached = None
         if resume and out_path is not None:
             artifact = load_artifact(
-                artifact_path(out_path, spec.kind, spec.circuit, spec.lam)
+                artifact_path(
+                    out_path, spec.kind, spec.circuit, spec.lam, spec.target_yield
+                )
             )
             if artifact is not None and artifact["key"] == spec.key():
                 cached = CellResult(
@@ -365,7 +442,7 @@ def run_cells(
         if out_path is not None:
             write_artifact(
                 artifact_path(out_path, result.spec.kind, result.spec.circuit,
-                              result.spec.lam),
+                              result.spec.lam, result.spec.target_yield),
                 key=result.key,
                 spec=result.spec.payload(),
                 result=result.result,

@@ -65,6 +65,39 @@ class TestPeriodForYield:
         with pytest.raises(ValueError):
             period_for_yield(NormalDelay(1.0, 1.0), 0.0)
 
+    def test_samples_period_achieves_target_yield(self):
+        # The contract: the returned period's *empirical* yield reaches the
+        # target.  np.quantile's default linear interpolation violates this
+        # (it lands between samples, below the target ECDF step).
+        rng = np.random.default_rng(17)
+        samples = rng.normal(1000.0, 60.0, 997)
+        for q in (0.5, 0.9, 0.95, 0.99, 0.999):
+            period = period_for_yield(samples, q)
+            assert timing_yield(samples, period) >= q
+            # Inverted ECDF: the period is an actual sample, and the next
+            # smaller sample must not reach the target.
+            assert period in samples
+            below = np.sort(samples)[np.sort(samples) < period]
+            if below.size:
+                assert timing_yield(samples, float(below[-1])) < q
+
+    def test_samples_period_on_tiny_sample_sets(self):
+        samples = np.array([100.0, 110.0, 120.0, 130.0])
+        for q in (0.5, 0.75, 0.76, 0.9):
+            period = period_for_yield(samples, q)
+            assert timing_yield(samples, period) >= q
+        assert period_for_yield(samples, 0.5) == 110.0
+        assert period_for_yield(samples, 0.75) == 120.0
+        assert period_for_yield(samples, 0.76) == 130.0
+
+    def test_discrete_pdf_period_achieves_target_yield(self):
+        pdf = DiscretePDF.from_normal(500.0, 25.0, num_samples=13)
+        truncated = pdf.compact(7)
+        for q in (0.5, 0.9, 0.99):
+            for dist in (pdf, truncated):
+                period = period_for_yield(dist, q)
+                assert timing_yield(dist, period) >= q - 1e-12
+
 
 class TestYieldImprovement:
     def test_fig1_argument(self):

@@ -85,6 +85,49 @@ class TestStatistics:
         with pytest.raises(ValueError):
             pdf.quantile(0.0)
 
+    def test_quantile_is_generalized_inverse_cdf(self):
+        # quantile(q) is the smallest value whose cdf reaches q — pinned
+        # exactly on a pdf whose cumulative hits q between and at samples.
+        pdf = DiscretePDF([1.0, 2.0, 3.0], [0.2, 0.3, 0.5])
+        assert pdf.quantile(0.2) == 1.0   # cdf(1) = 0.2 reaches q exactly
+        assert pdf.quantile(0.21) == 2.0  # 1.0 no longer suffices
+        assert pdf.quantile(0.5) == 2.0
+        assert pdf.quantile(0.51) == 3.0
+
+    def test_quantile_boundaries(self):
+        pdf = DiscretePDF([1.0, 2.0, 3.0, 4.0], [0.25] * 4)
+        assert pdf.quantile(1.0) == 4.0
+        single = DiscretePDF.point(7.5)
+        assert single.quantile(1e-9) == 7.5
+        assert single.quantile(0.5) == 7.5
+        assert single.quantile(1.0) == 7.5
+
+    def test_quantile_with_unnormalized_cumsum(self):
+        # Force probabilities whose sum drifts off 1.0 (as after repeated
+        # compact/truncation) and check the inverse CDF stays consistent:
+        # the old un-normalized searchsorted could return the wrong bin.
+        pdf = DiscretePDF.point(0.0)
+        pdf.probabilities = np.full(10, 0.1 - 1e-13)
+        pdf.values = np.arange(10.0)
+        assert pdf.quantile(1.0) == 9.0
+        # cdf and quantile normalize consistently: cdf(quantile(q)) >= q
+        # (up to summation order).
+        for q in (0.1, 0.3, 0.5, 0.9, 0.999, 1.0):
+            v = pdf.quantile(q)
+            assert pdf.cdf(v) >= q - 1e-12
+
+    def test_quantile_after_compaction_consistent_with_cdf(self):
+        rng = np.random.default_rng(5)
+        pdf = DiscretePDF(rng.uniform(0, 100, 500), rng.uniform(0.1, 1, 500))
+        compacted = pdf.compact(13)
+        for q in (0.01, 0.25, 0.5, 0.9, 0.99, 1.0):
+            v = compacted.quantile(q)
+            assert compacted.cdf(v) >= q - 1e-12
+            # Smallest such value: the previous sample must not reach q.
+            below = compacted.values[compacted.values < v]
+            if below.size:
+                assert compacted.cdf(float(below[-1])) < q
+
     def test_support(self):
         pdf = DiscretePDF([5.0, 1.0, 3.0], [1, 1, 1])
         assert pdf.support() == (1.0, 5.0)

@@ -122,3 +122,22 @@ class TestTableInterpolation:
 
     def test_single_point_table(self):
         assert _interpolate_table(((4.0, 42.0),), 100.0) == pytest.approx(42.0)
+
+    def test_extrapolation_below_is_floored_at_zero(self):
+        # A steep two-point table crosses zero when extended below its
+        # smallest load; a negative delay would corrupt downstream arrival
+        # times, so the extrapolation is clamped at 0.
+        steep = ((1.0, 50.0), (2.0, 200.0))
+        assert _interpolate_table(steep, 1.5) == pytest.approx(125.0)
+        assert _interpolate_table(steep, 0.0) == 0.0
+        assert _interpolate_table(steep, 0.5) == 0.0
+        # Just below the crossing point the clamp must not engage.
+        assert _interpolate_table(steep, 0.7) == pytest.approx(5.0)
+
+    def test_library_delay_never_negative_for_tiny_loads(self):
+        library = Library("lut", default_output_load=0.0)
+        cell = CellType("INV", 1)
+        cell.add_size(make_size(delay_table=((2.0, 30.0), (4.0, 90.0))))
+        library.add_cell(cell)
+        assert library.delay("INV", 0, 0.0) == 0.0
+        assert library.delay("INV", 0, 3.0) == pytest.approx(60.0)

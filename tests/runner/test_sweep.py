@@ -26,6 +26,7 @@ from repro.runner.sweep import (
     fig4_specs,
     run_cells,
     table1_specs,
+    yield_specs,
 )
 
 FAST = SizerConfig(lam=3.0, max_iterations=3, max_outputs_per_pass=2, patience=2)
@@ -257,5 +258,64 @@ class TestFig4Cells:
 
     def test_table1_row_rejected_for_fig4(self):
         (spec,) = fig4_specs("c17", (0.0,), sizer_config=FAST)
+        with pytest.raises(ValueError):
+            evaluate_cell(spec).table1_row()
+
+
+class TestYieldCells:
+    def test_yield_grid_and_configs(self):
+        specs = yield_specs(["c17", "alu1"], (0.9, 0.99), sizer_config=FAST)
+        assert len(specs) == 4
+        assert {(s.circuit, s.target_yield) for s in specs} == {
+            ("c17", 0.9), ("c17", 0.99), ("alu1", 0.9), ("alu1", 0.99)
+        }
+        for spec in specs:
+            assert spec.kind == "yield"
+            assert spec.lam == 0.0
+            assert spec.sizer_config.objective == "yield"
+            assert spec.sizer_config.target_yield == spec.target_yield
+            # Budget knobs of the caller's config are preserved.
+            assert spec.sizer_config.max_iterations == FAST.max_iterations
+
+    def test_yield_cell_requires_target(self):
+        with pytest.raises(ValueError):
+            CellSpec(kind="yield", circuit="c17", lam=0.0)
+
+    def test_keys_distinguish_targets(self):
+        a, b = yield_specs(["c17"], (0.9, 0.99), sizer_config=FAST)
+        assert a.key() != b.key()
+
+    def test_artifact_paths_distinguish_targets(self, tmp_path):
+        a, b = yield_specs(["c17"], (0.9, 0.99), sizer_config=FAST)
+        path_a = artifact_path(tmp_path, a.kind, a.circuit, a.lam, a.target_yield)
+        path_b = artifact_path(tmp_path, b.kind, b.circuit, b.lam, b.target_yield)
+        assert path_a != path_b
+        assert "y0.9" in path_a.name and "y0.99" in path_b.name
+
+    def test_evaluate_yield_cell(self):
+        (spec,) = yield_specs(["c17"], (0.99,), sizer_config=FAST)
+        result = evaluate_cell(spec).result
+        assert result["target_yield"] == 0.99
+        # The sized design needs a period no larger than the original's.
+        assert result["final_period"] <= result["original_period"] + 1e-9
+        # At the achieved period the sized design meets the target while the
+        # original does not exceed it.
+        assert result["final_yield_at_final_period"] >= 0.99 - 1e-9
+        assert result["original_yield_at_final_period"] <= (
+            result["final_yield_at_final_period"] + 1e-9
+        )
+        assert result["area"] >= result["original_area"] - 1e-9
+
+    def test_yield_cells_resume(self, tmp_path):
+        specs = yield_specs(["c17"], (0.9, 0.99), sizer_config=FAST)
+        first = run_cells(specs, jobs=1, out_dir=tmp_path, resume=True)
+        assert first.computed == 2 and first.skipped == 0
+        second = run_cells(specs, jobs=1, out_dir=tmp_path, resume=True)
+        assert second.computed == 0 and second.skipped == 2
+        for a, b in zip(first.results, second.results):
+            assert _row_fields_except_runtime(a) == _row_fields_except_runtime(b)
+
+    def test_table1_row_rejected_for_yield(self):
+        (spec,) = yield_specs(["c17"], (0.99,), sizer_config=FAST)
         with pytest.raises(ValueError):
             evaluate_cell(spec).table1_row()

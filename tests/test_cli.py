@@ -45,6 +45,29 @@ class TestParser:
         assert args.quick is False
         assert args.kind == "table1"
         assert args.lam == [3.0, 9.0]
+        assert args.target_yield == [0.99]
+
+    def test_size_yield_flags(self):
+        args = build_parser().parse_args(
+            ["size", "c17", "--objective", "yield", "--target-yield", "0.95",
+             "--max-area-ratio", "1.2", "--pdf-samples", "21"]
+        )
+        assert args.objective == "yield"
+        assert args.target_yield == 0.95
+        assert args.max_area_ratio == 1.2
+        assert args.pdf_samples == 21
+
+    def test_size_defaults_to_cost_objective(self):
+        args = build_parser().parse_args(["size", "c17"])
+        assert args.objective == "cost"
+        assert args.max_area_ratio is None
+
+    def test_sweep_yield_kind(self):
+        args = build_parser().parse_args(
+            ["sweep", "c17", "--kind", "yield", "--target-yield", "0.9", "0.99"]
+        )
+        assert args.kind == "yield"
+        assert args.target_yield == [0.9, 0.99]
 
     def test_sweep_flags(self):
         args = build_parser().parse_args(
@@ -130,6 +153,57 @@ class TestSweepCommand:
         assert main(["sweep", "c17", "--kind", "fig4", "--monte-carlo", "100",
                      "--out", str(tmp_path)]) == 2
         assert "--monte-carlo" in capsys.readouterr().err
+
+    def test_yield_rejects_monte_carlo(self, tmp_path, capsys):
+        assert main(["sweep", "c17", "--kind", "yield", "--monte-carlo", "100",
+                     "--out", str(tmp_path)]) == 2
+        assert "--monte-carlo" in capsys.readouterr().err
+
+    def test_yield_rejects_out_of_range_target(self, tmp_path, capsys):
+        # Bad inputs get a clean CLI error, not a ValueError traceback.
+        assert main(["sweep", "c17", "--kind", "yield", "--target-yield", "1.5",
+                     "--out", str(tmp_path)]) == 2
+        assert "--target-yield" in capsys.readouterr().err
+
+    def test_yield_sweep_then_resume(self, tmp_path, capsys):
+        out_dir = tmp_path / "artifacts"
+        argv = ["sweep", "c17", "--quick", "--kind", "yield",
+                "--target-yield", "0.9", "0.99", "--out", str(out_dir)]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert "2 computed, 0 reused" in first
+        assert "orig_period" in first
+        assert len(list(out_dir.glob("yield__c17__lam0.0__y*.json"))) == 2
+        assert main(argv + ["--resume"]) == 0
+        second = capsys.readouterr().out
+        assert "0 computed, 2 reused" in second
+        table = lambda text: [l for l in text.splitlines() if l.startswith("c17")]
+        assert table(first) == table(second)
+
+
+class TestSizeYieldCommand:
+    def test_size_with_yield_objective(self, capsys):
+        assert main(["size", "c17", "--objective", "yield",
+                     "--target-yield", "0.99", "--max-iterations", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "objective=yield" in out
+        assert "period@99%" in out
+        assert "yield at" in out
+
+    def test_size_with_area_constrained_yield(self, capsys):
+        assert main(["size", "c17", "--objective", "yield",
+                     "--target-yield", "0.9", "--max-area-ratio", "1.1",
+                     "--max-iterations", "3"]) == 0
+        assert "period@90%" in capsys.readouterr().out
+
+    def test_size_rejects_bad_yield_options(self, capsys):
+        assert main(["size", "c17", "--objective", "yield",
+                     "--target-yield", "0.3"]) == 2
+        assert "--target-yield" in capsys.readouterr().err
+        assert main(["size", "c17", "--max-area-ratio", "0.5"]) == 2
+        assert "--max-area-ratio" in capsys.readouterr().err
+        assert main(["size", "c17", "--pdf-samples", "2"]) == 2
+        assert "--pdf-samples" in capsys.readouterr().err
 
     def test_fig4_sweep(self, tmp_path, capsys):
         assert main(["sweep", "c17", "--quick", "--kind", "fig4",
