@@ -18,7 +18,7 @@ from __future__ import annotations
 import pytest
 
 from benchmarks.conftest import selected_circuits, write_result
-from repro.analysis.experiments import run_table1, run_table1_row
+from repro.analysis.experiments import run_table1
 from repro.analysis.metrics import summarize_rows
 from repro.analysis.report import format_table1
 from repro.circuits.registry import build_benchmark

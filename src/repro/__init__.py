@@ -36,6 +36,10 @@ The public API is organised into subpackages:
 ``repro.runner``
     Parallel sweep orchestration: (circuit, lambda) cells fanned across a
     process pool with persistent, resumable JSON artifacts.
+``repro.criticality``
+    Statistical criticality subsystem: gate/net/edge criticality
+    probabilities, top-k statistical path extraction, statistical slack
+    PDFs, and the Monte-Carlo critical-path cross-check.
 
 Quickstart
 ----------

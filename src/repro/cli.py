@@ -8,7 +8,12 @@ exposes the main flows without writing any Python:
 * ``ssta``   — statistical STA report (FASSTA and FULLSSTA moments, optional
   Monte-Carlo validation and timing yield at a clock period);
 * ``size``   — run the full flow (baseline mean-delay sizing followed by
-  StatisticalGreedy) and report the Table 1 metrics for one circuit;
+  StatisticalGreedy) and report the Table 1 metrics for one circuit
+  (``--explain-path`` additionally prints the final design's WNSS trace
+  with every dominance-vs-sensitivity decision);
+* ``report`` — statistical criticality report: per-gate criticality
+  probabilities, top-k statistical paths, slack pdfs and an optional
+  Monte-Carlo cross-check, as text, markdown or JSON;
 * ``table1`` — regenerate Table 1 rows for a list of circuits;
 * ``sweep``  — parallel, resumable (circuit, lambda) sweep: fans the cells
   across a process pool (``--jobs``), persists each completed cell as a
@@ -28,9 +33,15 @@ from pathlib import Path
 from typing import Optional, Tuple
 
 from repro.analysis.experiments import run_table1
-from repro.analysis.report import format_table, format_table1
+from repro.analysis.metrics import criticality_report_data
+from repro.analysis.report import (
+    format_criticality_report,
+    format_table,
+    format_table1,
+)
 from repro.runner.sweep import (
     SubstrateSpec,
+    criticality_specs,
     fig4_specs,
     run_cells,
     table1_specs,
@@ -41,7 +52,7 @@ from repro.circuits.registry import BENCHMARK_NAMES, PAPER_GATE_COUNTS, build_be
 from repro.core.baseline import MeanDelaySizer
 from repro.core.fassta import FASSTA
 from repro.core.fullssta import FULLSSTA
-from repro.core.sizer import SizerConfig, StatisticalGreedySizer
+from repro.core.sizer import SizerConfig
 from repro.flow import run_sizing_flow
 from repro.montecarlo.mc import MonteCarloTimer
 from repro.netlist.bench import parse_bench_file
@@ -204,6 +215,72 @@ def cmd_size(args) -> int:
               f"{100 * ys['final_yield_at_final_period']:.2f} %")
     if result.mc_original and result.mc_final:
         print(f"  MC sigma   : {result.mc_original.sigma:9.2f} -> {result.mc_final.sigma:9.2f} ps")
+    if args.explain_path and result.final_wnss is not None:
+        wnss = result.final_wnss
+        print(f"  WNSS path of the final design ({len(wnss.gates)} gates, "
+              f"output {wnss.output_net}, arrival "
+              f"{wnss.output_rv.mean:.1f}+/-{wnss.output_rv.sigma:.1f} ps):")
+        for decision in reversed(wnss.decisions):
+            candidates = "  ".join(
+                f"{net}={rv.mean:.1f}+/-{rv.sigma:.1f}"
+                + ("*" if net == decision.chosen_net else "")
+                for net, rv in decision.candidates.items()
+            )
+            print(f"    {decision.gate:16s} {decision.method:11s} "
+                  f"-> {decision.chosen_net:12s} [{candidates}]")
+    return 0
+
+
+def cmd_report(args) -> int:
+    """Statistical criticality report (text / markdown / JSON)."""
+    if args.top_k < 1:
+        print("error: --top-k must be >= 1", file=sys.stderr)
+        return 2
+    circuit = load_circuit(args.circuit)
+    _, delay_model, variation_model = _substrates(args)
+    if args.baseline:
+        MeanDelaySizer(delay_model).optimize(circuit)
+
+    # Lazy imports keep the criticality stack out of unrelated commands.
+    from repro.criticality import (
+        CriticalityAnalyzer,
+        MonteCarloCriticality,
+        compute_slacks,
+        extract_top_paths,
+    )
+
+    analysis = FASSTA(
+        delay_model,
+        variation_model,
+        vectorized=True,
+        worst_key=lambda rv: rv.mean + args.lam * rv.sigma,
+    ).analyze(circuit)
+    crit = CriticalityAnalyzer(circuit).analyze(analysis.arrivals)
+    paths = extract_top_paths(circuit, crit, analysis.arrivals, k=args.top_k)
+    slack = compute_slacks(
+        circuit,
+        analysis.arrivals,
+        analysis.gate_delays,
+        clock_period=args.period,
+        lam=args.lam,
+    )
+    mc = None
+    if args.monte_carlo:
+        mc = MonteCarloCriticality(delay_model, variation_model).run(
+            circuit, num_samples=args.monte_carlo, seed=args.seed, paths=paths
+        )
+    data = criticality_report_data(circuit, crit, paths, slack, mc)
+    if args.format == "json":
+        import json
+
+        text = json.dumps(data, indent=2, sort_keys=True)
+    else:
+        text = format_criticality_report(data, markdown=(args.format == "markdown"))
+    if args.out:
+        Path(args.out).write_text(text + "\n")
+        print(f"report written to {args.out}")
+    else:
+        print(text)
     return 0
 
 
@@ -243,15 +320,18 @@ def cmd_table1(args) -> int:
 
 
 def cmd_sweep(args) -> int:
-    if args.kind != "table1" and args.monte_carlo:
-        print("error: --monte-carlo is only supported with --kind table1",
-              file=sys.stderr)
+    if args.kind not in ("table1", "criticality") and args.monte_carlo:
+        print("error: --monte-carlo is only supported with "
+              "--kind table1/criticality", file=sys.stderr)
         return 2
     if args.kind == "yield":
         problem = _check_yield_options("yield", args.target_yield)
         if problem:
             print(f"error: {problem}", file=sys.stderr)
             return 2
+    if args.kind == "criticality" and args.top_k < 1:
+        print(f"error: --top-k must be >= 1, got {args.top_k}", file=sys.stderr)
+        return 2
     substrates = _substrate_spec(args)
     config = _sweep_sizer_config(args, quick=args.quick)
     circuits = args.circuits or (
@@ -273,6 +353,14 @@ def cmd_sweep(args) -> int:
             sizer_config=config,
             substrates=substrates,
         )
+    elif args.kind == "criticality":
+        specs = criticality_specs(
+            circuits,
+            top_k=args.top_k,
+            monte_carlo_samples=args.monte_carlo,
+            seed=args.seed,
+            substrates=substrates,
+        )
     else:
         specs = [
             spec
@@ -284,11 +372,12 @@ def cmd_sweep(args) -> int:
 
     def progress(done, total, result):
         status = "cached" if result.from_cache else "computed"
-        axis = (
-            f"y={result.spec.target_yield:<5g}"
-            if result.spec.kind == "yield"
-            else f"lam={result.spec.lam:<4g}"
-        )
+        if result.spec.kind == "yield":
+            axis = f"y={result.spec.target_yield:<5g}"
+        elif result.spec.kind == "criticality":
+            axis = f"k={result.spec.top_k or 5:<6d}"
+        else:
+            axis = f"lam={result.spec.lam:<4g}"
         print(
             f"[{done:3d}/{total:3d}] {result.spec.kind} "
             f"{result.spec.circuit:<8s} {axis} "
@@ -318,6 +407,21 @@ def cmd_sweep(args) -> int:
                 f"{-cell['period_reduction_pct']:+.1f}",
                 f"{100 * cell['original_yield_at_final_period']:.2f}",
                 f"{cell['area']:.0f}",
+            ))
+        print(format_table(headers, body))
+    elif args.kind == "criticality":
+        headers = ["circuit", "gates", "paths", "top_mass", "source_mass",
+                   "mc_max_err", "mc_mean_err"]
+        body = []
+        for result in report.results:
+            cell = result.result
+            body.append((
+                cell["circuit"], cell["gates"], len(cell["top_paths"]),
+                f"{cell['top_path_mass']:.4f}", f"{cell['source_mass']:.6f}",
+                (f"{cell['mc_max_abs_gate_error']:.4f}"
+                 if "mc_max_abs_gate_error" in cell else "-"),
+                (f"{cell['mc_mean_abs_gate_error']:.5f}"
+                 if "mc_mean_abs_gate_error" in cell else "-"),
             ))
         print(format_table(headers, body))
     else:
@@ -396,8 +500,38 @@ def build_parser() -> argparse.ArgumentParser:
     p_size.add_argument("--monte-carlo", type=int, default=0, metavar="N")
     p_size.add_argument("--no-baseline", action="store_true",
                         help="skip the mean-delay baseline sizing step")
+    p_size.add_argument("--explain-path", action="store_true",
+                        help="print the final design's WNSS trace with every "
+                             "dominance-vs-sensitivity decision")
     _add_common_options(p_size)
     p_size.set_defaults(func=cmd_size)
+
+    p_report = sub.add_parser(
+        "report",
+        help="statistical criticality report (gate/path criticality "
+             "probabilities, slack pdfs)",
+    )
+    p_report.add_argument("circuit")
+    p_report.add_argument("--lam", type=float, default=3.0,
+                          help="sigma weight used for the default clock "
+                               "period and output ranking")
+    p_report.add_argument("--top-k", type=int, default=5,
+                          help="number of statistical paths to extract")
+    p_report.add_argument("--period", type=float, default=None,
+                          help="clock period (ps) anchoring the slack pdfs; "
+                               "defaults to the worst weighted output cost")
+    p_report.add_argument("--baseline", action="store_true",
+                          help="size for minimum mean delay before analysing")
+    p_report.add_argument("--monte-carlo", type=int, default=0, metavar="N",
+                          help="cross-check criticalities against N "
+                               "Monte-Carlo critical-path draws")
+    p_report.add_argument("--seed", type=int, default=0)
+    p_report.add_argument("--format", choices=["text", "markdown", "json"],
+                          default="text")
+    p_report.add_argument("--out", default=None, metavar="FILE",
+                          help="write the report to FILE instead of stdout")
+    _add_common_options(p_report)
+    p_report.set_defaults(func=cmd_report)
 
     p_table = sub.add_parser("table1", help="regenerate Table 1 rows")
     p_table.add_argument("circuits", nargs="*", help="circuit names (default: small subset)")
@@ -423,14 +557,18 @@ def build_parser() -> argparse.ArgumentParser:
                          help="skip cells whose artifact matches the current config")
     p_sweep.add_argument("--quick", action="store_true",
                          help="CI smoke mode: tiny circuits, reduced sizer budget")
-    p_sweep.add_argument("--kind", choices=["table1", "fig4", "yield"],
+    p_sweep.add_argument("--kind",
+                         choices=["table1", "fig4", "yield", "criticality"],
                          default="table1",
-                         help="cell type: Table-1 rows, Fig-4 trade-off points "
-                              "or yield-objective cells")
+                         help="cell type: Table-1 rows, Fig-4 trade-off points, "
+                              "yield-objective cells or criticality analyses")
     p_sweep.add_argument("--target-yield", type=float, nargs="+", default=[0.99],
                          help="target yields swept by --kind yield")
+    p_sweep.add_argument("--top-k", type=int, default=5,
+                         help="statistical paths per --kind criticality cell")
     p_sweep.add_argument("--monte-carlo", type=int, default=0, metavar="N",
-                         help="validate each table1 cell with N MC samples")
+                         help="validate each table1/criticality cell with N "
+                              "MC samples")
     p_sweep.add_argument("--max-iterations", type=int, default=None,
                          help="cap the sizer's outer-loop passes per cell")
     p_sweep.add_argument("--seed", type=int, default=0)

@@ -26,7 +26,7 @@ comparable.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from repro.core.cost import CostEvaluator, WeightedCost

@@ -215,10 +215,12 @@ class FULLSSTA:
         # compacted), so the state arrays are sized for the widest row.
         extra_boundary: Dict[str, DiscretePDF] = {}
         known_boundary: Dict[str, DiscretePDF] = {}
+        boundary_nets: Set[str] = set()
         if boundary_arrivals:
             for net, pdf in boundary_arrivals.items():
                 if net in plan.net_index:
                     known_boundary[net] = pdf
+                    boundary_nets.add(net)
                 else:
                     # Net unknown to this circuit: keep it visible in the
                     # result map, exactly like the scalar path does.

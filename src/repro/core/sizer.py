@@ -74,6 +74,17 @@ class SizerConfig:
       ``max_area_ratio`` rejects states whose area exceeds that multiple of
       the starting area (the area-constrained variant); the constraint also
       applies under the cost objective when set.
+
+    ``criticality_threshold`` enables criticality-guided candidate pruning:
+    before each pass the per-gate statistical criticality probabilities are
+    computed from the recorded FULLSSTA arrival moments
+    (:class:`~repro.criticality.analysis.CriticalityAnalyzer`), and WNSS
+    gates whose criticality falls below the threshold are skipped by the
+    inner loop.  The default of ``0.0`` disables pruning entirely — the
+    optimization trajectory is then bit-identical to a sizer without the
+    feature; practical thresholds (0.01-0.05) trade a small objective
+    deviation for fewer subcircuit evaluations per pass
+    (``benchmarks/bench_criticality.py`` measures both).
     """
 
     lam: float = 3.0
@@ -91,6 +102,7 @@ class SizerConfig:
     objective: str = "cost"
     target_yield: float = 0.99
     max_area_ratio: Optional[float] = None
+    criticality_threshold: float = 0.0
 
     def __post_init__(self) -> None:
         if self.lam < 0:
@@ -109,6 +121,8 @@ class SizerConfig:
             raise ValueError("target_yield must be in [0.5, 1)")
         if self.max_area_ratio is not None and self.max_area_ratio < 1.0:
             raise ValueError("max_area_ratio must be >= 1 (relative to start)")
+        if not 0.0 <= self.criticality_threshold < 1.0:
+            raise ValueError("criticality_threshold must be in [0, 1)")
 
 
 @dataclass
@@ -246,6 +260,15 @@ class StatisticalGreedySizer:
         else:
             analyze = lambda: self.fullssta.analyze(circuit)  # noqa: E731
 
+        # Criticality-guided pruning (off at threshold 0: no analyzer is even
+        # built, so the default path is exactly the historical one).
+        crit_analyzer = None
+        pruned_gates = 0
+        if config.criticality_threshold > 0.0:
+            from repro.criticality.analysis import CriticalityAnalyzer
+
+            crit_analyzer = CriticalityAnalyzer(circuit)
+
         initial_full = analyze()
         initial_rv = initial_full.output_rv
         initial_area = self.delay_model.circuit_area(circuit)
@@ -284,6 +307,17 @@ class StatisticalGreedySizer:
                 reverse=True,
             )[: config.max_outputs_per_pass]
 
+            # One criticality analysis per pass: gates below the floor are
+            # excluded from the inner loop's candidate set.
+            critical_enough = None
+            if crit_analyzer is not None:
+                crit = crit_analyzer.analyze(current_full.arrival_moments)
+                critical_enough = {
+                    name
+                    for name, value in crit.gate_criticality.items()
+                    if value >= config.criticality_threshold
+                }
+
             scheduled: Dict[str, int] = {}
             wnss_length = 0
             for output_net in outputs_by_cost:
@@ -293,6 +327,12 @@ class StatisticalGreedySizer:
                 wnss_length = max(wnss_length, len(wnss))
                 for gate_name in wnss.gates:
                     if gate_name in scheduled:
+                        continue
+                    if (
+                        critical_enough is not None
+                        and gate_name not in critical_enough
+                    ):
+                        pruned_gates += 1
                         continue
                     if config.freeze_no_gain_gates and gate_name in frozen:
                         continue
@@ -384,6 +424,8 @@ class StatisticalGreedySizer:
             "subcircuit_cache_hits": self._subcircuits.hits,
             "subcircuit_cache_misses": self._subcircuits.misses,
         }
+        if crit_analyzer is not None:
+            diagnostics["criticality_pruned_gates"] = pruned_gates
         if reanalysis is not None:
             diagnostics.update(reanalysis.stats)
 

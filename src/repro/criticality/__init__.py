@@ -1,0 +1,37 @@
+"""Statistical criticality subsystem.
+
+Computes gate/net/edge criticality probabilities, top-k statistical paths,
+and statistical slack PDFs on top of the existing SSTA engines, plus the
+Monte-Carlo cross-check that validates them.  See
+:mod:`repro.criticality.analysis` for the propagation scheme.
+"""
+
+from repro.criticality.analysis import (
+    CriticalityAnalyzer,
+    CriticalityResult,
+    selection_probabilities,
+)
+from repro.criticality.mc import (
+    MonteCarloCriticality,
+    MonteCarloCriticalityResult,
+)
+from repro.criticality.paths import (
+    StatisticalPath,
+    extract_top_paths,
+    total_path_mass,
+)
+from repro.criticality.slack import SlackResult, compute_slacks, statistical_min
+
+__all__ = [
+    "CriticalityAnalyzer",
+    "CriticalityResult",
+    "selection_probabilities",
+    "MonteCarloCriticality",
+    "MonteCarloCriticalityResult",
+    "StatisticalPath",
+    "extract_top_paths",
+    "total_path_mass",
+    "SlackResult",
+    "compute_slacks",
+    "statistical_min",
+]

@@ -1,0 +1,202 @@
+"""Top-k statistical path extraction (branch-and-bound on criticality).
+
+The WNSS tracer follows *one* locally-dominant input per gate; here the
+local selection probabilities computed by
+:class:`~repro.criticality.analysis.CriticalityAnalyzer` define a proper
+probability distribution over complete output-to-input paths: the mass of a
+path is the product of its output's selection probability and the edge
+selection probabilities along it.  The masses of all source-to-output paths
+sum to ~1 — they partition the event "which path is critical".
+
+Extraction is a best-first branch-and-bound: partial paths live in a
+max-heap keyed by their accumulated mass.  Every edge factor is <= 1, so a
+partial path's mass is an upper bound on the mass of any of its
+completions — popping the heap in mass order therefore yields *complete*
+paths in globally non-increasing mass order, and the first ``k`` completed
+pops are exactly the top-k statistical paths.  Prefixes whose bound falls
+below ``min_criticality`` (or below the running k-th best completed mass)
+are pruned without expansion.
+
+On circuits whose mass is *diffuse* (deep XOR trees, multiplier arrays:
+near-50/50 splits at every level) the number of prefixes above even the
+top path's mass grows exponentially with depth, so exact extraction is
+intractable by nature.  ``max_expansions`` bounds the search; because pops
+happen in non-increasing mass order, the paths completed within the budget
+are still *exactly* the global heaviest ones.  Any remaining slots are
+then filled by *greedy completions* of the best-bound prefixes left on the
+heap (always following the locally most probable edge) — valid paths with
+exact masses, just without the global-rank guarantee; they are flagged via
+:attr:`StatisticalPath.exact`.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass
+from typing import List, Mapping, Optional, Sequence
+
+from repro.core.rv import NormalDelay, ZERO_DELAY
+from repro.criticality.analysis import CriticalityResult
+from repro.netlist.circuit import Circuit
+
+
+@dataclass
+class StatisticalPath:
+    """One complete statistical path with its criticality mass.
+
+    ``gates`` runs from inputs towards the output — the same orientation as
+    :class:`~repro.core.wnss.WNSSPath`, so the sizer and reports can treat
+    both interchangeably.
+    """
+
+    gates: List[str]
+    output_net: str
+    source_net: str
+    criticality: float
+    arrival_rv: NormalDelay
+    #: True when the path was proven to be among the global top-k; False
+    #: for greedy completions emitted after the expansion budget ran out.
+    exact: bool = True
+
+    def __len__(self) -> int:
+        return len(self.gates)
+
+    def __iter__(self):
+        return iter(self.gates)
+
+    def __contains__(self, gate_name: str) -> bool:
+        return gate_name in self.gates
+
+
+#: Default cap on heap pops per extraction; keeps diffuse-mass circuits
+#: (where exact top-k is exponential) bounded while leaving orders of
+#: magnitude of headroom for concentrated-mass ones.
+DEFAULT_MAX_EXPANSIONS = 200_000
+
+
+def extract_top_paths(
+    circuit: Circuit,
+    result: CriticalityResult,
+    arrivals: Mapping[str, NormalDelay],
+    k: int = 10,
+    min_criticality: float = 0.0,
+    outputs: Optional[Sequence[str]] = None,
+    max_expansions: int = DEFAULT_MAX_EXPANSIONS,
+) -> List[StatisticalPath]:
+    """The ``k`` highest-criticality complete paths of ``circuit``.
+
+    Parameters
+    ----------
+    circuit:
+        The circuit the criticality ``result`` was computed on.
+    result:
+        A :class:`CriticalityResult` carrying output and edge selection
+        probabilities.
+    arrivals:
+        Net -> arrival moments (used to annotate each path's output RV).
+    k:
+        Number of paths to return (fewer when the circuit has fewer paths
+        above the pruning floor).
+    min_criticality:
+        Prefixes whose accumulated mass falls below this floor are pruned.
+        0 disables the floor (the k-th-best bound still prunes).
+    outputs:
+        Restrict extraction to these output nets; defaults to every output
+        carrying positive probability in ``result``.
+    max_expansions:
+        Cap on heap pops.  When exhausted, the (possibly fewer than ``k``)
+        paths completed so far are returned — they are still the exact
+        global heaviest ones, in order.
+    """
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    if min_criticality < 0:
+        raise ValueError("min_criticality must be non-negative")
+    if max_expansions < 1:
+        raise ValueError("max_expansions must be >= 1")
+
+    output_nets = (
+        list(outputs) if outputs is not None else list(result.output_probabilities)
+    )
+    counter = itertools.count()
+    # Heap entries: (-mass, tiebreak, output_net, frontier_net, gates_so_far)
+    # where gates_so_far is ordered output-side first and frontier_net is the
+    # net whose driver is explored next.
+    heap: list = []
+    for net in output_nets:
+        mass = float(result.output_probabilities.get(net, 0.0))
+        if mass > 0.0 and mass >= min_criticality:
+            heapq.heappush(heap, (-mass, next(counter), net, net, []))
+
+    paths: List[StatisticalPath] = []
+    expansions = 0
+    while heap and len(paths) < k and expansions < max_expansions:
+        expansions += 1
+        neg_mass, _, output_net, frontier, gates = heapq.heappop(heap)
+        mass = -neg_mass
+        driver = circuit.driver_of(frontier)
+        if driver is None:
+            # Reached a primary input (or floating net): the path is complete.
+            ordered = list(reversed(gates))
+            paths.append(
+                StatisticalPath(
+                    gates=ordered,
+                    output_net=output_net,
+                    source_net=frontier,
+                    criticality=mass,
+                    arrival_rv=arrivals.get(output_net, ZERO_DELAY),
+                )
+            )
+            continue
+        edges = result.edge_probabilities.get(driver.name, {})
+        new_gates = gates + [driver.name]
+        for net, prob in edges.items():
+            bound = mass * prob
+            if bound <= 0.0 or bound < min_criticality:
+                continue
+            heapq.heappush(
+                heap, (-bound, next(counter), output_net, net, new_gates)
+            )
+
+    # Budget exhausted before k completions: greedily complete the
+    # best-bound prefixes so callers still get k concrete paths.
+    seen = {tuple(p.gates) for p in paths}
+    greedy: List[StatisticalPath] = []
+    attempts = 0
+    while heap and len(paths) + len(greedy) < k and attempts < 4 * k:
+        attempts += 1
+        neg_mass, _, output_net, frontier, gates = heapq.heappop(heap)
+        mass = -neg_mass
+        gates = list(gates)
+        driver = circuit.driver_of(frontier)
+        while driver is not None:
+            gates.append(driver.name)
+            edges = result.edge_probabilities.get(driver.name, {})
+            if not edges:
+                break
+            frontier, prob = max(edges.items(), key=lambda kv: kv[1])
+            mass *= prob
+            driver = circuit.driver_of(frontier)
+        ordered = tuple(reversed(gates))
+        if mass < min_criticality or ordered in seen:
+            continue
+        seen.add(ordered)
+        greedy.append(
+            StatisticalPath(
+                gates=list(ordered),
+                output_net=output_net,
+                source_net=frontier,
+                criticality=mass,
+                arrival_rv=arrivals.get(output_net, ZERO_DELAY),
+                exact=False,
+            )
+        )
+    greedy.sort(key=lambda p: -p.criticality)
+    paths.extend(greedy)
+    return paths
+
+
+def total_path_mass(paths: Sequence[StatisticalPath]) -> float:
+    """Combined criticality mass of the extracted paths (coverage metric)."""
+    return float(sum(p.criticality for p in paths))

@@ -19,7 +19,7 @@ whole flow.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Optional
 
 from repro.circuits.registry import build_benchmark
@@ -28,6 +28,7 @@ from repro.core.discrete_pdf import DiscretePDF
 from repro.core.fullssta import FULLSSTA
 from repro.core.rv import NormalDelay
 from repro.core.sizer import SizerConfig, SizerResult, StatisticalGreedySizer
+from repro.core.wnss import WNSSPath
 from repro.library.cell import Library
 from repro.library.delay_model import BaseDelayModel, LookupTableDelayModel
 from repro.library.synthetic90nm import make_synthetic_90nm_library
@@ -59,6 +60,11 @@ class FlowResult:
     #: (the distributions yield numbers are computed from).
     original_output_pdf: Optional[DiscretePDF] = None
     final_output_pdf: Optional[DiscretePDF] = None
+    #: WNSS trace of the *final* design, including the per-gate
+    #: :class:`~repro.core.wnss.TraceDecision` records — how each
+    #: dominance-vs-sensitivity choice was made is inspectable through the
+    #: CLI (``size --explain-path``) and reports.
+    final_wnss: Optional[WNSSPath] = None
 
     # -- Table 1 style metrics -------------------------------------------
     @property
@@ -206,6 +212,10 @@ def run_sizing_flow(
     final_rv = final_full.output_rv
     final_area = delay_model.circuit_area(circuit)
 
+    # Trace the final design's WNSS path with the sizer's own tracer so the
+    # recorded TraceDecisions use the exact lambda/coupling the run used.
+    final_wnss = sizer.tracer.trace(circuit, final_full.arrival_moments)
+
     mc_final = None
     if monte_carlo_samples > 0:
         mc_final = MonteCarloTimer(delay_model, variation_model).run(
@@ -226,6 +236,7 @@ def run_sizing_flow(
         total_runtime_seconds=time.perf_counter() - flow_start,
         original_output_pdf=original_full.output_pdf,
         final_output_pdf=final_full.output_pdf,
+        final_wnss=final_wnss,
     )
 
 

@@ -18,7 +18,7 @@ output load for primary outputs, plus an optional per-fanout wire estimate.
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Dict
 
 from repro.library.cell import Library
 from repro.netlist.circuit import Circuit

@@ -19,7 +19,7 @@ reproducing the paper's trends, as documented in DESIGN.md.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Optional, Sequence, Tuple
+from typing import Dict, Sequence, Tuple
 
 from repro.library.cell import CellSize, CellType, Library
 

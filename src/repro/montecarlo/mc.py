@@ -15,9 +15,8 @@ model) and, optionally, the spatially correlated overlay of
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, Optional
 
 import numpy as np
 

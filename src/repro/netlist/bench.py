@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import re
 from pathlib import Path
-from typing import Dict, Iterable, List, Union
+from typing import Dict, List, Union
 
 from repro.netlist.circuit import Circuit
 from repro.netlist.gate import Gate, make_cell_type

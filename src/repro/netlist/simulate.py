@@ -10,7 +10,7 @@ ignores them.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Mapping, Sequence
+from typing import Dict, List, Mapping, Sequence
 
 from repro.netlist.circuit import Circuit
 from repro.netlist.gate import Gate

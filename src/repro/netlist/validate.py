@@ -4,16 +4,26 @@
 optimizer rely on:
 
 * every gate input net has a driver (a primary input or another gate),
+* every net has at most **one** driver — no two gates, and no gate and a
+  primary input, may drive the same net,
 * every primary output net has a driver,
 * the circuit is acyclic (checked implicitly via topological ordering),
 * no gate drives a primary input,
 * optionally, every gate's cell type and size index exist in a given
   library.
+
+:class:`~repro.netlist.circuit.Circuit` construction rejects duplicate
+drivers up front, but the multi-driver checks still matter here: gates are
+mutable objects, so code that rewires ``gate.output`` (or bulk-loads gates)
+behind the circuit's back can violate the invariant without tripping any
+constructor guard.  Validation inspects the gate objects directly and
+therefore catches such states.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional
+from collections import Counter
+from typing import List
 
 from repro.netlist.circuit import Circuit, CircuitError
 
@@ -41,8 +51,28 @@ def validate_circuit(circuit: Circuit, library=None, raise_on_error: bool = True
         is found instead of returning the list.
     """
     problems: List[str] = []
-    driven = set(circuit.primary_inputs)
+    primary_inputs = set(circuit.primary_inputs)
+    driven = set(primary_inputs)
     driven.update(g.output for g in circuit.gates.values())
+
+    # Multi-driver nets: two gates on one net, or a gate driving a net that
+    # is also a primary input.
+    drivers_per_net = Counter(g.output for g in circuit.gates.values())
+    for net, count in sorted(drivers_per_net.items()):
+        if count > 1:
+            names = sorted(
+                g.name for g in circuit.gates.values() if g.output == net
+            )
+            problems.append(
+                f"net {net!r} is driven by {count} gates: {names}"
+            )
+        if net in primary_inputs:
+            names = sorted(
+                g.name for g in circuit.gates.values() if g.output == net
+            )
+            problems.append(
+                f"primary input {net!r} is also driven by gate(s): {names}"
+            )
 
     for gate in circuit.gates.values():
         for net in gate.inputs:

@@ -30,10 +30,12 @@ from repro.runner.sweep import (
     SubstrateSpec,
     SweepReport,
     config_with_lam,
+    criticality_specs,
     evaluate_cell,
     fig4_specs,
     run_cells,
     table1_specs,
+    yield_specs,
 )
 
 __all__ = [
@@ -47,8 +49,10 @@ __all__ = [
     "SubstrateSpec",
     "SweepReport",
     "config_with_lam",
+    "criticality_specs",
     "evaluate_cell",
     "fig4_specs",
     "run_cells",
     "table1_specs",
+    "yield_specs",
 ]

@@ -10,7 +10,7 @@ generalises into the WNSS path.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from repro.library.delay_model import BaseDelayModel

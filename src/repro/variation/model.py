@@ -26,11 +26,9 @@ see EXPERIMENTS.md for the calibration comparison.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 from typing import Dict, Optional
 
-from repro.library.cell import Library
 from repro.library.delay_model import BaseDelayModel
 from repro.netlist.circuit import Circuit
 from repro.netlist.gate import Gate

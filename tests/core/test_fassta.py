@@ -1,6 +1,5 @@
 """Unit tests for the FASSTA fast moment-propagation engine."""
 
-import math
 
 import pytest
 

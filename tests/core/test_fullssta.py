@@ -1,6 +1,5 @@
 """Unit tests for the FULLSSTA discrete-PDF engine."""
 
-import math
 
 import pytest
 

@@ -6,7 +6,6 @@ the target's z-score, circuit-level decisions use the exact FULLSSTA
 discrete-pdf quantile.
 """
 
-import math
 
 import pytest
 

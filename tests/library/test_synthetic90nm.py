@@ -3,7 +3,6 @@
 import pytest
 
 from repro.library.synthetic90nm import (
-    DEFAULT_DRIVES,
     make_cell_type,
     make_synthetic_90nm_library,
 )

@@ -34,6 +34,40 @@ class TestValidateCircuit:
         problems = validate_circuit(circuit, library, raise_on_error=False)
         assert any("out of range" in p for p in problems)
 
+    def test_multi_driver_net_detected(self):
+        # Circuit construction rejects duplicate drivers, so rewire a gate's
+        # output behind the circuit's back — the mutable-Gate loophole the
+        # validator exists to catch.
+        circuit = Circuit("bad", primary_inputs=["a", "b"], primary_outputs=["y"])
+        circuit.add("g1", "INV", ["a"], "y")
+        circuit.add("g2", "INV", ["b"], "z")
+        circuit.gate("g2").output = "y"
+        problems = validate_circuit(circuit, raise_on_error=False)
+        assert any("driven by 2 gates" in p for p in problems)
+        assert any("'g1'" in p and "'g2'" in p for p in problems)
+
+    def test_gate_driving_primary_input_detected(self):
+        circuit = Circuit("bad", primary_inputs=["a", "b"], primary_outputs=["y"])
+        circuit.add("g1", "NAND2", ["a", "b"], "y")
+        circuit.add("g2", "INV", ["a"], "z")
+        circuit.gate("g2").output = "b"
+        problems = validate_circuit(circuit, raise_on_error=False)
+        assert any("primary input 'b' is also driven" in p for p in problems)
+
+    def test_three_drivers_reported_once_with_all_names(self):
+        circuit = Circuit(
+            "bad", primary_inputs=["a"], primary_outputs=["y"]
+        )
+        circuit.add("g1", "INV", ["a"], "y")
+        circuit.add("g2", "INV", ["a"], "n2")
+        circuit.add("g3", "INV", ["a"], "n3")
+        circuit.gate("g2").output = "y"
+        circuit.gate("g3").output = "y"
+        problems = validate_circuit(circuit, raise_on_error=False)
+        multi = [p for p in problems if "driven by 3 gates" in p]
+        assert len(multi) == 1
+        assert "['g1', 'g2', 'g3']" in multi[0]
+
     def test_raise_on_error(self):
         circuit = Circuit("bad", primary_inputs=["a"], primary_outputs=["missing"])
         circuit.add("g", "INV", ["a"], "y")

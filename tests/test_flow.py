@@ -38,6 +38,21 @@ class TestQuickFlow:
         assert result.mc_final is not None
         assert result.mc_original.num_samples == 200
 
+    def test_final_wnss_trace_is_surfaced(self):
+        result = quick_flow("c17", lam=3.0, sizer_config=FAST)
+        wnss = result.final_wnss
+        assert wnss is not None
+        assert wnss.gates
+        assert wnss.output_net in result.circuit.primary_outputs
+        # One recorded decision per traced gate, each naming a real input
+        # of its gate and a supported method.
+        assert len(wnss.decisions) == len(wnss.gates)
+        for decision in wnss.decisions:
+            gate = result.circuit.gate(decision.gate)
+            assert decision.chosen_net in gate.inputs
+            assert decision.method in ("single", "dominance", "sensitivity")
+            assert set(decision.candidates) == set(gate.inputs)
+
     def test_table1_row_dict(self):
         result = quick_flow("c17", lam=3.0, sizer_config=FAST)
         row = result.as_table1_row()
