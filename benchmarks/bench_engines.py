@@ -1,106 +1,387 @@
-"""Engine benchmarks: FASSTA vs FULLSSTA vs Monte Carlo (the nested-engine rationale).
+"""Scalar vs IR-levelized engine benchmark (the compiled-IR rationale).
 
-Section 4 of the paper justifies its nested architecture — a slow, accurate
-discrete-pdf engine (FULLSSTA) in the outer loop and a fast moment engine
-(FASSTA) in the inner loop — by the cost of evaluating full pdfs for every
-candidate gate size.  These benchmarks measure all three analysis engines on
-the same circuit so that the speed gap (and the accuracy cost) backing that
-design choice is visible, and write the comparison to
-``benchmarks/results/engines.txt``.
+Every analysis engine now consumes the circuit's compiled array-native IR
+(:meth:`Circuit.compiled() <repro.netlist.circuit.Circuit.compiled>`).  This
+benchmark measures what that buys on real registry circuits, engine by
+engine:
+
+* **DSTA**    — scalar per-gate walk vs levelized forward pass,
+* **FASSTA**  — scalar Clark folds vs levelized ``clark_max_fast_arrays``,
+* **FULLSSTA**— scalar discrete-pdf folds vs batched levelized propagation,
+* **MC**      — the historical per-gate dict propagation (inlined below as
+  the reference) vs the levelized all-samples-at-once program.
+
+The MC comparison times the *propagation stage* on shared pre-drawn gate
+delays — the code the IR refactor actually rewrote; the Gaussian draws are
+bit-identical in both paths (same generator stream) and would otherwise
+dominate the wall clock and dilute the comparison.  The end-to-end run
+(draws + propagation) is reported alongside for transparency.  Propagation
+is gather-bound: the levelized program wins while the arrival matrix stays
+cache-resident (hundreds of samples on the largest circuits), which is why
+the default sample count is moderate rather than huge.
+
+Equivalence is asserted, not assumed: DSTA arrivals and MC sample streams
+must be bit-identical, FASSTA/FULLSSTA moments must agree to 1e-9.  The
+report goes to ``benchmarks/results/engines.txt`` and a machine-readable
+entry is appended to the checked-in ``BENCH_engines.json`` perf trajectory
+at the repo root.
+
+Run directly::
+
+    PYTHONPATH=src python benchmarks/bench_engines.py --quick   # CI smoke
+    PYTHONPATH=src python benchmarks/bench_engines.py           # largest circuits
 """
 
 from __future__ import annotations
 
+import argparse
+import json
+import sys
 import time
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
 
-import pytest
+import numpy as np
 
-from benchmarks.conftest import write_result
-from repro.circuits.registry import build_benchmark
-from repro.core.baseline import MeanDelaySizer
-from repro.core.fassta import FASSTA
-from repro.core.fullssta import FULLSSTA
-from repro.montecarlo.mc import MonteCarloTimer
+# Allow running as a plain script from the repo root.
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
-CIRCUIT = "c880"
+from repro.circuits.registry import build_benchmark  # noqa: E402
+from repro.core.fassta import FASSTA  # noqa: E402
+from repro.core.fullssta import FULLSSTA  # noqa: E402
+from repro.library.delay_model import LookupTableDelayModel  # noqa: E402
+from repro.library.synthetic90nm import make_synthetic_90nm_library  # noqa: E402
+from repro.montecarlo.mc import MonteCarloTimer, propagate_levelized  # noqa: E402
+from repro.sta.dsta import DeterministicSTA  # noqa: E402
+from repro.variation.model import VariationModel  # noqa: E402
 
+#: Full benchmark: the two largest registry circuits.
+FULL_CIRCUITS = ["c6288", "c7552"]
+#: Quick (CI smoke) configuration.
+QUICK_CIRCUITS = ["c432"]
 
-@pytest.fixture(scope="module")
-def prepared_circuit(substrates):
-    _, delay_model, _ = substrates
-    circuit = build_benchmark(CIRCUIT)
-    MeanDelaySizer(delay_model).optimize(circuit)
-    return circuit
-
-
-@pytest.mark.benchmark(group="engines")
-def test_fassta_full_circuit(benchmark, substrates, prepared_circuit):
-    _, delay_model, variation_model = substrates
-    engine = FASSTA(delay_model, variation_model)
-    rv = benchmark(lambda: engine.analyze(prepared_circuit).output_rv)
-    assert rv.mean > 0
+MOMENT_TOLERANCE = 1e-9
+REPO_ROOT = Path(__file__).resolve().parent.parent
+TRAJECTORY_PATH = REPO_ROOT / "BENCH_engines.json"
 
 
-@pytest.mark.benchmark(group="engines")
-def test_fullssta_full_circuit(benchmark, substrates, prepared_circuit):
-    _, delay_model, variation_model = substrates
-    engine = FULLSSTA(delay_model, variation_model)
-    rv = benchmark(lambda: engine.analyze(prepared_circuit).output_rv)
-    assert rv.mean > 0
+def _substrates():
+    library = make_synthetic_90nm_library()
+    return LookupTableDelayModel(library), VariationModel()
 
 
-@pytest.mark.benchmark(group="engines")
-def test_montecarlo_1000_samples(benchmark, substrates, prepared_circuit):
-    _, delay_model, variation_model = substrates
-    timer = MonteCarloTimer(delay_model, variation_model)
-    result = benchmark.pedantic(
-        lambda: timer.run(prepared_circuit, num_samples=1000, seed=0),
-        rounds=1,
-        iterations=1,
-    )
-    assert result.sigma > 0
-
-
-@pytest.mark.benchmark(group="engines")
-def test_engine_comparison_summary(benchmark, substrates, prepared_circuit):
-    """Accuracy/speed summary of the three engines on one circuit."""
-    _, delay_model, variation_model = substrates
-
-    def compare():
-        rows = []
-        for name, run in (
-            ("FASSTA", lambda: FASSTA(delay_model, variation_model).analyze(prepared_circuit).output_rv),
-            ("FULLSSTA", lambda: FULLSSTA(delay_model, variation_model).analyze(prepared_circuit).output_rv),
-        ):
-            start = time.perf_counter()
-            rv = run()
-            elapsed = time.perf_counter() - start
-            rows.append((name, rv.mean, rv.sigma, elapsed))
+def _best_of(fn, rounds: int) -> Tuple[float, object]:
+    """Best wall-clock of ``rounds`` calls, plus the last return value."""
+    best = float("inf")
+    value = None
+    for _ in range(rounds):
         start = time.perf_counter()
-        mc = MonteCarloTimer(delay_model, variation_model).run(
-            prepared_circuit, num_samples=2000, seed=0
-        )
-        rows.append(("MonteCarlo-2000", mc.mean, mc.sigma, time.perf_counter() - start))
-        return rows
+        value = fn()
+        best = min(best, time.perf_counter() - start)
+    return best, value
 
-    rows = benchmark.pedantic(compare, rounds=1, iterations=1)
-    lines = [
-        f"Timing-engine comparison on {CIRCUIT} ({prepared_circuit.num_gates()} gates)",
-        "",
-        f"{'engine':18s} {'mean (ps)':>10s} {'sigma (ps)':>11s} {'runtime (ms)':>13s}",
-    ]
-    for name, mean, sigma, elapsed in rows:
-        lines.append(f"{name:18s} {mean:10.1f} {sigma:11.2f} {elapsed * 1e3:13.1f}")
-    fassta_time = rows[0][3]
-    fullssta_time = rows[1][3]
-    lines.append("")
-    lines.append(
-        f"FASSTA speedup over FULLSSTA: {fullssta_time / max(fassta_time, 1e-9):.1f}x "
-        "(this gap is why the inner loop uses FASSTA)"
+
+def _reference_mc_samples(timer, circuit, num_samples, seed):
+    """The historical per-gate dict-propagation Monte-Carlo path.
+
+    Same generator stream as :meth:`MonteCarloTimer.run` (draws in
+    topological order), propagation one gate at a time — the exact code the
+    levelized path replaced, kept here as the bit-identity reference.
+    """
+    rng = np.random.default_rng(seed)
+    order = circuit.topological_order()
+    distributions = timer.variation_model.all_gate_distributions(
+        circuit, timer.delay_model
     )
-    report = "\n".join(lines)
-    print("\n" + report)
-    write_result("engines.txt", report)
+    gate_samples = {}
+    for name in order:
+        dist = distributions[name]
+        gate_samples[name] = rng.normal(dist.mean, dist.sigma, num_samples)
+    arrivals = {net: np.zeros(num_samples) for net in circuit.primary_inputs}
+    for name in order:
+        gate = circuit.gate(name)
+        worst = None
+        for net in gate.inputs:
+            arr = arrivals.setdefault(net, np.zeros(num_samples))
+            worst = arr if worst is None else np.maximum(worst, arr)
+        arrivals[gate.output] = worst + gate_samples[name]
+    delay = None
+    for net in circuit.primary_outputs:
+        arr = arrivals[net]
+        delay = arr if delay is None else np.maximum(delay, arr)
+    return delay
 
-    # The architectural claim: the moment engine is significantly faster.
-    assert fassta_time < fullssta_time
+
+def _draw_gate_delays(timer, circuit, plan, num_samples, seed):
+    """Pre-draw the (num_gates, num_samples) delay matrix in IR gate order.
+
+    Same generator stream as both propagation paths (draws in topological
+    order), so the propagation-stage comparison below starts from literally
+    the same numbers.
+    """
+    rng = np.random.default_rng(seed)
+    distributions = timer.variation_model.all_gate_distributions(
+        circuit, timer.delay_model
+    )
+    delay = np.empty((plan.num_gates, num_samples))
+    for name in circuit.topological_order():
+        dist = distributions[name]
+        delay[plan.gate_index[name]] = rng.normal(
+            dist.mean, dist.sigma, num_samples
+        )
+    return delay
+
+
+def _pergate_propagation(circuit, plan, delay):
+    """The historical per-gate dict propagation over pre-drawn delays.
+
+    The exact propagation loop the levelized array program replaced, fed
+    from the shared delay matrix so only propagation is timed.
+    """
+    num_samples = delay.shape[1]
+    arrivals = {net: np.zeros(num_samples) for net in circuit.primary_inputs}
+    for name in circuit.topological_order():
+        gate = circuit.gate(name)
+        worst = None
+        for net in gate.inputs:
+            arr = arrivals.setdefault(net, np.zeros(num_samples))
+            worst = arr if worst is None else np.maximum(worst, arr)
+        arrivals[gate.output] = worst + delay[plan.gate_index[name]]
+    return np.stack([arrivals[net] for net in circuit.primary_outputs])
+
+
+def bench_circuit(
+    name: str,
+    delay_model,
+    variation_model,
+    mc_samples: int,
+    rounds: int,
+) -> Tuple[Dict[str, object], List[str], bool]:
+    """Benchmark all four engines on one circuit; returns (record, lines, ok)."""
+    circuit = build_benchmark(name)
+    circuit.compiled()  # lower once up front; every path below shares it
+    ok = True
+    record: Dict[str, object] = {
+        "circuit": name,
+        "gates": circuit.num_gates(),
+        "levels": circuit.logic_depth(),
+        "mc_samples": mc_samples,
+    }
+    lines = [
+        f"{name} ({circuit.num_gates()} gates, depth {circuit.logic_depth()}):"
+    ]
+
+    def row(label, t_scalar, t_vector, note):
+        speedup = t_scalar / max(t_vector, 1e-12)
+        lines.append(
+            f"  {label:9s} scalar {t_scalar * 1e3:9.1f} ms   "
+            f"levelized {t_vector * 1e3:9.1f} ms   "
+            f"speedup {speedup:6.2f}x   {note}"
+        )
+        return speedup
+
+    # --- DSTA ---------------------------------------------------------
+    dsta_scalar = DeterministicSTA(delay_model)
+    dsta_vector = DeterministicSTA(delay_model, vectorized=True)
+    t_s, ref = _best_of(lambda: dsta_scalar.arrival_times(circuit), rounds)
+    t_v, vec = _best_of(lambda: dsta_vector.arrival_times(circuit), rounds)
+    identical = ref[0] == vec[0] and ref[1] == vec[1]
+    ok = ok and identical
+    speedup = row("DSTA", t_s, t_v, "bit-identical" if identical else "MISMATCH")
+    record["dsta"] = {
+        "scalar_ms": t_s * 1e3, "levelized_ms": t_v * 1e3,
+        "speedup": speedup, "bit_identical": identical,
+    }
+
+    # --- FASSTA -------------------------------------------------------
+    fassta_scalar = FASSTA(delay_model, variation_model)
+    fassta_vector = FASSTA(delay_model, variation_model, vectorized=True)
+    t_s, ref = _best_of(lambda: fassta_scalar.analyze(circuit), rounds)
+    t_v, vec = _best_of(lambda: fassta_vector.analyze(circuit), rounds)
+    err = max(
+        max(
+            abs(ref.arrivals[n].mean - vec.arrivals[n].mean),
+            abs(ref.arrivals[n].sigma - vec.arrivals[n].sigma),
+        )
+        for n in ref.arrivals
+    )
+    matched = err <= MOMENT_TOLERANCE
+    ok = ok and matched
+    speedup = row(
+        "FASSTA", t_s, t_v,
+        f"max moment err {err:.1e}" + ("" if matched else "  << MISMATCH"),
+    )
+    record["fassta"] = {
+        "scalar_ms": t_s * 1e3, "levelized_ms": t_v * 1e3,
+        "speedup": speedup, "max_moment_err": err,
+    }
+
+    # --- FULLSSTA -----------------------------------------------------
+    full_scalar = FULLSSTA(delay_model, variation_model)
+    full_vector = FULLSSTA(delay_model, variation_model, vectorized=True)
+    t_s, ref = _best_of(lambda: full_scalar.analyze(circuit), rounds)
+    t_v, vec = _best_of(lambda: full_vector.analyze(circuit), rounds)
+    err = max(
+        abs(ref.output_rv.mean - vec.output_rv.mean),
+        abs(ref.output_rv.sigma - vec.output_rv.sigma),
+        max(
+            abs(ref.arrival_moments[n].mean - vec.arrival_moments[n].mean)
+            for n in ref.arrival_moments
+        ),
+    )
+    matched = err <= MOMENT_TOLERANCE
+    ok = ok and matched
+    speedup = row(
+        "FULLSSTA", t_s, t_v,
+        f"max moment err {err:.1e}" + ("" if matched else "  << MISMATCH"),
+    )
+    record["fullssta"] = {
+        "scalar_ms": t_s * 1e3, "levelized_ms": t_v * 1e3,
+        "speedup": speedup, "max_moment_err": err,
+    }
+
+    # --- Monte Carlo --------------------------------------------------
+    timer = MonteCarloTimer(delay_model, variation_model)
+    plan = circuit.compiled()
+
+    # Propagation stage on a shared pre-drawn delay matrix: the per-gate
+    # dict loop vs the production levelized program, bit-identity asserted.
+    delay = _draw_gate_delays(timer, circuit, plan, mc_samples, seed=0)
+    t_s, ref_po = _best_of(lambda: _pergate_propagation(circuit, plan, delay), rounds)
+    t_v, arr = _best_of(lambda: propagate_levelized(plan, delay), rounds)
+    out_rows = [plan.net_index[net] for net in circuit.primary_outputs]
+    identical = np.array_equal(arr[out_rows], ref_po)
+    ok = ok and identical
+    speedup = row(
+        "MC-prop", t_s, t_v,
+        f"{mc_samples} samples, "
+        + ("bit-identical" if identical else "MISMATCH"),
+    )
+    record["mc"] = {
+        "scalar_ms": t_s * 1e3, "levelized_ms": t_v * 1e3,
+        "speedup": speedup, "bit_identical": identical,
+    }
+
+    # End-to-end (draws + propagation), for transparency: the Gaussian
+    # draws are identical work in both paths and dominate the wall clock.
+    t_es, ref_samples = _best_of(
+        lambda: _reference_mc_samples(timer, circuit, mc_samples, seed=0), rounds
+    )
+    t_ev, result = _best_of(
+        lambda: timer.run(circuit, num_samples=mc_samples, seed=0), rounds
+    )
+    e2e_identical = np.array_equal(result.samples, ref_samples)
+    ok = ok and e2e_identical
+    e2e_speedup = row(
+        "MC-e2e", t_es, t_ev,
+        "incl. identical draws, "
+        + ("bit-identical stream" if e2e_identical else "STREAM MISMATCH"),
+    )
+    record["mc"]["end_to_end"] = {
+        "scalar_ms": t_es * 1e3, "levelized_ms": t_ev * 1e3,
+        "speedup": e2e_speedup, "bit_identical": e2e_identical,
+    }
+
+    return record, lines, ok
+
+
+def append_trajectory(records: List[Dict[str, object]], mode: str) -> None:
+    """Append one entry to the checked-in BENCH_engines.json trajectory."""
+    if TRAJECTORY_PATH.exists():
+        trajectory = json.loads(TRAJECTORY_PATH.read_text())
+    else:
+        trajectory = {"description": "scalar vs IR-levelized engine runtimes "
+                                     "(bench_engines.py)", "entries": []}
+    trajectory["entries"].append(
+        {
+            "date": time.strftime("%Y-%m-%d"),
+            "mode": mode,
+            "circuits": records,
+        }
+    )
+    TRAJECTORY_PATH.write_text(json.dumps(trajectory, indent=2) + "\n")
+
+
+def run(
+    circuits: List[str], mc_samples: int, rounds: int
+) -> Tuple[str, List[Dict[str, object]], bool]:
+    delay_model, variation_model = _substrates()
+    lines = [
+        "Engines on the compiled IR: scalar vs levelized paths",
+        f"(equivalence asserted per run: DSTA/MC bit-identical, "
+        f"FASSTA/FULLSSTA moments to {MOMENT_TOLERANCE:g}; "
+        f"best of {rounds} rounds)",
+        "",
+    ]
+    records = []
+    ok = True
+    for name in circuits:
+        record, circuit_lines, circuit_ok = bench_circuit(
+            name, delay_model, variation_model, mc_samples, rounds
+        )
+        records.append(record)
+        lines.extend(circuit_lines)
+        lines.append("")
+        ok = ok and circuit_ok
+    return "\n".join(lines).rstrip() + "\n", records, ok
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI smoke mode: one small circuit, fewer samples",
+    )
+    parser.add_argument(
+        "--circuits",
+        default=None,
+        help="comma-separated registry circuit names (overrides the mode default)",
+    )
+    parser.add_argument(
+        "--mc-samples",
+        type=int,
+        default=None,
+        help="Monte-Carlo samples (default: 128 — cache-resident regime "
+        "for the propagation comparison; see module docstring)",
+    )
+    parser.add_argument(
+        "--rounds", type=int, default=None,
+        help="timing rounds per path (default: 2 quick / 3 full)",
+    )
+    parser.add_argument(
+        "--no-trajectory",
+        action="store_true",
+        help="skip appending to BENCH_engines.json (CI smoke uses this)",
+    )
+    args = parser.parse_args(argv)
+
+    circuits = (
+        [name.strip() for name in args.circuits.split(",") if name.strip()]
+        if args.circuits
+        else (QUICK_CIRCUITS if args.quick else FULL_CIRCUITS)
+    )
+    mc_samples = args.mc_samples or 128
+    rounds = args.rounds or (2 if args.quick else 5)
+
+    report, records, ok = run(circuits, mc_samples, rounds)
+    print(report)
+
+    results_dir = Path(__file__).parent / "results"
+    results_dir.mkdir(exist_ok=True)
+    (results_dir / "engines.txt").write_text(report)
+    if not args.no_trajectory:
+        append_trajectory(records, "quick" if args.quick else "full")
+        print(f"trajectory appended to {TRAJECTORY_PATH}")
+
+    if not ok:
+        print(
+            "FAILED: a levelized path diverged from its scalar engine",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -21,11 +21,12 @@ Two propagation paths are provided:
 * the **levelized vectorized** path (``FASSTA(vectorized=True)``) groups
   gates by logic level and evaluates the Clark fast-max over NumPy arrays of
   μ/σ, one fold per input position per level
-  (:func:`repro.core.clark.clark_max_fast_arrays`).  The level structure is
-  compiled once per circuit into a :class:`_VectorPlan` and reused until the
-  circuit's :attr:`~repro.netlist.circuit.Circuit.structure_version`
-  changes.  Both paths perform the same floating-point operations in the
-  same order, so their moments agree to ~1e-12.
+  (:func:`repro.core.clark.clark_max_fast_arrays`).  The level schedule
+  comes from the circuit's shared array-native IR
+  (:meth:`Circuit.compiled() <repro.netlist.circuit.Circuit.compiled>`),
+  lowered once per structure version and shared with every other engine.
+  Both paths perform the same floating-point operations in the same order,
+  so their moments agree to ~1e-12.
 """
 
 from __future__ import annotations
@@ -66,68 +67,6 @@ class FasstaResult:
         return self.output_rv.sigma
 
 
-class _VectorPlan:
-    """Levelized propagation schedule compiled from a circuit's structure.
-
-    Valid for one (circuit, structure_version) pair.  Holds a net-name to
-    array-slot mapping plus, per logic level, the member gate names, their
-    output slots, and an input-slot matrix with a validity mask (gates of a
-    level have different fanin counts; missing positions are masked out of
-    the fold rather than padded with sentinel moments).
-    """
-
-    __slots__ = ("structure_version", "net_index", "num_slots", "levels", "floating")
-
-    def __init__(self, circuit: Circuit) -> None:
-        self.structure_version = circuit.structure_version
-        net_index: Dict[str, int] = {}
-
-        def slot(net: str) -> int:
-            idx = net_index.get(net)
-            if idx is None:
-                idx = len(net_index)
-                net_index[net] = idx
-            return idx
-
-        for net in circuit.primary_inputs:
-            slot(net)
-
-        by_level: Dict[int, List[str]] = {}
-        levels = circuit.levels()
-        for name in circuit.topological_order():
-            by_level.setdefault(levels[name], []).append(name)
-            slot(circuit.gate(name).output)
-        # Input nets that are neither primary inputs nor driven by a gate
-        # (floating inputs) still need a slot; they stay at zero arrival
-        # unless a boundary condition overrides them.  They are tracked so
-        # the result map can exclude them, matching the scalar path (which
-        # only records boundary nets, primary inputs and gate outputs).
-        self.floating = set()
-        for gate in circuit.gates.values():
-            for net in gate.inputs:
-                if net not in net_index:
-                    self.floating.add(net)
-                    slot(net)
-
-        self.levels: List[Tuple[List[str], np.ndarray, np.ndarray, np.ndarray]] = []
-        for level in sorted(by_level):
-            names = by_level[level]
-            out_ids = np.array(
-                [net_index[circuit.gate(n).output] for n in names], dtype=np.intp
-            )
-            max_fanin = max(len(circuit.gate(n).inputs) for n in names)
-            in_ids = np.zeros((len(names), max_fanin), dtype=np.intp)
-            in_mask = np.zeros((len(names), max_fanin), dtype=bool)
-            for row, name in enumerate(names):
-                for col, net in enumerate(circuit.gate(name).inputs):
-                    in_ids[row, col] = net_index[net]
-                    in_mask[row, col] = True
-            self.levels.append((names, out_ids, in_ids, in_mask))
-
-        self.net_index = net_index
-        self.num_slots = len(net_index)
-
-
 class FASSTA:
     """Fast moment-propagation SSTA engine.
 
@@ -164,8 +103,6 @@ class FASSTA:
         self.exact_max = exact_max
         self.vectorized = vectorized
         self.worst_key = worst_key
-        self._plan: Optional[_VectorPlan] = None
-        self._plan_circuit: Optional[Circuit] = None
 
     # ------------------------------------------------------------------
     def gate_delay_rv(
@@ -238,18 +175,10 @@ class FASSTA:
         circuit: Circuit,
         boundary_arrivals: Optional[Mapping[str, NormalDelay]],
     ) -> Tuple[Dict[str, NormalDelay], Dict[str, NormalDelay]]:
-        plan = self._plan
-        if (
-            plan is None
-            or self._plan_circuit is not circuit
-            or plan.structure_version != circuit.structure_version
-        ):
-            plan = _VectorPlan(circuit)
-            self._plan = plan
-            self._plan_circuit = circuit
+        plan = circuit.compiled()
 
-        mu = np.zeros(plan.num_slots)
-        sg = np.zeros(plan.num_slots)
+        mu = np.zeros(plan.num_nets)
+        sg = np.zeros(plan.num_nets)
         extra_boundary: Dict[str, NormalDelay] = {}
         boundary_nets: set = set()
         if boundary_arrivals:
@@ -265,7 +194,9 @@ class FASSTA:
                     sg[idx] = rv.sigma
 
         gate_delays: Dict[str, NormalDelay] = {}
-        for names, out_ids, in_ids, in_mask in plan.levels:
+        for block in plan.levels:
+            names, out_ids = block.names, block.out_slots
+            in_ids, in_mask = block.in_slots, block.in_mask
             d_mu = np.empty(len(names))
             d_sg = np.empty(len(names))
             for row, name in enumerate(names):

@@ -38,7 +38,6 @@ from repro.core.discrete_pdf import (
     batched_combine,
     batched_from_normal,
 )
-from repro.core.fassta import _VectorPlan
 from repro.core.rv import NormalDelay, ZERO_DELAY
 from repro.library.delay_model import BaseDelayModel
 from repro.netlist.circuit import Circuit
@@ -118,8 +117,6 @@ class FULLSSTA:
         self.correlation_model = correlation_model
         self.vectorized = vectorized
         self.worst_key = worst_key
-        self._plan: Optional[_VectorPlan] = None
-        self._plan_circuit: Optional[Circuit] = None
 
     # ------------------------------------------------------------------
     def gate_delay_pdf(self, circuit: Circuit, gate_name: str) -> DiscretePDF:
@@ -200,15 +197,7 @@ class FULLSSTA:
         path uses — then convolves the fold with the level's batched gate
         delay pdfs and scatters the rows to the output nets.
         """
-        plan = self._plan
-        if (
-            plan is None
-            or self._plan_circuit is not circuit
-            or plan.structure_version != circuit.structure_version
-        ):
-            plan = _VectorPlan(circuit)
-            self._plan = plan
-            self._plan_circuit = circuit
+        plan = circuit.compiled()
 
         # Boundary pdfs may carry more samples than the engine budget; the
         # scalar path folds them at full width (only the *results* are
@@ -229,10 +218,10 @@ class FULLSSTA:
         width = max(
             [num_samples] + [pdf.num_samples for pdf in known_boundary.values()]
         )
-        values = np.zeros((plan.num_slots, width))
-        probs = np.zeros((plan.num_slots, width))
+        values = np.zeros((plan.num_nets, width))
+        probs = np.zeros((plan.num_nets, width))
         probs[:, 0] = 1.0  # every slot starts as the point pdf at 0.0
-        counts = np.ones(plan.num_slots, dtype=np.intp)
+        counts = np.ones(plan.num_nets, dtype=np.intp)
 
         def scatter(slot_ids, row_values, row_probs, row_counts) -> None:
             n = row_values.shape[1]
@@ -253,7 +242,9 @@ class FULLSSTA:
             )
 
         gate_delay_moments: Dict[str, NormalDelay] = {}
-        for names, out_ids, in_ids, in_mask in plan.levels:
+        for block in plan.levels:
+            names, out_ids = block.names, block.out_slots
+            in_ids, in_mask = block.in_slots, block.in_mask
             d_mu = np.empty(len(names))
             d_sg = np.empty(len(names))
             for row, name in enumerate(names):
@@ -573,10 +564,14 @@ class IncrementalReanalysis:
     def _compute_delta(self, dirty_delay: Set[str]) -> "_PendingDelta":
         """Recompute the cone of ``dirty_delay`` gates into an overlay.
 
-        A gate is recomputed when its own delay is dirty or any of its input
-        nets changed; its output is marked changed only when the new pdf
-        differs from the cached one, so the wavefront dies out as soon as
-        the numbers reconverge.  The cache itself is not touched.
+        Candidate gates come from the compiled IR's fanout CSR: the dirty
+        gates plus their transitive fanout, as a topologically sorted
+        index range — gates outside that cone can never need recomputation,
+        so the sweep is O(cone) instead of a full-circuit scan.  Within the
+        cone a gate is recomputed when its own delay is dirty or any of its
+        input nets changed; its output is marked changed only when the new
+        pdf differs from the cached one, so the wavefront dies out as soon
+        as the numbers reconverge.  The cache itself is not touched.
         """
         engine = self.engine
         circuit = self.circuit
@@ -588,7 +583,10 @@ class IncrementalReanalysis:
         changed_nets: Set[str] = set()
         point_zero = DiscretePDF.point(0.0)
 
-        for gate in circuit:
+        plan = circuit.compiled()
+        cone = plan.fanout_cone(plan.gate_index[name] for name in dirty_delay)
+        for gid in cone:
+            gate = circuit.gate(plan.gate_names[gid])
             recompute = gate.name in dirty_delay or any(
                 net in changed_nets for net in gate.inputs
             )

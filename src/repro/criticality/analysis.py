@@ -28,9 +28,10 @@ The computation is the classical two-pass criticality propagation:
    to one, mass is conserved level by level — the criticalities absorbed at
    the primary inputs of an output's fan-in cone sum to ~1.
 
-Everything is vectorized over logic levels using the same
-:class:`~repro.core.fassta._VectorPlan` schedule the levelized engines use;
-the backward pass is a reverse-level scatter-add.
+Everything is vectorized over logic levels using the circuit's shared
+array-native IR (:meth:`Circuit.compiled()
+<repro.netlist.circuit.Circuit.compiled>`) — the same schedule the levelized
+engines use; the backward pass is a reverse-level scatter-add.
 
 Approximations inherited from the engines: arrival times at a gate's inputs
 are treated as independent (reconvergent fanout correlation is ignored) and
@@ -47,7 +48,6 @@ import numpy as np
 from scipy.special import ndtr as _ndtr
 
 from repro.core.clark import clark_max_fast_arrays
-from repro.core.fassta import _VectorPlan
 from repro.core.rv import NormalDelay, ZERO_DELAY
 from repro.netlist.circuit import Circuit
 
@@ -206,29 +206,22 @@ def _row_selection_probs(
 class CriticalityAnalyzer:
     """Computes criticality probabilities over one circuit.
 
-    The levelized schedule is compiled once per (circuit, structure) pair
-    and reused across calls — the same caching policy as the vectorized
-    engines, so repeated analyses inside a sizing loop are cheap.
+    The levelized schedule comes from the circuit's own compiled IR
+    (:meth:`Circuit.compiled() <repro.netlist.circuit.Circuit.compiled>`),
+    lowered once per structure version and shared with every engine — so
+    repeated analyses inside a sizing loop are cheap and the analyzer holds
+    no plan state of its own.
 
     Parameters
     ----------
     circuit:
         The circuit to analyse.  Structural edits are detected through
         :attr:`~repro.netlist.circuit.Circuit.structure_version` and
-        recompile the plan automatically.
+        recompile the IR automatically.
     """
 
     def __init__(self, circuit: Circuit) -> None:
         self.circuit = circuit
-        self._plan: Optional[_VectorPlan] = None
-
-    # ------------------------------------------------------------------
-    def _ensure_plan(self) -> _VectorPlan:
-        plan = self._plan
-        if plan is None or plan.structure_version != self.circuit.structure_version:
-            plan = _VectorPlan(self.circuit)
-            self._plan = plan
-        return plan
 
     # ------------------------------------------------------------------
     def analyze(
@@ -255,7 +248,7 @@ class CriticalityAnalyzer:
             selection probabilities.  Must be non-negative.
         """
         circuit = self.circuit
-        plan = self._ensure_plan()
+        plan = circuit.compiled()
         output_nets = list(outputs) if outputs is not None else circuit.primary_outputs
         if not output_nets:
             raise ValueError(f"circuit {circuit.name!r} has no outputs to analyse")
@@ -284,15 +277,15 @@ class CriticalityAnalyzer:
                 weights[net] = weights.get(net, 0.0) + float(p)
 
         # Arrival moments per slot.
-        mu = np.zeros(plan.num_slots)
-        sg = np.zeros(plan.num_slots)
+        mu = np.zeros(plan.num_nets)
+        sg = np.zeros(plan.num_nets)
         for net, idx in plan.net_index.items():
             rv = arrivals.get(net)
             if rv is not None:
                 mu[idx] = rv.mean
                 sg[idx] = rv.sigma
 
-        crit = np.zeros(plan.num_slots)
+        crit = np.zeros(plan.num_nets)
         for net, weight in weights.items():
             idx = plan.net_index.get(net)
             if idx is not None and weight:
@@ -300,7 +293,9 @@ class CriticalityAnalyzer:
 
         gate_criticality: Dict[str, float] = {}
         edge_probabilities: Dict[str, Dict[str, float]] = {}
-        for names, out_ids, in_ids, in_mask in reversed(plan.levels):
+        for block in reversed(plan.levels):
+            names, out_ids = block.names, block.out_slots
+            in_ids, in_mask = block.in_slots, block.in_mask
             in_mu = mu[in_ids]
             in_sg = sg[in_ids]
             probs = _row_selection_probs(in_mu, in_sg, in_mask)

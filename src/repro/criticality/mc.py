@@ -94,34 +94,44 @@ class MonteCarloCriticality:
             circuit, self.delay_model
         )
 
-        # Forward pass: per-net arrival arrays (identical sampling scheme to
-        # MonteCarloTimer's independent path).
-        arrivals: Dict[str, np.ndarray] = {
-            net: np.zeros(num_samples) for net in circuit.primary_inputs
-        }
-        argmax_input: Dict[str, np.ndarray] = {}
+        # Forward pass over the compiled IR (identical sampling scheme to
+        # MonteCarloTimer's independent path: draws stay in topological
+        # order, so the generator stream is unchanged; propagation is
+        # levelized across all samples at once).
+        plan = circuit.compiled()
+        delay = np.empty((plan.num_gates, num_samples))
         for name in order:
-            gate = circuit.gate(name)
             dist = distributions[name]
-            delay = rng.normal(dist.mean, dist.sigma, num_samples)
-            input_arrays = []
-            for net in gate.inputs:
-                arr = arrivals.get(net)
-                if arr is None:
-                    arr = np.zeros(num_samples)
-                    arrivals[net] = arr  # floating input: zero arrival
-                input_arrays.append(arr)
-            if len(input_arrays) == 1:
-                worst = input_arrays[0]
-                argmax_input[name] = np.zeros(num_samples, dtype=np.intp)
-            else:
-                stacked = np.stack(input_arrays)
-                argmax_input[name] = np.argmax(stacked, axis=0)
-                worst = stacked.max(axis=0)
-            arrivals[gate.output] = worst + delay
+            delay[plan.gate_index[name]] = rng.normal(
+                dist.mean, dist.sigma, num_samples
+            )
 
+        # The sentinel row holds -inf so the padded fanin matrix folds
+        # without a validity mask; argmax over the padded columns keeps
+        # np.argmax's first-max tie convention for the real pins (a -inf
+        # pad can never win — every gate has at least one input).
+        arr = np.zeros((plan.num_nets + 1, num_samples))
+        arr[plan.num_nets] = -np.inf
+        fanin = plan.fanin_matrix
+        offsets = plan.level_offsets
+        argmax_input: Dict[str, np.ndarray] = {}
+        for li, block in enumerate(plan.levels):
+            start, stop = offsets[li], offsets[li + 1]
+            vals = arr[fanin[start:stop]]
+            worst = vals.max(axis=1)
+            amax = vals.argmax(axis=1)
+            out = plan.num_pis + start
+            arr[out: out + (stop - start)] = worst + delay[start:stop]
+            for row, name in enumerate(block.names):
+                argmax_input[name] = amax[row]
+
+        missing = [net for net in outputs if net not in plan.net_index]
+        if missing:
+            raise KeyError(
+                f"unknown output net(s) {missing} in circuit {circuit.name!r}"
+            )
         # Which output is the slowest, per draw.
-        out_stack = np.stack([arrivals[net] for net in outputs])
+        out_stack = np.stack([arr[plan.net_index[net]] for net in outputs])
         out_argmax = np.argmax(out_stack, axis=0)
         output_frequency = {
             net: float(np.mean(out_argmax == i)) for i, net in enumerate(outputs)

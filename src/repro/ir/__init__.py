@@ -1,0 +1,9 @@
+"""Array-native circuit IR shared by every analysis engine.
+
+See :mod:`repro.ir.compiled` for the lowering; consumers get at it through
+:meth:`Circuit.compiled() <repro.netlist.circuit.Circuit.compiled>`.
+"""
+
+from repro.ir.compiled import CompiledCircuit, LevelBlock, lower_circuit
+
+__all__ = ["CompiledCircuit", "LevelBlock", "lower_circuit"]

@@ -11,6 +11,21 @@ MC sigma alongside the SSTA sigma.
 The simulator supports independent per-gate variation (the paper's inner
 model) and, optionally, the spatially correlated overlay of
 :class:`~repro.variation.correlation.SpatialCorrelationModel`.
+
+Propagation runs as a levelized array program over the circuit's compiled IR
+(:meth:`Circuit.compiled() <repro.netlist.circuit.Circuit.compiled>`): one
+``(num_nets, num_samples)`` arrival matrix, one ``np.take`` gather plus one
+``np.maximum`` fold per input position per logic level — every sample
+advances through a level at once instead of one gate at a time (see
+:func:`propagate_levelized`).  Gate-delay *draws* stay in
+``circuit.topological_order()`` order so the generator stream is
+bit-compatible with the historical per-gate loop (pinned by
+``tests/montecarlo/test_mc.py``); ``np.maximum`` and float addition are
+exact, so the levelized propagation is bit-identical too.
+
+Boundary conditions follow the IR's boundary mask, exactly like the SSTA
+engines: primary inputs *and* floating (undriven non-PI) gate inputs carry
+a zero arrival.  Undriven primary outputs remain an error.
 """
 
 from __future__ import annotations
@@ -20,10 +35,52 @@ from typing import Dict, Optional
 
 import numpy as np
 
+from repro.ir.compiled import CompiledCircuit
 from repro.library.delay_model import BaseDelayModel
 from repro.netlist.circuit import Circuit
 from repro.variation.correlation import SpatialCorrelationModel
 from repro.variation.model import VariationModel
+
+
+def propagate_levelized(plan: CompiledCircuit, delay: np.ndarray) -> np.ndarray:
+    """Propagate arrival times for all samples at once over the IR.
+
+    ``delay`` is a ``(num_gates, num_samples)`` gate-delay matrix in IR gate
+    order.  Returns the ``(num_nets + 1, num_samples)`` arrival matrix whose
+    rows follow the IR net-slot layout; boundary slots (primary inputs and
+    floating gate inputs) hold zero, and the extra sentinel row holds
+    ``-inf`` so the padded fanin matrix folds without a validity mask
+    (``max(x, -inf) == x`` exactly).
+
+    Per logic level the program is one ``np.take`` gather per fanin column
+    folded with in-place ``np.maximum`` into a preallocated scratch buffer,
+    then one ``np.add`` into the level's contiguous output-slot block.
+    Every operation is an exact float op applied in the same order as the
+    historical per-gate loop, so the result is bit-identical to it.
+    """
+    num_samples = delay.shape[1]
+    arr = np.zeros((plan.num_nets + 1, num_samples))
+    arr[plan.num_nets] = -np.inf
+    if not plan.num_gates:
+        return arr
+    fanin = plan.fanin_matrix
+    offsets = plan.level_offsets
+    num_cols = fanin.shape[1]
+    max_width = int(np.diff(offsets).max())
+    acc = np.empty((max_width, num_samples))
+    tmp = np.empty((max_width, num_samples))
+    for li in range(plan.num_levels):
+        start, stop = offsets[li], offsets[li + 1]
+        width = stop - start
+        worst = acc[:width]
+        np.take(arr, fanin[start:stop, 0], axis=0, out=worst)
+        for col in range(1, num_cols):
+            other = tmp[:width]
+            np.take(arr, fanin[start:stop, col], axis=0, out=other)
+            np.maximum(worst, other, out=worst)
+        out = plan.num_pis + start
+        np.add(worst, delay[start:stop], out=arr[out: out + width])
+    return arr
 
 
 @dataclass
@@ -101,13 +158,19 @@ class MonteCarloTimer:
         distributions = self.variation_model.all_gate_distributions(
             circuit, self.delay_model
         )
+        plan = circuit.compiled()
 
-        # Pre-draw the gate-delay samples.
-        gate_samples: Dict[str, np.ndarray] = {}
+        # Pre-draw the gate-delay samples into a (num_gates, num_samples)
+        # matrix in IR gate order.  The draw loop itself stays in
+        # topological order: the generator stream is pinned bit-for-bit by
+        # the regression tests, so only the *storage* is array-native.
+        delay = np.empty((plan.num_gates, num_samples))
         if self.correlation_model is None:
             for name in order:
                 dist = distributions[name]
-                gate_samples[name] = rng.normal(dist.mean, dist.sigma, num_samples)
+                delay[plan.gate_index[name]] = rng.normal(
+                    dist.mean, dist.sigma, num_samples
+                )
         else:
             # Vectorized correlated path: one (num_samples, num_factors) draw
             # for the shared grid factors and one matmul for every gate's
@@ -136,36 +199,29 @@ class MonteCarloTimer:
                 )
                 sigma_corr, sigma_ind = self.correlation_model.split_sigma(sigma_prop)
                 noise = rng.standard_normal((2, num_samples))
-                gate_samples[name] = (
+                delay[plan.gate_index[name]] = (
                     dist.mean
                     + sigma_corr * correlated_all[:, j]
                     + sigma_ind * noise[0]
                     + sigma_rand * noise[1]
                 )
 
-        # Zero arrival is the documented boundary condition for true primary
-        # inputs only; any other undriven net is a netlist bug and raises,
-        # mirroring the SSTA engines.
-        arrivals: Dict[str, np.ndarray] = {
-            net: np.zeros(num_samples) for net in circuit.primary_inputs
-        }
-        for name in order:
-            gate = circuit.gate(name)
-            worst = None
-            for net in gate.inputs:
-                arr = arrivals.get(net)
-                if arr is None:
-                    raise KeyError(
-                        f"gate {name!r} input net {net!r} is neither a primary "
-                        f"input nor a gate output in circuit {circuit.name!r}"
-                    )
-                worst = arr if worst is None else np.maximum(worst, arr)
-            arrivals[gate.output] = worst + gate_samples[name]
+        # Levelized propagation over all samples at once.  Boundary slots
+        # (primary inputs and floating gate inputs, per the IR boundary
+        # mask) carry a zero arrival — the same convention as the SSTA
+        # engines.
+        arr = propagate_levelized(plan, delay)
 
         outputs = circuit.primary_outputs
         if not outputs:
             raise ValueError(f"circuit {circuit.name!r} has no primary outputs")
-        missing = [net for net in outputs if net not in arrivals]
+        # A primary output must be a primary input or a gate output;
+        # floating/unknown output nets are netlist bugs, like the engines.
+        missing = [
+            net
+            for net in outputs
+            if plan.net_index.get(net) is None or net in plan.floating
+        ]
         if missing:
             raise KeyError(
                 f"unknown output net(s) {missing} in circuit {circuit.name!r}"
@@ -174,10 +230,14 @@ class MonteCarloTimer:
         per_output_mean: Dict[str, float] = {}
         per_output_sigma: Dict[str, float] = {}
         for net in outputs:
-            arr = arrivals[net]
-            per_output_mean[net] = float(arr.mean())
-            per_output_sigma[net] = float(arr.std(ddof=1))
-            circuit_delay = arr if circuit_delay is None else np.maximum(circuit_delay, arr)
+            samples = arr[plan.net_index[net]]
+            per_output_mean[net] = float(samples.mean())
+            per_output_sigma[net] = float(samples.std(ddof=1))
+            circuit_delay = (
+                samples
+                if circuit_delay is None
+                else np.maximum(circuit_delay, samples)
+            )
 
         return MonteCarloResult(
             samples=circuit_delay,

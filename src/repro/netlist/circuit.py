@@ -23,9 +23,12 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-from typing import Dict, Iterator, List, Optional, Sequence, Set
+from typing import TYPE_CHECKING, Dict, Iterator, List, Optional, Sequence, Set
 
 from repro.netlist.gate import Gate
+
+if TYPE_CHECKING:  # pragma: no cover - circular-import guard (ir imports us)
+    from repro.ir.compiled import CompiledCircuit
 
 
 class CircuitError(Exception):
@@ -76,6 +79,8 @@ class Circuit:
         self._level_cache: Optional[Dict[str, int]] = None
         self._structure_version: int = 0
         self._size_change_log: List[str] = []
+        self._compiled_cache: Optional["CompiledCircuit"] = None
+        self._compiled_size_cursor: int = 0
 
         seen: Set[str] = set()
         for pi in self._primary_inputs:
@@ -187,6 +192,36 @@ class Circuit:
         self._topo_cache = None
         self._level_cache = None
         self._structure_version += 1
+
+    # ------------------------------------------------------------------
+    # Compiled IR
+    # ------------------------------------------------------------------
+    def compiled(self) -> "CompiledCircuit":
+        """The circuit's array-native IR, lowered once per structure version.
+
+        Every engine (FASSTA, FULLSSTA, DSTA, Monte Carlo, criticality,
+        incremental re-analysis) consumes the *same*
+        :class:`~repro.ir.compiled.CompiledCircuit` instance for a given
+        structure.  Structural mutations bump ``structure_version`` and the
+        next call relowers; size-only changes made through :meth:`set_size`
+        refresh the compiled ``size_index`` array in place without
+        recompiling.  (Direct ``Gate.size_index`` writes bypass the
+        size-change log and therefore the refresh — the same contract
+        incremental re-analysis already imposes.)
+        """
+        from repro.ir.compiled import lower_circuit  # local: avoids a cycle
+
+        cache = self._compiled_cache
+        if cache is None or cache.structure_version != self._structure_version:
+            cache = lower_circuit(self)
+            self._compiled_cache = cache
+            self._compiled_size_cursor = len(self._size_change_log)
+        else:
+            cursor = self._compiled_size_cursor
+            if cursor != len(self._size_change_log):
+                cache.refresh_sizes(self, self._size_change_log[cursor:])
+                self._compiled_size_cursor = len(self._size_change_log)
+        return cache
 
     # ------------------------------------------------------------------
     # Change tracking (consumed by incremental re-analysis)

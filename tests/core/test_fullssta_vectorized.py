@@ -157,13 +157,13 @@ class TestVectorizedEngine:
     def test_plan_reuse_and_invalidation(self, delay_model, variation_model, c17_circuit):
         engine = FULLSSTA(delay_model, variation_model, vectorized=True)
         engine.analyze(c17_circuit)
-        plan = engine._plan
+        plan = c17_circuit.compiled()
         engine.analyze(c17_circuit)
-        assert engine._plan is plan  # same structure: plan reused
+        assert c17_circuit.compiled() is plan  # same structure: IR reused
         c17_circuit.add("g_extra", "INV", ["N22"], "N90")
         c17_circuit.add_primary_output("N90")
         engine.analyze(c17_circuit)
-        assert engine._plan is not plan  # structural edit: plan rebuilt
+        assert c17_circuit.compiled() is not plan  # structural edit: relowered
 
     def test_selected_outputs_validate(self, delay_model, variation_model, c17_circuit):
         engine = FULLSSTA(delay_model, variation_model, vectorized=True)

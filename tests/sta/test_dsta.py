@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.circuits.registry import BENCHMARK_NAMES, build_benchmark, c17
 from repro.sta.dsta import DeterministicSTA
 
 
@@ -60,6 +61,49 @@ class TestAnalyze:
         circuit.add("g", "INV", ["a"], "y")
         with pytest.raises(ValueError):
             dsta.analyze(circuit)
+
+
+class TestVectorizedPath:
+    """The levelized IR path must be *bit-identical* to the scalar walk.
+
+    ``max`` over floats and float addition are exact operations, so there
+    is no tolerance here: every arrival must match to the last bit on every
+    registry circuit.
+    """
+
+    @pytest.mark.parametrize("name", ["c17"] + BENCHMARK_NAMES)
+    def test_bit_identical_on_registry(self, delay_model, name):
+        circuit = c17() if name == "c17" else build_benchmark(name)
+        scalar_arrival, scalar_delays = DeterministicSTA(
+            delay_model
+        ).arrival_times(circuit)
+        vec_arrival, vec_delays = DeterministicSTA(
+            delay_model, vectorized=True
+        ).arrival_times(circuit)
+        assert vec_delays == scalar_delays
+        assert vec_arrival == scalar_arrival
+
+    def test_analyze_report_matches(self, delay_model, c17_circuit):
+        scalar = DeterministicSTA(delay_model).analyze(c17_circuit)
+        vec = DeterministicSTA(delay_model, vectorized=True).analyze(c17_circuit)
+        assert vec.arrival == scalar.arrival
+        assert vec.required == scalar.required
+        assert vec.slack == scalar.slack
+        assert vec.critical_path == scalar.critical_path
+        assert vec.worst_output == scalar.worst_output
+        assert vec.worst_arrival == scalar.worst_arrival
+
+    def test_floating_inputs_read_as_zero(self, delay_model):
+        from repro.netlist.circuit import Circuit
+
+        circuit = Circuit("f", primary_inputs=["a"], primary_outputs=["y"])
+        circuit.add("g", "NAND2", ["a", "ghost"], "y")
+        scalar_arrival, _ = DeterministicSTA(delay_model).arrival_times(circuit)
+        vec_arrival, _ = DeterministicSTA(
+            delay_model, vectorized=True
+        ).arrival_times(circuit)
+        assert vec_arrival == scalar_arrival
+        assert "ghost" not in vec_arrival  # reads as 0.0 via .get, like scalar
 
 
 class TestCriticalPath:
