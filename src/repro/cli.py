@@ -15,9 +15,12 @@ exposes the main flows without writing any Python:
   probabilities, top-k statistical paths, slack pdfs and an optional
   Monte-Carlo cross-check, as text, markdown or JSON;
 * ``table1`` — regenerate Table 1 rows for a list of circuits;
-* ``sweep``  — parallel, resumable (circuit, lambda) sweep: fans the cells
-  across a process pool (``--jobs``), persists each completed cell as a
-  JSON artifact (``--out``) and skips up-to-date cells on ``--resume``;
+* ``sweep``  — parallel, resumable, fault-tolerant (circuit, lambda) sweep:
+  fans the cells across a process pool (``--jobs``), persists each
+  completed cell as a JSON artifact (``--out``), skips up-to-date cells on
+  ``--resume``, bounds each attempt's wall clock (``--cell-timeout``),
+  retries transient failures (``--max-retries``), records every failure in
+  ``failures.json`` and survives Ctrl-C with a resumable checkpoint;
 * ``benchmarks`` — list the available benchmark circuits and their stand-in
   gate counts versus the paper's.
 
@@ -39,6 +42,8 @@ from repro.analysis.report import (
     format_table,
     format_table1,
 )
+from repro.runner.errors import SweepInterrupted
+from repro.runner.ledger import LEDGER_FILENAME
 from repro.runner.sweep import (
     SubstrateSpec,
     criticality_specs,
@@ -385,13 +390,25 @@ def cmd_sweep(args) -> int:
             flush=True,
         )
 
-    report = run_cells(
-        specs,
-        jobs=args.jobs,
-        out_dir=args.out,
-        resume=args.resume,
-        progress=progress,
-    )
+    try:
+        report = run_cells(
+            specs,
+            jobs=args.jobs,
+            out_dir=args.out,
+            resume=args.resume,
+            progress=progress,
+            cell_timeout=args.cell_timeout,
+            max_retries=args.max_retries,
+            retry_backoff=args.retry_backoff,
+            on_error=args.on_error,
+        )
+    except SweepInterrupted as exc:
+        print()
+        if exc.report is not None:
+            print(exc.report.summary())
+        print("interrupted: rerun with --resume to pick up where this sweep "
+              "stopped", file=sys.stderr)
+        return 130
     print()
     if args.kind == "table1":
         print(format_table1([r.table1_row() for r in report.results]))
@@ -438,6 +455,13 @@ def cmd_sweep(args) -> int:
             ))
         print(format_table(headers, body))
     print(report.summary())
+    if report.failed:
+        for record in report.failures:
+            print(f"failed: {record.cell} [{record.category}] "
+                  f"{record.error}: {record.message}", file=sys.stderr)
+        print(f"full tracebacks in {Path(args.out) / LEDGER_FILENAME}",
+              file=sys.stderr)
+        return 1
     return 0
 
 
@@ -571,6 +595,22 @@ def build_parser() -> argparse.ArgumentParser:
                               "MC samples")
     p_sweep.add_argument("--max-iterations", type=int, default=None,
                          help="cap the sizer's outer-loop passes per cell")
+    p_sweep.add_argument("--cell-timeout", type=float, default=None,
+                         metavar="SECONDS",
+                         help="kill any attempt exceeding this wall clock "
+                              "(requires --jobs > 1; the cell counts as a "
+                              "timeout failure and retries if budget remains)")
+    p_sweep.add_argument("--max-retries", type=int, default=2,
+                         help="extra attempts per cell for transient/timeout/"
+                              "crash failures (deterministic errors never "
+                              "retry)")
+    p_sweep.add_argument("--retry-backoff", type=float, default=0.5,
+                         metavar="SECONDS",
+                         help="base delay before retrying; doubles per attempt")
+    p_sweep.add_argument("--on-error", choices=["fail", "continue"],
+                         default="fail",
+                         help="fail: raise after running every cell (default); "
+                              "continue: report failures and exit 1")
     p_sweep.add_argument("--seed", type=int, default=0)
     _add_common_options(p_sweep)
     p_sweep.set_defaults(func=cmd_sweep)

@@ -34,6 +34,7 @@ from repro.library.delay_model import BaseDelayModel, LookupTableDelayModel
 from repro.library.synthetic90nm import make_synthetic_90nm_library
 from repro.montecarlo.mc import MonteCarloResult, MonteCarloTimer
 from repro.netlist.circuit import Circuit
+from repro.runner.errors import ensure_finite_moments
 from repro.variation.model import VariationModel
 
 
@@ -198,6 +199,12 @@ def run_sizing_flow(
     original_full = fullssta.analyze(circuit)
     original_rv = original_full.output_rv
     original_area = delay_model.circuit_area(circuit)
+    # Fail loudly on numerically-poisoned analyses: a NaN here would
+    # otherwise flow silently into every downstream metric and artifact.
+    ensure_finite_moments(
+        original_rv.mean, original_rv.sigma,
+        context=f"{circuit.name}: original FULLSSTA", area=original_area,
+    )
 
     mc_original = None
     if monte_carlo_samples > 0:
@@ -211,6 +218,10 @@ def run_sizing_flow(
     final_full = fullssta.analyze(circuit)
     final_rv = final_full.output_rv
     final_area = delay_model.circuit_area(circuit)
+    ensure_finite_moments(
+        final_rv.mean, final_rv.sigma,
+        context=f"{circuit.name}: final FULLSSTA", area=final_area,
+    )
 
     # Trace the final design's WNSS path with the sizer's own tracer so the
     # recorded TraceDecisions use the exact lambda/coupling the run used.

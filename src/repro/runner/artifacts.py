@@ -1,24 +1,35 @@
 """Persistent JSON artifacts for completed sweep cells.
 
-One artifact per (kind, circuit, lambda) cell, named
-``<kind>__<circuit>__lam<lambda>.json`` (e.g. ``table1__c432__lam3.0.json``)
-inside the sweep's results directory::
+One artifact per cell, named
+``<kind>__<circuit>__lam<lambda>[__y<target>]__<digest>.json`` (e.g.
+``table1__c432__lam3.0__1a2b3c4d.json``) inside the sweep's results
+directory::
 
     {
-      "schema": 1,
+      "schema": 2,
       "key": "<sha256 over the canonical cell spec>",
       "spec": { ... },              # every input that shaped the result
       "result": { ... },            # Table1Row fields / Fig-4 moments
       "runtime_seconds": 12.3       # wall-clock of the producing worker
     }
 
+``<digest>`` is a short prefix of the spec key, so every input that shapes
+the result — including ``top_k``, ``monte_carlo_samples``, ``seed``,
+substrates and the full sizer config — participates in the *filename*, not
+just the stored key.  Without it, two criticality cells for the same
+circuit (both ``lam=0.0``) would overwrite one file and defeat resume
+forever.  A consequence: artifacts of superseded configurations are left
+behind under their old digests rather than overwritten; they are inert
+(resume only consults the current cell's path).
+
 Resume semantics: a cell is skipped if and only if its artifact exists,
 parses, carries the current schema number and its ``key`` equals the hash
-of the *current* spec.  Any change to the circuit, lambda, sizer
-configuration, library/variation substrates, Monte-Carlo sample count or
-seed changes the key and forces recomputation; stale artifacts are simply
-overwritten.  Artifacts are written atomically (temp file + ``os.replace``)
-so a killed sweep never leaves a half-written cell behind.
+of the *current* spec.  Artifacts are written atomically (temp file +
+``os.replace``) so a killed sweep never leaves a half-written cell behind.
+Artifacts that exist but are unreadable — truncated JSON, wrong schema,
+missing fields — are distinguishable via :func:`load_artifact_status` so
+the runner can quarantine them (rename to ``*.corrupt``) instead of
+silently recomputing over them.
 """
 
 from __future__ import annotations
@@ -27,11 +38,20 @@ import hashlib
 import json
 import os
 from pathlib import Path
-from typing import Any, Dict, Mapping, Optional, Union
+from typing import Any, Dict, Mapping, Optional, Tuple, Union
 
 #: Bump when the artifact layout or the result payloads change shape;
-#: older artifacts are then recomputed instead of trusted.
-ARTIFACT_SCHEMA = 1
+#: older artifacts are then quarantined/recomputed instead of trusted.
+#: 2: filenames carry a spec-key digest (top_k/mc/seed collision fix).
+ARTIFACT_SCHEMA = 2
+
+#: Suffix appended to quarantined (corrupt or schema-mismatched) artifacts.
+QUARANTINE_SUFFIX = ".corrupt"
+
+#: Length of the spec-key digest embedded in artifact filenames.  8 hex
+#: chars = 32 bits; collisions would additionally need every explicit
+#: filename field to match, and are caught by the stored full key anyway.
+DIGEST_LEN = 8
 
 
 def spec_key(payload: Mapping[str, Any]) -> str:
@@ -46,17 +66,22 @@ def artifact_path(
     circuit: str,
     lam: float,
     target_yield: Optional[float] = None,
+    digest: Optional[str] = None,
 ) -> Path:
     """Canonical artifact file for one sweep cell.
 
     The lambda (and, for yield cells, the target yield) is rendered with
     ``repr`` (shortest round-trip form), not ``%g`` — two values that differ
     only past the sixth significant digit must not collide on one file, or
-    resume would recompute them forever.
+    resume would recompute them forever.  ``digest`` (a spec-key prefix,
+    see :meth:`repro.runner.sweep.CellSpec.artifact_path`) folds every
+    remaining spec field into the name.
     """
     stem = f"{kind}__{circuit}__lam{lam!r}"
     if target_yield is not None:
         stem += f"__y{target_yield!r}"
+    if digest:
+        stem += f"__{digest}"
     return Path(out_dir) / f"{stem}.json"
 
 
@@ -82,19 +107,53 @@ def write_artifact(
     os.replace(tmp, path)
 
 
-def load_artifact(path: Union[str, Path]) -> Optional[Dict[str, Any]]:
-    """Load an artifact; ``None`` if missing, unparsable or schema-mismatched."""
+def load_artifact_status(
+    path: Union[str, Path],
+) -> Tuple[Optional[Dict[str, Any]], str]:
+    """Load an artifact and say why it is (un)usable.
+
+    Returns ``(payload, status)`` where status is one of
+
+    * ``"ok"`` — payload is usable (but the caller still owns the key check);
+    * ``"missing"`` — no file;
+    * ``"schema"`` — parses, but written under a different schema number;
+    * ``"corrupt"`` — unparsable JSON or a structurally-invalid payload.
+
+    Only ``"ok"`` comes with a payload.
+    """
     path = Path(path)
     if not path.is_file():
-        return None
+        return None, "missing"
     try:
         payload = json.loads(path.read_text())
     except (OSError, json.JSONDecodeError):
-        return None
-    if not isinstance(payload, dict) or payload.get("schema") != ARTIFACT_SCHEMA:
-        return None
+        return None, "corrupt"
+    if not isinstance(payload, dict):
+        return None, "corrupt"
+    if payload.get("schema") != ARTIFACT_SCHEMA:
+        return None, "schema"
     if not isinstance(payload.get("key"), str) or not isinstance(
         payload.get("result"), dict
     ):
-        return None
+        return None, "corrupt"
+    return payload, "ok"
+
+
+def load_artifact(path: Union[str, Path]) -> Optional[Dict[str, Any]]:
+    """Load an artifact; ``None`` if missing, unparsable or schema-mismatched."""
+    payload, _ = load_artifact_status(path)
     return payload
+
+
+def quarantine_artifact(path: Union[str, Path]) -> Path:
+    """Move a damaged artifact aside as ``<name>.json.corrupt``.
+
+    The rename keeps the evidence for post-mortems while guaranteeing the
+    cell recomputes (and rewrites a healthy artifact) on this run — a
+    silently-ignored corrupt file would be re-parsed, and re-ignored, on
+    every future resume.
+    """
+    path = Path(path)
+    target = path.with_name(path.name + QUARANTINE_SUFFIX)
+    os.replace(path, target)
+    return target

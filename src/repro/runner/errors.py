@@ -1,0 +1,147 @@
+"""Structured error taxonomy for fault-tolerant sweep execution.
+
+The retry machinery in :mod:`repro.runner.sweep` must decide, for every
+failed cell attempt, whether trying again can possibly help.  That decision
+is driven by *categories*, not exception identity, because errors cross
+process boundaries as ``(class name, message, traceback, category)`` tuples
+— a live exception object raised inside a worker cannot be re-raised
+faithfully in the parent.
+
+Categories
+----------
+``transient``
+    Resource exhaustion or an explicitly-transient failure
+    (:class:`TransientCellError`, ``MemoryError``, interrupted I/O).
+    Retrying after a backoff is worthwhile.
+``timeout``
+    The cell exceeded its wall-clock budget and its worker was killed
+    (:class:`CellTimeoutError`, raised parent-side).  A hang is usually a
+    scheduling/paging artifact, so timeouts retry.
+``crash``
+    The worker process died under the cell — OOM-killed, segfaulted or
+    ``os._exit`` (:class:`WorkerCrashError`, raised parent-side).  Crashes
+    retry: the most common real cause is the OS reclaiming memory.
+``deterministic``
+    Everything else — bad circuit names, numerical-health violations,
+    plain bugs.  Retrying would reproduce the failure, so these fail the
+    cell immediately.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+
+class TransientCellError(RuntimeError):
+    """A cell failure that is expected to heal on retry.
+
+    Evaluators (and the fault-injection harness) raise this to mark a
+    failure as retryable; anything else they raise is treated as
+    deterministic.
+    """
+
+
+class CellTimeoutError(TransientCellError):
+    """Raised parent-side when a cell exceeds its wall-clock budget."""
+
+
+class WorkerCrashError(TransientCellError):
+    """Raised parent-side when the worker process evaluating a cell died."""
+
+
+class NumericalHealthError(ValueError):
+    """An engine produced NaN/inf moments or a negative sigma.
+
+    Raised by the finite-moment guards in :mod:`repro.flow` and
+    :func:`repro.runner.sweep.evaluate_cell` so numerically-poisoned
+    results fail loudly instead of propagating silently into artifacts.
+    Deterministic by definition — the same inputs reproduce it.
+    """
+
+
+class SweepInterrupted(KeyboardInterrupt):
+    """SIGINT landed during a sweep; in-flight cells were drained first.
+
+    Subclasses ``KeyboardInterrupt`` so generic ``except Exception``
+    handlers cannot swallow a user interrupt, while callers that care
+    (the CLI) can catch it specifically and report the partial progress
+    carried in ``report`` (a :class:`repro.runner.sweep.SweepReport`).
+    """
+
+    def __init__(self, message: str, report=None) -> None:
+        super().__init__(message)
+        self.report = report
+
+
+#: Categories whose failures are worth retrying (see module docstring).
+RETRYABLE_CATEGORIES = frozenset({"transient", "timeout", "crash"})
+
+
+def classify_exception(exc: BaseException) -> str:
+    """Map a live exception onto its retry category."""
+    if isinstance(exc, CellTimeoutError):
+        return "timeout"
+    if isinstance(exc, WorkerCrashError):
+        return "crash"
+    if isinstance(exc, TransientCellError):
+        return "transient"
+    if isinstance(exc, (MemoryError, BlockingIOError, InterruptedError)):
+        return "transient"
+    return "deterministic"
+
+
+def is_retryable(category: str) -> bool:
+    return category in RETRYABLE_CATEGORIES
+
+
+def ensure_finite_moments(
+    mean: float, sigma: float, context: str, area: Optional[float] = None
+) -> None:
+    """Raise :class:`NumericalHealthError` unless the moments are healthy.
+
+    Healthy means finite mean and sigma, ``sigma >= 0`` and (when given) a
+    finite, non-negative area.
+    """
+    if not math.isfinite(mean) or not math.isfinite(sigma):
+        raise NumericalHealthError(
+            f"{context}: non-finite moments mean={mean!r} sigma={sigma!r}"
+        )
+    if sigma < 0:
+        raise NumericalHealthError(f"{context}: negative sigma {sigma!r}")
+    if area is not None and (not math.isfinite(area) or area < 0):
+        raise NumericalHealthError(f"{context}: unhealthy area {area!r}")
+
+
+def check_payload_health(payload, context: str) -> None:
+    """Recursively reject NaN/inf numbers (and negative sigmas) in a payload.
+
+    Used on every cell-result dict before it is persisted: a poisoned value
+    anywhere in the artifact would silently corrupt downstream tables.
+    Keys naming a sigma moment (``sigma`` / ``*_sigma``) must additionally
+    be non-negative; percentage deltas like ``sigma_reduction_pct`` are
+    legitimately negative and are not constrained.
+    """
+    _check_health(payload, context)
+
+
+def _is_sigma_key(context: str) -> bool:
+    leaf = context.rpartition(".")[2]
+    return leaf == "sigma" or leaf.endswith("_sigma")
+
+
+def _check_health(value, context: str) -> None:
+    if isinstance(value, bool):
+        return
+    if isinstance(value, (int, float)):
+        if not math.isfinite(value):
+            raise NumericalHealthError(f"{context}: non-finite value {value!r}")
+        if value < 0 and _is_sigma_key(context):
+            raise NumericalHealthError(f"{context}: negative sigma {value!r}")
+        return
+    if isinstance(value, dict):
+        for key, item in value.items():
+            _check_health(item, f"{context}.{key}")
+    elif isinstance(value, (list, tuple)):
+        for i, item in enumerate(value):
+            _check_health(item, f"{context}[{i}]")

@@ -1,0 +1,189 @@
+"""Deterministic fault injection for chaos-testing the sweep runner.
+
+Real worker processes are separate interpreters, so the injection spec
+travels through the environment variable ``REPRO_FAULTS`` — a JSON list of
+rules set by the parent before the pool spawns — and is consulted by
+:func:`repro.runner.sweep.evaluate_cell` at the top of every attempt.  That
+makes the harness reach the exact code path production failures hit: a
+``crash`` rule really kills the worker process, a ``hang`` rule really
+wedges it until the parent's timeout fires.
+
+Rule format (all matcher fields optional; omitted fields match anything)::
+
+    [{"mode": "crash",     "circuit": "c17", "lam": 3.0, "attempts": [0]},
+     {"mode": "hang",      "circuit": "c17", "lam": 9.0, "seconds": 3600},
+     {"mode": "transient", "kind": "table1", "attempts": [0, 1]},
+     {"mode": "corrupt",   "circuit": "alu1"},
+     {"mode": "transient", "probability": 0.25, "seed": 7}]
+
+* ``mode`` — ``crash`` (``os._exit``), ``hang`` (sleep ``seconds``),
+  ``transient`` (raise :class:`~repro.runner.errors.TransientCellError`)
+  or ``corrupt`` (garble the artifact after it is written; applied
+  parent-side by :func:`corrupt_artifact_if_injected`).
+* ``attempts`` — zero-based attempt numbers to inject on (default: every
+  attempt).  ``"attempts": [0, 1]`` is the canonical "heals on retry 2".
+* ``probability`` / ``seed`` — seeded probabilistic injection: the draw is
+  a pure hash of ``(seed, cell key, attempt)``, so a given sweep injects
+  the same faults on every run regardless of scheduling.
+
+Everything is deterministic by construction; no injector consults wall
+clock or global RNG state.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Optional, Sequence, Tuple, Union
+
+from repro.runner.errors import TransientCellError
+
+#: Environment variable carrying the JSON-encoded rule list into workers.
+FAULTS_ENV = "REPRO_FAULTS"
+
+#: Injection modes applied inside ``evaluate_cell`` (worker-side).
+EVALUATION_MODES = ("crash", "hang", "transient")
+#: All modes, including the parent-side artifact corruptor.
+MODES = EVALUATION_MODES + ("corrupt",)
+
+
+@dataclass(frozen=True)
+class FaultRule:
+    """One injection rule; see the module docstring for the JSON form."""
+
+    mode: str
+    circuit: Optional[str] = None
+    kind: Optional[str] = None
+    lam: Optional[float] = None
+    target_yield: Optional[float] = None
+    attempts: Optional[Tuple[int, ...]] = None
+    probability: float = 1.0
+    seed: int = 0
+    seconds: float = 3600.0
+    exit_code: int = 13
+
+    def __post_init__(self) -> None:
+        if self.mode not in MODES:
+            raise ValueError(f"unknown fault mode {self.mode!r}; expected one of {MODES}")
+        if not 0.0 <= self.probability <= 1.0:
+            raise ValueError(f"probability must be in [0, 1], got {self.probability}")
+
+    def matches(self, spec, attempt: int) -> bool:
+        """Does this rule fire for ``spec`` on its ``attempt``-th try?"""
+        if self.circuit is not None and spec.circuit != self.circuit:
+            return False
+        if self.kind is not None and spec.kind != self.kind:
+            return False
+        if self.lam is not None and float(spec.lam) != float(self.lam):
+            return False
+        if self.target_yield is not None and spec.target_yield != self.target_yield:
+            return False
+        if self.attempts is not None and attempt not in self.attempts:
+            return False
+        if self.probability < 1.0:
+            return _seeded_draw(self.seed, spec.key(), attempt) < self.probability
+        return True
+
+
+def _seeded_draw(seed: int, cell_key: str, attempt: int) -> float:
+    """Uniform [0, 1) draw that is a pure function of its arguments."""
+    digest = hashlib.sha256(f"{seed}:{cell_key}:{attempt}".encode()).digest()
+    return int.from_bytes(digest[:8], "big") / 2**64
+
+
+def parse_fault_rules(text: str) -> Tuple[FaultRule, ...]:
+    """Parse the JSON rule list (raises ``ValueError`` on malformed specs)."""
+    try:
+        raw = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise ValueError(f"malformed {FAULTS_ENV} JSON: {exc}") from exc
+    if not isinstance(raw, list):
+        raise ValueError(f"{FAULTS_ENV} must be a JSON list of rule objects")
+    rules = []
+    for entry in raw:
+        if not isinstance(entry, dict) or "mode" not in entry:
+            raise ValueError(f"fault rule must be an object with a 'mode': {entry!r}")
+        kwargs = dict(entry)
+        if "attempts" in kwargs and kwargs["attempts"] is not None:
+            kwargs["attempts"] = tuple(int(a) for a in kwargs["attempts"])
+        rules.append(FaultRule(**kwargs))
+    return tuple(rules)
+
+
+def fault_env_value(rules: Sequence[Union[FaultRule, dict]]) -> str:
+    """Serialize rules to the ``REPRO_FAULTS`` value (for tests and CI)."""
+    payload = []
+    for rule in rules:
+        if isinstance(rule, FaultRule):
+            entry = {
+                key: value
+                for key, value in rule.__dict__.items()
+                if value is not None
+            }
+            if "attempts" in entry:
+                entry["attempts"] = list(entry["attempts"])
+        else:
+            entry = dict(rule)
+        payload.append(entry)
+    return json.dumps(payload)
+
+
+#: Memo of the last parsed env value, so the per-attempt lookup is one
+#: string compare when injection is active and one dict lookup when not.
+_CACHED: Tuple[Optional[str], Tuple[FaultRule, ...]] = (None, ())
+
+
+def active_rules() -> Tuple[FaultRule, ...]:
+    """The rules currently configured through the environment (memoized)."""
+    global _CACHED
+    text = os.environ.get(FAULTS_ENV)
+    if not text:
+        return ()
+    cached_text, cached_rules = _CACHED
+    if text != cached_text:
+        _CACHED = (text, parse_fault_rules(text))
+    return _CACHED[1]
+
+
+def inject_evaluation_faults(spec, attempt: int) -> None:
+    """Apply the first matching crash/hang/transient rule, if any.
+
+    Called at the top of every ``evaluate_cell`` attempt — in the worker
+    process for parallel sweeps, in-process for serial ones (where a
+    ``crash`` rule would take down the whole run; chaos tests only inject
+    crashes with ``jobs > 1``).
+    """
+    for rule in active_rules():
+        if rule.mode not in EVALUATION_MODES or not rule.matches(spec, attempt):
+            continue
+        if rule.mode == "crash":
+            # A real crash: no exception, no cleanup, no exit handlers —
+            # indistinguishable from an OOM kill as far as the parent sees.
+            os._exit(rule.exit_code)
+        if rule.mode == "hang":
+            time.sleep(rule.seconds)
+            return
+        raise TransientCellError(
+            f"injected transient fault (attempt {attempt}) for "
+            f"{spec.kind} {spec.circuit}"
+        )
+
+
+def corrupt_artifact_if_injected(spec, attempt: int, path: Union[str, Path]) -> bool:
+    """Garble a freshly-written artifact when a ``corrupt`` rule matches.
+
+    Simulates a torn/bit-rotted write *after* the atomic rename (the kind
+    of damage quarantine exists for).  Returns True when corruption was
+    injected.
+    """
+    path = Path(path)
+    for rule in active_rules():
+        if rule.mode == "corrupt" and rule.matches(spec, attempt) and path.is_file():
+            text = path.read_text()
+            path.write_text(text[: max(4, len(text) // 3)] + '"<<corrupted')
+            return True
+    return False

@@ -1,0 +1,148 @@
+"""Structured failure ledger and interrupt checkpoint for sweeps.
+
+Every failed cell attempt — whether it later healed on retry or finally
+failed — is recorded as a :class:`FailureRecord` and persisted to
+``<out_dir>/failures.json`` so a multi-hour campaign leaves an auditable
+trail instead of a scrolled-away traceback::
+
+    {
+      "schema": 1,
+      "events": [
+        {"cell": "table1__c17__lam3.0__1a2b3c4d", "key": "...",
+         "kind": "table1", "circuit": "c17", "lam": 3.0,
+         "target_yield": null, "attempt": 0, "category": "transient",
+         "error": "TransientCellError", "message": "...",
+         "traceback": "...", "elapsed_seconds": 0.8, "retried": true,
+         "timestamp": "2026-08-08T12:00:00+00:00"},
+        ...
+      ],
+      "quarantines": [
+        {"artifact": "table1__c17__lam3.0__1a2b3c4d.json",
+         "quarantined_as": "table1__...json.corrupt", "reason": "corrupt",
+         "timestamp": "..."},
+        ...
+      ]
+    }
+
+The ledger file is rewritten atomically after every event; failures are
+rare, so the rewrite cost is irrelevant next to cell runtimes.  On SIGINT
+the runner additionally writes ``checkpoint.json`` describing the partial
+sweep (completed / failed / pending cells), making the interruption
+resumable and auditable.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+from dataclasses import dataclass, field
+from datetime import datetime, timezone
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+#: Bump when the ledger layout changes shape.
+LEDGER_SCHEMA = 1
+
+#: Name of the ledger file inside a sweep's artifact directory.
+LEDGER_FILENAME = "failures.json"
+#: Name of the interrupt checkpoint file.
+CHECKPOINT_FILENAME = "checkpoint.json"
+
+
+def _utc_now() -> str:
+    return datetime.now(timezone.utc).isoformat(timespec="seconds")
+
+
+@dataclass
+class FailureRecord:
+    """One failed attempt of one cell."""
+
+    cell: str                      #: artifact stem identifying the cell
+    key: str                       #: sha256 spec key
+    kind: str
+    circuit: str
+    lam: float
+    target_yield: Optional[float]
+    attempt: int                   #: zero-based attempt number that failed
+    category: str                  #: transient / timeout / crash / deterministic
+    error: str                     #: exception class name
+    message: str
+    traceback: str
+    elapsed_seconds: float
+    retried: bool = False          #: whether another attempt was scheduled
+    timestamp: str = field(default_factory=_utc_now)
+
+    def as_dict(self) -> Dict[str, Any]:
+        return dataclasses.asdict(self)
+
+
+@dataclass
+class QuarantineRecord:
+    """One corrupt/schema-mismatched artifact moved out of the way."""
+
+    artifact: str
+    quarantined_as: str
+    reason: str                    #: corrupt / schema
+    timestamp: str = field(default_factory=_utc_now)
+
+    def as_dict(self) -> Dict[str, Any]:
+        return dataclasses.asdict(self)
+
+
+class FailureLedger:
+    """Collects failure/quarantine events; persists them when given a path."""
+
+    def __init__(self, path: Optional[Union[str, Path]] = None) -> None:
+        self.path = Path(path) if path is not None else None
+        self.events: List[FailureRecord] = []
+        self.quarantines: List[QuarantineRecord] = []
+
+    def record_failure(self, record: FailureRecord) -> None:
+        self.events.append(record)
+        self.flush()
+
+    def record_quarantine(self, record: QuarantineRecord) -> None:
+        self.quarantines.append(record)
+        self.flush()
+
+    def mark_retried(self, record: FailureRecord) -> None:
+        """Flag an already-recorded failure as healed-by-retry-scheduling."""
+        record.retried = True
+        self.flush()
+
+    def flush(self) -> None:
+        if self.path is None:
+            return
+        payload = {
+            "schema": LEDGER_SCHEMA,
+            "events": [event.as_dict() for event in self.events],
+            "quarantines": [q.as_dict() for q in self.quarantines],
+        }
+        _atomic_write_json(self.path, payload)
+
+
+def load_ledger(path: Union[str, Path]) -> Optional[Dict[str, Any]]:
+    """Read a ledger file; ``None`` if missing or unparsable."""
+    path = Path(path)
+    if not path.is_file():
+        return None
+    try:
+        payload = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError):
+        return None
+    if not isinstance(payload, dict) or payload.get("schema") != LEDGER_SCHEMA:
+        return None
+    return payload
+
+
+def write_checkpoint(path: Union[str, Path], payload: Dict[str, Any]) -> None:
+    """Atomically persist the interrupt checkpoint."""
+    _atomic_write_json(Path(path), {"schema": LEDGER_SCHEMA, **payload})
+
+
+def _atomic_write_json(path: Path, payload: Dict[str, Any]) -> None:
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_suffix(path.suffix + ".tmp")
+    tmp.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    os.replace(tmp, path)

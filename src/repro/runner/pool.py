@@ -1,0 +1,306 @@
+"""A crash-aware process pool with per-task attribution and hang kills.
+
+``concurrent.futures.ProcessPoolExecutor`` cannot survive the failures
+long sweeps actually hit: one OOM-killed worker raises
+``BrokenProcessPool`` on *every* in-flight future (losing the whole
+campaign's remaining cells), a hung worker cannot be killed individually,
+and a crash cannot be attributed to the task that caused it because the
+executor does not expose which process ran what.
+
+:class:`FaultTolerantPool` fixes all three by construction: every worker
+owns a dedicated duplex pipe, and the parent records which task each
+worker is running.  So
+
+* a **crash** (sentinel fires with no result message) is attributed to
+  exactly the task its worker was evaluating — sibling workers never
+  notice, and only the dead worker is respawned;
+* a **hang** is killed per-worker when its task's deadline passes — again
+  without disturbing siblings;
+* normal results flow back over the pipes with no shared queues and no
+  feeder threads.
+
+Workers ignore SIGINT so that Ctrl-C (delivered to the whole foreground
+process group) leaves them finishing their current cells while the parent
+coordinates a graceful drain.
+
+The pool is deliberately generic — it executes ``task_fn(*args)`` — but
+its only in-repo client is :func:`repro.runner.sweep.run_cells`.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import signal
+import time
+import traceback
+from dataclasses import dataclass
+from typing import Any, Callable, List, Optional, Tuple
+
+from repro.runner.errors import classify_exception
+
+
+@dataclass(frozen=True)
+class RemoteError:
+    """A worker-side exception, flattened so it pickles faithfully."""
+
+    error: str        #: exception class name
+    message: str
+    traceback: str
+    category: str     #: see repro.runner.errors.classify_exception
+
+
+@dataclass(frozen=True)
+class PoolEvent:
+    """One completed/failed task attempt reported by :meth:`wait`.
+
+    ``kind`` is ``"ok"`` (``value`` is the task's return), ``"error"``
+    (``value`` is a :class:`RemoteError`), ``"crash"`` (``value`` is the
+    worker's exit code) or ``"timeout"`` (``value`` is ``None``).
+    """
+
+    kind: str
+    tag: Any
+    value: Any
+    elapsed_seconds: float
+
+
+def _worker_main(conn, task_fn: Callable) -> None:
+    """Worker loop: receive ``(tag, args)``, send back ``(kind, tag, ...)``."""
+    # The parent coordinates interrupt draining; workers must not die on
+    # the process-group SIGINT or their in-flight cells would be lost.
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
+    while True:
+        try:
+            task = conn.recv()
+        except (EOFError, OSError, KeyboardInterrupt):
+            return
+        if task is None:
+            return
+        tag, args = task
+        start = time.perf_counter()
+        try:
+            result = task_fn(*args)
+        except BaseException as exc:
+            payload = (
+                "error",
+                tag,
+                RemoteError(
+                    error=type(exc).__name__,
+                    message=str(exc),
+                    traceback=traceback.format_exc(),
+                    category=classify_exception(exc),
+                ),
+                time.perf_counter() - start,
+            )
+        else:
+            payload = ("ok", tag, result, time.perf_counter() - start)
+        try:
+            conn.send(payload)
+        except (BrokenPipeError, OSError):
+            return
+
+
+@dataclass
+class _Task:
+    tag: Any
+    deadline: Optional[float]      #: monotonic deadline, None = unbounded
+    started_at: float
+
+
+class _Worker:
+    __slots__ = ("process", "conn", "task")
+
+    def __init__(self, process, conn) -> None:
+        self.process = process
+        self.conn = conn
+        self.task: Optional[_Task] = None
+
+
+class FaultTolerantPool:
+    """Fixed-size pool of worker processes executing ``task_fn(*args)``."""
+
+    def __init__(self, task_fn: Callable, max_workers: int) -> None:
+        if max_workers < 1:
+            raise ValueError("max_workers must be >= 1")
+        self._task_fn = task_fn
+        self._ctx = multiprocessing.get_context()
+        self._workers: List[_Worker] = [self._spawn() for _ in range(max_workers)]
+
+    # -- lifecycle ---------------------------------------------------------
+    def _spawn(self) -> _Worker:
+        parent_conn, child_conn = self._ctx.Pipe(duplex=True)
+        process = self._ctx.Process(
+            target=_worker_main, args=(child_conn, self._task_fn), daemon=True
+        )
+        process.start()
+        child_conn.close()
+        return _Worker(process, parent_conn)
+
+    def _respawn(self, worker: _Worker) -> None:
+        try:
+            worker.conn.close()
+        except OSError:
+            pass
+        if worker.process.is_alive():
+            self._kill_process(worker)
+        else:
+            worker.process.join()
+        fresh = self._spawn()
+        worker.process, worker.conn, worker.task = fresh.process, fresh.conn, None
+
+    @staticmethod
+    def _kill_process(worker: _Worker) -> None:
+        worker.process.terminate()
+        worker.process.join(1.0)
+        if worker.process.is_alive():
+            worker.process.kill()
+            worker.process.join()
+
+    def shutdown(self, kill: bool = False) -> None:
+        """Stop all workers; ``kill=True`` terminates busy ones immediately."""
+        for worker in self._workers:
+            if worker.task is None and not kill:
+                try:
+                    worker.conn.send(None)
+                except (BrokenPipeError, OSError):
+                    pass
+        for worker in self._workers:
+            if kill or worker.task is not None:
+                self._kill_process(worker)
+            else:
+                worker.process.join(5.0)
+                if worker.process.is_alive():
+                    self._kill_process(worker)
+            try:
+                worker.conn.close()
+            except OSError:
+                pass
+        self._workers = []
+
+    def __enter__(self) -> "FaultTolerantPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown(kill=any(exc_info))
+
+    # -- scheduling --------------------------------------------------------
+    @property
+    def size(self) -> int:
+        return len(self._workers)
+
+    def idle_workers(self) -> List[_Worker]:
+        return [w for w in self._workers if w.task is None]
+
+    def busy_count(self) -> int:
+        return sum(1 for w in self._workers if w.task is not None)
+
+    def submit(self, tag: Any, args: Tuple, timeout: Optional[float] = None) -> None:
+        """Assign one task to an idle worker (caller ensures one is idle)."""
+        for worker in self._workers:
+            if worker.task is None:
+                now = time.monotonic()
+                worker.conn.send((tag, args))
+                worker.task = _Task(
+                    tag=tag,
+                    deadline=(now + timeout) if timeout is not None else None,
+                    started_at=now,
+                )
+                return
+        raise RuntimeError("submit called with no idle worker")
+
+    def next_deadline(self) -> Optional[float]:
+        """Earliest monotonic deadline among busy workers, if any."""
+        deadlines = [
+            w.task.deadline
+            for w in self._workers
+            if w.task is not None and w.task.deadline is not None
+        ]
+        return min(deadlines) if deadlines else None
+
+    # -- event collection --------------------------------------------------
+    def wait(self, timeout: Optional[float] = None) -> List[PoolEvent]:
+        """Block up to ``timeout`` s; return every task event that occurred.
+
+        Detects, in one pass: normal results/errors (pipe messages), worker
+        deaths (process sentinels with no pending message → ``crash``
+        events, worker respawned) and expired task deadlines (worker
+        killed and respawned → ``timeout`` events).
+        """
+        busy = [w for w in self._workers if w.task is not None]
+        if not busy:
+            return []
+        now = time.monotonic()
+        deadline = self.next_deadline()
+        if deadline is not None:
+            remaining = max(0.0, deadline - now)
+            timeout = remaining if timeout is None else min(timeout, remaining)
+
+        ready_map = {}
+        for worker in busy:
+            ready_map[worker.conn] = worker
+            ready_map[worker.process.sentinel] = worker
+        ready = multiprocessing.connection.wait(list(ready_map), timeout)
+
+        events: List[PoolEvent] = []
+        seen = set()
+        for obj in ready:
+            worker = ready_map[obj]
+            if id(worker) in seen:
+                continue
+            seen.add(id(worker))
+            events.extend(self._collect(worker))
+
+        # Deadline sweep runs after message collection so a result that
+        # arrived just in time beats its own timeout.
+        now = time.monotonic()
+        for worker in self._workers:
+            task = worker.task
+            if task is not None and task.deadline is not None and now >= task.deadline:
+                if id(worker) not in seen and worker.conn.poll():
+                    # The result raced the deadline and won.
+                    events.extend(self._collect(worker))
+                    continue
+                worker.task = None
+                self._respawn(worker)
+                events.append(
+                    PoolEvent(
+                        kind="timeout",
+                        tag=task.tag,
+                        value=None,
+                        elapsed_seconds=now - task.started_at,
+                    )
+                )
+        return events
+
+    def _collect(self, worker: _Worker) -> List[PoolEvent]:
+        """Drain one ready worker: a message, a crash, or both-in-order."""
+        events: List[PoolEvent] = []
+        message = None
+        dead = False
+        try:
+            if worker.conn.poll():
+                message = worker.conn.recv()
+        except (EOFError, OSError):
+            dead = True
+        if message is not None:
+            kind, tag, value, elapsed = message
+            worker.task = None
+            events.append(
+                PoolEvent(kind=kind, tag=tag, value=value, elapsed_seconds=elapsed)
+            )
+        if dead or not worker.process.is_alive():
+            worker.process.join(0.1)
+            task = worker.task
+            exitcode = worker.process.exitcode
+            worker.task = None
+            self._respawn(worker)
+            if task is not None:
+                events.append(
+                    PoolEvent(
+                        kind="crash",
+                        tag=task.tag,
+                        value=exitcode,
+                        elapsed_seconds=time.monotonic() - task.started_at,
+                    )
+                )
+        return events

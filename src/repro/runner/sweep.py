@@ -15,14 +15,48 @@ the sizing flow has no randomness outside the seeded Monte-Carlo validator
 — so serial and parallel sweeps produce identical rows (pinned by
 ``tests/runner/test_sweep.py``); only the recorded wall-clock runtimes
 differ.
+
+Fault tolerance
+---------------
+Long campaigns hit failures a plain process pool cannot survive; the
+orchestrator layers the following on top (all off/no-op by default, so
+fault-free sweeps behave bit-identically to the historical implementation):
+
+* **timeouts** — ``cell_timeout`` bounds each attempt's wall clock; a hung
+  worker is killed (and only that worker; its siblings keep computing) and
+  the cell counts as a ``timeout`` failure;
+* **retries** — ``max_retries`` extra attempts per cell with exponential
+  backoff, but only for *retryable* categories (transient / timeout /
+  crash — see :mod:`repro.runner.errors`); deterministic failures never
+  burn retry budget;
+* **crash recovery** — a worker that dies (OOM-kill, segfault) is
+  attributed to exactly the cell it was evaluating, respawned, and the
+  cell retried; pending and in-flight sibling cells are unaffected
+  (:class:`repro.runner.pool.FaultTolerantPool` replaces
+  ``ProcessPoolExecutor``, whose ``BrokenProcessPool`` failed every
+  in-flight future);
+* **graceful interrupts** — SIGINT drains in-flight cells, persists their
+  artifacts, writes ``checkpoint.json``, and raises
+  :class:`~repro.runner.errors.SweepInterrupted` carrying the partial
+  report — identically for serial and parallel sweeps;
+* **failure ledger** — every failed attempt is appended to
+  ``<out_dir>/failures.json`` (:mod:`repro.runner.ledger`), and corrupt or
+  schema-mismatched artifacts found during resume are quarantined as
+  ``*.corrupt`` instead of silently recomputed over;
+* **fault injection** — :mod:`repro.runner.faults` threads deterministic
+  crash/hang/transient/corrupt injectors through :func:`evaluate_cell`
+  via the ``REPRO_FAULTS`` environment variable, which is how the chaos
+  suite (``tests/runner/test_faults.py``) proves all of the above.
 """
 
 from __future__ import annotations
 
 import dataclasses
+import heapq
 import time
-from concurrent.futures import ProcessPoolExecutor, as_completed
-from dataclasses import dataclass
+import traceback as traceback_module
+from collections import deque
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
 
@@ -31,11 +65,29 @@ from repro.core.sizer import SizerConfig
 from repro.library.delay_model import LookupTableDelayModel
 from repro.library.synthetic90nm import make_synthetic_90nm_library
 from repro.runner.artifacts import (
+    DIGEST_LEN,
     artifact_path,
-    load_artifact,
+    load_artifact_status,
+    quarantine_artifact,
     spec_key,
     write_artifact,
 )
+from repro.runner.errors import (
+    SweepInterrupted,
+    check_payload_health,
+    classify_exception,
+    is_retryable,
+)
+from repro.runner.faults import corrupt_artifact_if_injected, inject_evaluation_faults
+from repro.runner.ledger import (
+    CHECKPOINT_FILENAME,
+    LEDGER_FILENAME,
+    FailureLedger,
+    FailureRecord,
+    QuarantineRecord,
+    write_checkpoint,
+)
+from repro.runner.pool import FaultTolerantPool
 from repro.variation.model import VariationModel
 
 #: Cell kinds understood by :func:`evaluate_cell`.
@@ -141,6 +193,34 @@ class CellSpec:
     def key(self) -> str:
         return spec_key(self.payload())
 
+    def digest(self) -> str:
+        """Short spec-key prefix folded into the artifact filename.
+
+        Covers every spec field the explicit filename parts miss —
+        ``top_k``, ``monte_carlo_samples``, ``seed``, substrates and the
+        sizer config — so two criticality cells for the same circuit
+        (both ``lam=0.0``) can never overwrite one file.
+        """
+        return self.key()[:DIGEST_LEN]
+
+    def artifact_path(self, out_dir: Union[str, Path]) -> Path:
+        """Canonical artifact file for this cell under ``out_dir``."""
+        return artifact_path(
+            out_dir, self.kind, self.circuit, self.lam, self.target_yield,
+            digest=self.digest(),
+        )
+
+    def artifact_stem(self) -> str:
+        """Filename stem identifying this cell (used by the failure ledger)."""
+        return self.artifact_path(".").stem
+
+    def describe(self) -> str:
+        """Human-readable one-liner for error messages and ledgers."""
+        text = f"{self.kind} {self.circuit} lam={self.lam:g}"
+        if self.target_yield is not None:
+            text += f" y={self.target_yield:g}"
+        return text
+
 
 @dataclass
 class CellResult:
@@ -165,7 +245,12 @@ class CellResult:
 
 @dataclass
 class SweepReport:
-    """Summary of one :func:`run_cells` invocation."""
+    """Summary of one :func:`run_cells` invocation.
+
+    ``computed`` counts only cells that *succeeded* this run (historically
+    it reported the whole pending count even when cells failed); failed,
+    quarantined and never-run cells are reported separately.
+    """
 
     results: List[CellResult]
     computed: int
@@ -173,13 +258,38 @@ class SweepReport:
     wall_seconds: float
     jobs: int
     out_dir: Optional[Path]
+    total: int = 0                 #: cells requested (defaults to len(results))
+    failed: int = 0                #: cells whose retry budget was exhausted
+    quarantined: int = 0           #: corrupt/schema artifacts moved aside
+    retries: int = 0               #: extra attempts scheduled across all cells
+    interrupted: bool = False      #: SIGINT drained the sweep early
+    failures: List[FailureRecord] = field(default_factory=list)
+
+    @property
+    def pending(self) -> int:
+        """Cells that never reached a final state (only after an interrupt)."""
+        total = self.total or len(self.results)
+        return max(0, total - len(self.results) - self.failed)
 
     def summary(self) -> str:
-        parts = [
-            f"{len(self.results)} cell(s): {self.computed} computed, "
-            f"{self.skipped} reused from artifacts",
-            f"wall {self.wall_seconds:.1f} s with jobs={self.jobs}",
-        ]
+        total = self.total or len(self.results)
+        head = (
+            f"{total} cell(s): {self.computed} computed, "
+            f"{self.skipped} reused from artifacts"
+        )
+        if self.failed:
+            head += f", {self.failed} failed"
+        if self.pending:
+            head += f", {self.pending} not run"
+        parts = [head]
+        if self.quarantined:
+            parts.append(f"{self.quarantined} corrupt artifact(s) quarantined")
+        if self.retries:
+            noun = "retry" if self.retries == 1 else "retries"
+            parts.append(f"{self.retries} {noun}")
+        if self.interrupted:
+            parts.append("interrupted -- completed artifacts and checkpoint persisted")
+        parts.append(f"wall {self.wall_seconds:.1f} s with jobs={self.jobs}")
         if self.out_dir is not None:
             parts.append(f"artifacts in {self.out_dir}")
         return "; ".join(parts)
@@ -451,11 +561,21 @@ _EVALUATORS: Dict[str, Callable[[CellSpec], Dict[str, Any]]] = {
 }
 
 
-def evaluate_cell(spec: CellSpec) -> CellResult:
-    """Run one sweep cell to completion (this is the worker entry point)."""
+def evaluate_cell(spec: CellSpec, attempt: int = 0) -> CellResult:
+    """Run one sweep cell to completion (this is the worker entry point).
+
+    ``attempt`` is the zero-based retry counter; it feeds the
+    fault-injection harness (so injected faults can heal on a chosen
+    attempt) and is otherwise inert — evaluation itself is deterministic.
+    The result payload is health-checked before it can ever reach an
+    artifact: NaN/inf values or negative sigmas raise
+    :class:`~repro.runner.errors.NumericalHealthError`.
+    """
+    inject_evaluation_faults(spec, attempt)
     start = time.perf_counter()
     result = _EVALUATORS[spec.kind](spec)
     runtime = time.perf_counter() - start
+    check_payload_health(result, context=spec.describe())
     return CellResult(spec=spec, key=spec.key(), result=result, runtime_seconds=runtime)
 
 
@@ -471,46 +591,96 @@ def run_cells(
     out_dir: Optional[Union[str, Path]] = None,
     resume: bool = False,
     progress: Optional[ProgressFn] = None,
+    cell_timeout: Optional[float] = None,
+    max_retries: int = 0,
+    retry_backoff: float = 0.5,
+    backoff_factor: float = 2.0,
+    backoff_max: float = 60.0,
+    on_error: str = "fail",
 ) -> SweepReport:
-    """Execute sweep cells, optionally in parallel and resumably.
+    """Execute sweep cells, optionally in parallel, resumably and fault-tolerantly.
 
     Parameters
     ----------
     specs:
         The cells to run; results come back in the same order.
     jobs:
-        ``1`` runs everything in-process (no executor involved); ``> 1``
-        fans pending cells across a ``ProcessPoolExecutor``.
+        ``1`` runs everything in-process (no workers involved); ``> 1``
+        fans pending cells across a
+        :class:`~repro.runner.pool.FaultTolerantPool` of worker processes.
     out_dir:
         Results directory for per-cell JSON artifacts.  ``None`` disables
-        persistence (and therefore resume).
+        persistence (and therefore resume, the failure ledger and the
+        interrupt checkpoint).
     resume:
         Skip cells whose artifact exists under ``out_dir`` and whose stored
-        key matches the current spec hash.
+        key matches the current spec hash.  Corrupt or schema-mismatched
+        artifacts encountered during the scan are quarantined as
+        ``*.corrupt`` (and recorded in the ledger) before recomputing.
     progress:
         Optional callback invoked as ``progress(done, total, result)``
-        after every cell (cached or computed), in completion order.
+        after every successful cell (cached or computed), in completion
+        order.
+    cell_timeout:
+        Wall-clock budget in seconds per attempt.  Enforced only with
+        ``jobs > 1`` (a hung in-process cell cannot be preempted); the
+        hung worker is killed and the cell counts as a ``timeout`` failure.
+    max_retries:
+        Extra attempts per cell for retryable failures (transient /
+        timeout / worker crash).  Deterministic failures never retry.
+    retry_backoff / backoff_factor / backoff_max:
+        Attempt ``n`` (zero-based) waits
+        ``min(backoff_max, retry_backoff * backoff_factor**n)`` seconds
+        before retrying.
+    on_error:
+        ``"fail"`` (default, historical behavior): every cell still runs —
+        a failing cell never discards siblings — but a ``RuntimeError``
+        aggregating the final failures is raised at the end.
+        ``"continue"``: no raise; failures are reported in the returned
+        :class:`SweepReport` for the caller to inspect.
+
+    Raises
+    ------
+    SweepInterrupted
+        On SIGINT, after draining in-flight cells, persisting their
+        artifacts and writing ``checkpoint.json`` — identically for serial
+        and parallel sweeps.  Carries the partial report.
+    RuntimeError
+        With ``on_error="fail"``, when any cell exhausted its retry budget.
     """
     if jobs < 1:
         raise ValueError("jobs must be >= 1")
+    if max_retries < 0:
+        raise ValueError("max_retries must be >= 0")
+    if on_error not in ("fail", "continue"):
+        raise ValueError(f"on_error must be 'fail' or 'continue', got {on_error!r}")
     start = time.perf_counter()
     out_path = Path(out_dir) if out_dir is not None else None
     if out_path is not None:
         out_path.mkdir(parents=True, exist_ok=True)
+    ledger = FailureLedger(out_path / LEDGER_FILENAME if out_path else None)
 
     total = len(specs)
     results: List[Optional[CellResult]] = [None] * total
     done = 0
+    quarantined = 0
     pending: List[int] = []
     for i, spec in enumerate(specs):
         cached = None
         if resume and out_path is not None:
-            artifact = load_artifact(
-                artifact_path(
-                    out_path, spec.kind, spec.circuit, spec.lam, spec.target_yield
+            path = spec.artifact_path(out_path)
+            artifact, status = load_artifact_status(path)
+            if status in ("corrupt", "schema"):
+                target = quarantine_artifact(path)
+                quarantined += 1
+                ledger.record_quarantine(
+                    QuarantineRecord(
+                        artifact=path.name,
+                        quarantined_as=target.name,
+                        reason=status,
+                    )
                 )
-            )
-            if artifact is not None and artifact["key"] == spec.key():
+            elif status == "ok" and artifact["key"] == spec.key():
                 cached = CellResult(
                     spec=spec,
                     key=artifact["key"],
@@ -526,62 +696,271 @@ def run_cells(
         else:
             pending.append(i)
 
-    def _finish(index: int, result: CellResult) -> None:
-        nonlocal done
+    computed = 0
+    retries = 0
+    final_failures: List[FailureRecord] = []
+
+    def _finish(index: int, result: CellResult, attempt: int = 0) -> None:
+        nonlocal done, computed
         results[index] = result
         if out_path is not None:
+            path = result.spec.artifact_path(out_path)
             write_artifact(
-                artifact_path(out_path, result.spec.kind, result.spec.circuit,
-                              result.spec.lam, result.spec.target_yield),
+                path,
                 key=result.key,
                 spec=result.spec.payload(),
                 result=result.result,
                 runtime_seconds=result.runtime_seconds,
             )
+            corrupt_artifact_if_injected(result.spec, attempt, path)
         done += 1
+        computed += 1
         if progress is not None:
             progress(done, total, result)
 
+    def _backoff_delay(attempt: int) -> float:
+        return min(backoff_max, retry_backoff * backoff_factor**attempt)
+
+    def _record_failure(
+        index: int,
+        attempt: int,
+        category: str,
+        error: str,
+        message: str,
+        tb: str,
+        elapsed: float,
+        allow_retry: bool = True,
+    ) -> bool:
+        """Ledger one failed attempt; True iff a retry should be scheduled."""
+        nonlocal retries
+        spec = specs[index]
+        will_retry = allow_retry and is_retryable(category) and attempt < max_retries
+        record = FailureRecord(
+            cell=spec.artifact_stem(),
+            key=spec.key(),
+            kind=spec.kind,
+            circuit=spec.circuit,
+            lam=spec.lam,
+            target_yield=spec.target_yield,
+            attempt=attempt,
+            category=category,
+            error=error,
+            message=message,
+            traceback=tb,
+            elapsed_seconds=elapsed,
+            retried=will_retry,
+        )
+        ledger.record_failure(record)
+        if will_retry:
+            retries += 1
+        else:
+            final_failures.append(record)
+        return will_retry
+
+    interrupted = False
     # A failing cell must not discard its siblings: every other cell still
     # runs, completed cells persist to artifacts (so a later --resume only
     # pays for the failures), and the errors are reported together at the end.
-    errors: List[Tuple[CellSpec, BaseException]] = []
-    if jobs == 1 or len(pending) <= 1:
-        for i in pending:
-            try:
-                result = evaluate_cell(specs[i])
-            except Exception as exc:
-                errors.append((specs[i], exc))
-                continue
-            _finish(i, result)
+    if jobs == 1 or not pending:
+        interrupted = _run_serial(
+            specs, pending, _finish, _record_failure, _backoff_delay
+        )
     else:
-        with ProcessPoolExecutor(max_workers=min(jobs, len(pending))) as pool:
-            futures = {pool.submit(evaluate_cell, specs[i]): i for i in pending}
-            for future in as_completed(futures):
-                i = futures[future]
-                try:
-                    result = future.result()
-                except Exception as exc:
-                    errors.append((specs[i], exc))
-                    continue
-                _finish(i, result)
+        interrupted = _run_parallel(
+            specs,
+            pending,
+            min(jobs, len(pending)),
+            cell_timeout,
+            _finish,
+            _record_failure,
+            _backoff_delay,
+        )
 
-    if errors:
+    report = SweepReport(
+        results=[r for r in results if r is not None],
+        computed=computed,
+        skipped=done - computed,
+        wall_seconds=time.perf_counter() - start,
+        jobs=jobs,
+        out_dir=out_path,
+        total=total,
+        failed=len(final_failures),
+        quarantined=quarantined,
+        retries=retries,
+        interrupted=interrupted,
+        failures=final_failures,
+    )
+
+    if interrupted:
+        if out_path is not None:
+            write_checkpoint(
+                out_path / CHECKPOINT_FILENAME,
+                {
+                    "total": total,
+                    "completed": [r.spec.artifact_stem() for r in report.results],
+                    "failed": [record.cell for record in final_failures],
+                    "pending": [
+                        specs[i].artifact_stem()
+                        for i in pending
+                        if results[i] is None
+                        and not any(
+                            record.cell == specs[i].artifact_stem()
+                            for record in final_failures
+                        )
+                    ],
+                },
+            )
+        raise SweepInterrupted(
+            f"sweep interrupted: {report.summary()}", report=report
+        )
+
+    if final_failures and on_error == "fail":
         details = "; ".join(
-            f"{spec.kind} {spec.circuit} lam={spec.lam:g}: {exc}"
-            for spec, exc in errors
+            f"{record.kind} {record.circuit} lam={record.lam:g}: {record.message}"
+            for record in final_failures
         )
         raise RuntimeError(
-            f"{len(errors)} of {total} sweep cell(s) failed ({details})"
+            f"{len(final_failures)} of {total} sweep cell(s) failed ({details})"
             + ("; completed cells were persisted to artifacts"
                if out_path is not None else "")
         )
 
-    return SweepReport(
-        results=[r for r in results if r is not None],
-        computed=len(pending),
-        skipped=total - len(pending),
-        wall_seconds=time.perf_counter() - start,
-        jobs=jobs,
-        out_dir=out_path,
-    )
+    return report
+
+
+def _run_serial(
+    specs: Sequence[CellSpec],
+    pending: Sequence[int],
+    finish: Callable[[int, CellResult, int], None],
+    record_failure: Callable[..., bool],
+    backoff_delay: Callable[[int], float],
+) -> bool:
+    """In-process execution with retries; returns True if interrupted."""
+    try:
+        for i in pending:
+            attempt = 0
+            while True:
+                cell_start = time.perf_counter()
+                try:
+                    result = evaluate_cell(specs[i], attempt=attempt)
+                except KeyboardInterrupt:
+                    raise
+                except Exception as exc:
+                    elapsed = time.perf_counter() - cell_start
+                    if record_failure(
+                        i,
+                        attempt,
+                        classify_exception(exc),
+                        type(exc).__name__,
+                        str(exc),
+                        traceback_module.format_exc(),
+                        elapsed,
+                    ):
+                        time.sleep(backoff_delay(attempt))
+                        attempt += 1
+                        continue
+                    break
+                finish(i, result, attempt)
+                break
+    except KeyboardInterrupt:
+        return True
+    return False
+
+
+def _run_parallel(
+    specs: Sequence[CellSpec],
+    pending: Sequence[int],
+    workers: int,
+    cell_timeout: Optional[float],
+    finish: Callable[[int, CellResult, int], None],
+    record_failure: Callable[..., bool],
+    backoff_delay: Callable[[int], float],
+) -> bool:
+    """Worker-pool execution with retries, timeouts and crash recovery.
+
+    Returns True if interrupted (after draining in-flight cells).
+    """
+    runnable = deque((i, 0) for i in pending)
+    waiting: List[Tuple[float, int, int]] = []  # (eligible_at, index, attempt)
+    outstanding = len(pending)
+    interrupted = False
+
+    def _handle_event(event, allow_retry: bool) -> bool:
+        """Process one pool event; True iff the cell reached a final state."""
+        index, attempt = event.tag
+        if event.kind == "ok":
+            finish(index, event.value, attempt)
+            return True
+        if event.kind == "error":
+            remote = event.value
+            category, error = remote.category, remote.error
+            message, tb = remote.message, remote.traceback
+        elif event.kind == "crash":
+            category, error = "crash", "WorkerCrashError"
+            message = (
+                f"worker died (exit code {event.value}) while evaluating "
+                f"{specs[index].describe()}"
+            )
+            tb = ""
+        else:  # timeout
+            category, error = "timeout", "CellTimeoutError"
+            message = (
+                f"{specs[index].describe()} exceeded the cell timeout of "
+                f"{cell_timeout:g} s; worker killed"
+            )
+            tb = ""
+        if record_failure(
+            index, attempt, category, error, message, tb,
+            event.elapsed_seconds, allow_retry,
+        ):
+            heapq.heappush(
+                waiting,
+                (time.monotonic() + backoff_delay(attempt), index, attempt + 1),
+            )
+            return False
+        return True
+
+    pool = FaultTolerantPool(evaluate_cell, workers)
+    try:
+        try:
+            while outstanding > 0:
+                now = time.monotonic()
+                while waiting and waiting[0][0] <= now:
+                    _, index, attempt = heapq.heappop(waiting)
+                    runnable.append((index, attempt))
+                idle = pool.idle_workers()
+                while runnable and idle:
+                    index, attempt = runnable.popleft()
+                    idle.pop()
+                    pool.submit(
+                        (index, attempt),
+                        (specs[index], attempt),
+                        timeout=cell_timeout,
+                    )
+                if pool.busy_count() == 0:
+                    if runnable:
+                        continue
+                    if waiting:
+                        time.sleep(max(0.0, waiting[0][0] - time.monotonic()))
+                        continue
+                    break  # defensive; outstanding bookkeeping says otherwise
+                timeout = (
+                    max(0.0, waiting[0][0] - time.monotonic()) if waiting else None
+                )
+                for event in pool.wait(timeout):
+                    if _handle_event(event, allow_retry=True):
+                        outstanding -= 1
+        except KeyboardInterrupt:
+            interrupted = True
+            # Graceful drain: in-flight cells finish (timeouts still
+            # enforced) and persist; queued work and retries are dropped.
+            # A second SIGINT abandons the drain immediately.
+            try:
+                while pool.busy_count() > 0:
+                    for event in pool.wait(None):
+                        _handle_event(event, allow_retry=False)
+            except KeyboardInterrupt:
+                pass
+    finally:
+        pool.shutdown(kill=pool.busy_count() > 0)
+    return interrupted

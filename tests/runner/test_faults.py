@@ -1,0 +1,465 @@
+"""Chaos tests: fault injection against the fault-tolerant sweep runner.
+
+Faults are injected through the ``REPRO_FAULTS`` environment variable so
+they reach the real worker processes — a ``crash`` rule genuinely
+``os._exit``\\ s a worker, a ``hang`` rule genuinely wedges one until the
+parent's timeout kills it.  Everything is deterministic: rules match on
+(circuit, lam, attempt) and the probabilistic path is a pure hash.
+
+All sweeps use c17 with a minimal sizer budget (~tens of ms per cell), so
+even the 12-cell acceptance chaos run is cheap.
+"""
+
+import json
+
+import pytest
+
+from repro.core.sizer import SizerConfig
+from repro.runner.artifacts import QUARANTINE_SUFFIX, load_artifact
+from repro.runner.errors import (
+    CellTimeoutError,
+    NumericalHealthError,
+    SweepInterrupted,
+    TransientCellError,
+    WorkerCrashError,
+    check_payload_health,
+    classify_exception,
+    ensure_finite_moments,
+    is_retryable,
+)
+from repro.runner.faults import (
+    FAULTS_ENV,
+    FaultRule,
+    fault_env_value,
+    parse_fault_rules,
+)
+from repro.runner.ledger import (
+    CHECKPOINT_FILENAME,
+    LEDGER_FILENAME,
+    FailureLedger,
+    FailureRecord,
+    QuarantineRecord,
+    load_ledger,
+)
+from repro.runner.sweep import (
+    criticality_specs,
+    run_cells,
+    table1_specs,
+)
+
+#: Smallest useful sizer budget — every chaos cell is a ~20 ms c17 run.
+FAST = SizerConfig(lam=3.0, max_iterations=2, max_outputs_per_pass=1, patience=1)
+
+#: Backoff small enough that retry scheduling never dominates test time.
+QUICK_RETRY = dict(retry_backoff=0.01, backoff_factor=1.0)
+
+
+def _inject(monkeypatch, *rules):
+    monkeypatch.setenv(FAULTS_ENV, fault_env_value(list(rules)))
+
+
+# ---------------------------------------------------------------------------
+# Error taxonomy
+# ---------------------------------------------------------------------------
+class TestErrorTaxonomy:
+    def test_classification(self):
+        assert classify_exception(TransientCellError("x")) == "transient"
+        assert classify_exception(CellTimeoutError("x")) == "timeout"
+        assert classify_exception(WorkerCrashError("x")) == "crash"
+        assert classify_exception(MemoryError()) == "transient"
+        assert classify_exception(ValueError("x")) == "deterministic"
+        assert classify_exception(KeyError("x")) == "deterministic"
+        assert classify_exception(NumericalHealthError("x")) == "deterministic"
+
+    def test_retryability(self):
+        assert is_retryable("transient")
+        assert is_retryable("timeout")
+        assert is_retryable("crash")
+        assert not is_retryable("deterministic")
+
+    def test_finite_moment_guard(self):
+        ensure_finite_moments(100.0, 5.0, context="ok", area=10.0)
+        with pytest.raises(NumericalHealthError, match="non-finite"):
+            ensure_finite_moments(float("nan"), 5.0, context="bad")
+        with pytest.raises(NumericalHealthError, match="negative sigma"):
+            ensure_finite_moments(100.0, -1.0, context="bad")
+        with pytest.raises(NumericalHealthError, match="area"):
+            ensure_finite_moments(100.0, 5.0, context="bad", area=float("inf"))
+
+    def test_payload_health_rejects_nan_and_negative_sigma(self):
+        check_payload_health({"mean": 1.0, "nested": {"sigma": 0.5}}, "cell")
+        with pytest.raises(NumericalHealthError, match="non-finite"):
+            check_payload_health({"rows": [1.0, float("inf")]}, "cell")
+        with pytest.raises(NumericalHealthError, match="negative sigma"):
+            check_payload_health({"original_sigma": -2.0}, "cell")
+
+    def test_payload_health_allows_negative_deltas(self):
+        # The paper reports sigma *reductions* as negative percentages.
+        check_payload_health({"sigma_reduction_pct": -35.2}, "cell")
+
+
+# ---------------------------------------------------------------------------
+# Fault rules
+# ---------------------------------------------------------------------------
+class TestFaultRules:
+    def test_parse_roundtrip(self):
+        rules = (
+            FaultRule(mode="crash", circuit="c17", lam=3.0, attempts=(0,)),
+            FaultRule(mode="transient", kind="table1", attempts=(0, 1)),
+        )
+        assert parse_fault_rules(fault_env_value(rules)) == rules
+
+    def test_parse_rejects_malformed(self):
+        with pytest.raises(ValueError):
+            parse_fault_rules("{not json")
+        with pytest.raises(ValueError):
+            parse_fault_rules('{"mode": "crash"}')  # not a list
+        with pytest.raises(ValueError):
+            parse_fault_rules('[{"circuit": "c17"}]')  # no mode
+        with pytest.raises(ValueError):
+            parse_fault_rules('[{"mode": "explode"}]')
+
+    def test_matching(self):
+        (spec,) = table1_specs(["c17"], (3.0,), sizer_config=FAST)
+        assert FaultRule(mode="transient").matches(spec, 0)
+        assert FaultRule(mode="transient", circuit="c17", lam=3.0).matches(spec, 0)
+        assert not FaultRule(mode="transient", circuit="alu1").matches(spec, 0)
+        assert not FaultRule(mode="transient", lam=9.0).matches(spec, 0)
+        assert not FaultRule(mode="transient", kind="fig4").matches(spec, 0)
+        rule = FaultRule(mode="transient", attempts=(0, 1))
+        assert rule.matches(spec, 0) and rule.matches(spec, 1)
+        assert not rule.matches(spec, 2)
+
+    def test_seeded_probability_is_deterministic(self):
+        specs = table1_specs(["c17"], tuple(float(i) for i in range(40)),
+                             sizer_config=FAST)
+        rule = FaultRule(mode="transient", probability=0.5, seed=7)
+        first = [rule.matches(s, 0) for s in specs]
+        assert first == [rule.matches(s, 0) for s in specs]
+        assert 0 < sum(first) < len(first)  # actually probabilistic
+        other_seed = FaultRule(mode="transient", probability=0.5, seed=8)
+        assert first != [other_seed.matches(s, 0) for s in specs]
+
+
+# ---------------------------------------------------------------------------
+# Ledger
+# ---------------------------------------------------------------------------
+class TestLedger:
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / LEDGER_FILENAME
+        ledger = FailureLedger(path)
+        ledger.record_failure(FailureRecord(
+            cell="table1__c17__lam3.0__deadbeef", key="k", kind="table1",
+            circuit="c17", lam=3.0, target_yield=None, attempt=0,
+            category="transient", error="TransientCellError", message="boom",
+            traceback="tb", elapsed_seconds=0.1, retried=True,
+        ))
+        ledger.record_quarantine(QuarantineRecord(
+            artifact="a.json", quarantined_as="a.json.corrupt", reason="corrupt",
+        ))
+        payload = load_ledger(path)
+        assert len(payload["events"]) == 1
+        event = payload["events"][0]
+        assert event["category"] == "transient" and event["retried"] is True
+        assert event["attempt"] == 0 and event["circuit"] == "c17"
+        assert payload["quarantines"][0]["reason"] == "corrupt"
+
+    def test_load_missing_or_bad(self, tmp_path):
+        assert load_ledger(tmp_path / "nope.json") is None
+        bad = tmp_path / "bad.json"
+        bad.write_text("{oops")
+        assert load_ledger(bad) is None
+
+    def test_in_memory_ledger_never_writes(self, tmp_path):
+        ledger = FailureLedger(None)
+        ledger.record_failure(FailureRecord(
+            cell="c", key="k", kind="table1", circuit="c17", lam=3.0,
+            target_yield=None, attempt=0, category="transient", error="E",
+            message="m", traceback="", elapsed_seconds=0.0,
+        ))
+        assert list(tmp_path.iterdir()) == []
+
+
+# ---------------------------------------------------------------------------
+# Artifact digests (filename collision fix)
+# ---------------------------------------------------------------------------
+class TestArtifactDigests:
+    def test_criticality_cells_with_different_knobs_do_not_collide(self, tmp_path):
+        # Both cells are (criticality, c17, lam=0.0); before the digest the
+        # filename ignored top_k/monte_carlo_samples/seed and they collided.
+        (a,) = criticality_specs(["c17"], top_k=3)
+        (b,) = criticality_specs(["c17"], top_k=7)
+        (c,) = criticality_specs(["c17"], top_k=3, monte_carlo_samples=50, seed=1)
+        paths = {a.artifact_path(tmp_path), b.artifact_path(tmp_path),
+                 c.artifact_path(tmp_path)}
+        assert len(paths) == 3
+
+    def test_digest_is_stable_and_key_derived(self):
+        (spec,) = table1_specs(["c17"], (3.0,), sizer_config=FAST)
+        assert spec.digest() == spec.key()[:8]
+        assert spec.artifact_path(".").stem.endswith(spec.digest())
+
+
+# ---------------------------------------------------------------------------
+# Retry behavior
+# ---------------------------------------------------------------------------
+class TestRetries:
+    @pytest.mark.parametrize("jobs", [1, 2])
+    def test_transient_heals_on_retry(self, tmp_path, monkeypatch, jobs):
+        _inject(monkeypatch,
+                FaultRule(mode="transient", circuit="c17", attempts=(0,)))
+        specs = table1_specs(["c17"], (3.0, 9.0), sizer_config=FAST)
+        report = run_cells(specs, jobs=jobs, out_dir=tmp_path,
+                           max_retries=2, **QUICK_RETRY)
+        assert report.computed == 2 and report.failed == 0
+        assert report.retries == 2  # one retry per cell
+        ledger = load_ledger(tmp_path / LEDGER_FILENAME)
+        assert len(ledger["events"]) == 2
+        assert all(e["category"] == "transient" and e["retried"]
+                   for e in ledger["events"])
+        for spec in specs:
+            assert load_artifact(spec.artifact_path(tmp_path)) is not None
+
+    @pytest.mark.parametrize("jobs", [1, 2])
+    def test_transient_exhausts_retry_budget(self, tmp_path, monkeypatch, jobs):
+        _inject(monkeypatch, FaultRule(mode="transient", circuit="c17"))
+        specs = table1_specs(["c17"], (3.0,), sizer_config=FAST)
+        with pytest.raises(RuntimeError, match="1 of 1 sweep cell"):
+            run_cells(specs, jobs=jobs, out_dir=tmp_path,
+                      max_retries=1, **QUICK_RETRY)
+        ledger = load_ledger(tmp_path / LEDGER_FILENAME)
+        assert [e["attempt"] for e in ledger["events"]] == [0, 1]
+        assert [e["retried"] for e in ledger["events"]] == [True, False]
+
+    @pytest.mark.parametrize("jobs", [1, 2])
+    def test_deterministic_failure_never_retries(self, tmp_path, monkeypatch, jobs):
+        specs = table1_specs(["c17", "no_such_circuit"], (3.0,),
+                             sizer_config=FAST)
+        with pytest.raises(RuntimeError, match="no_such_circuit"):
+            run_cells(specs, jobs=jobs, out_dir=tmp_path,
+                      max_retries=3, **QUICK_RETRY)
+        ledger = load_ledger(tmp_path / LEDGER_FILENAME)
+        assert len(ledger["events"]) == 1  # no retry burned on it
+        assert ledger["events"][0]["category"] == "deterministic"
+        # The healthy sibling still completed.
+        assert load_artifact(specs[0].artifact_path(tmp_path)) is not None
+
+    def test_on_error_continue_returns_report(self, tmp_path, monkeypatch):
+        _inject(monkeypatch, FaultRule(mode="transient", circuit="c17", lam=9.0))
+        specs = table1_specs(["c17"], (3.0, 9.0), sizer_config=FAST)
+        report = run_cells(specs, jobs=1, out_dir=tmp_path,
+                           max_retries=0, on_error="continue")
+        assert report.computed == 1 and report.failed == 1
+        assert len(report.failures) == 1
+        assert report.failures[0].category == "transient"
+        assert "1 failed" in report.summary()
+
+
+# ---------------------------------------------------------------------------
+# Crash recovery
+# ---------------------------------------------------------------------------
+class TestCrashRecovery:
+    def test_crash_mid_sweep_is_retried_and_siblings_survive(
+        self, tmp_path, monkeypatch
+    ):
+        _inject(monkeypatch,
+                FaultRule(mode="crash", circuit="c17", lam=9.0, attempts=(0,)))
+        specs = table1_specs(["c17"], (3.0, 6.0, 9.0), sizer_config=FAST)
+        report = run_cells(specs, jobs=2, out_dir=tmp_path,
+                           max_retries=2, **QUICK_RETRY)
+        assert report.computed == 3 and report.failed == 0
+        ledger = load_ledger(tmp_path / LEDGER_FILENAME)
+        (event,) = ledger["events"]
+        assert event["category"] == "crash" and event["retried"]
+        assert event["lam"] == 9.0
+        assert "exit code 13" in event["message"]
+
+    def test_unretried_crash_fails_only_its_cell(self, tmp_path, monkeypatch):
+        _inject(monkeypatch,
+                FaultRule(mode="crash", circuit="c17", lam=9.0))
+        specs = table1_specs(["c17"], (3.0, 9.0), sizer_config=FAST)
+        report = run_cells(specs, jobs=2, out_dir=tmp_path,
+                           max_retries=0, on_error="continue")
+        assert report.computed == 1 and report.failed == 1
+        assert report.failures[0].category == "crash"
+        assert load_artifact(specs[0].artifact_path(tmp_path)) is not None
+
+
+# ---------------------------------------------------------------------------
+# Timeouts
+# ---------------------------------------------------------------------------
+class TestTimeouts:
+    def test_hung_worker_is_killed_and_cell_retried(self, tmp_path, monkeypatch):
+        _inject(monkeypatch,
+                FaultRule(mode="hang", circuit="c17", lam=9.0,
+                          attempts=(0,), seconds=60.0))
+        specs = table1_specs(["c17"], (3.0, 9.0), sizer_config=FAST)
+        report = run_cells(specs, jobs=2, out_dir=tmp_path,
+                           cell_timeout=1.0, max_retries=1, **QUICK_RETRY)
+        assert report.computed == 2 and report.failed == 0
+        ledger = load_ledger(tmp_path / LEDGER_FILENAME)
+        (event,) = ledger["events"]
+        assert event["category"] == "timeout" and event["retried"]
+        assert "cell timeout of 1" in event["message"]
+
+    def test_persistent_hang_exhausts_budget(self, tmp_path, monkeypatch):
+        _inject(monkeypatch,
+                FaultRule(mode="hang", circuit="c17", lam=9.0, seconds=60.0))
+        specs = table1_specs(["c17"], (3.0, 9.0), sizer_config=FAST)
+        report = run_cells(specs, jobs=2, out_dir=tmp_path,
+                           cell_timeout=0.5, max_retries=1,
+                           on_error="continue", **QUICK_RETRY)
+        assert report.computed == 1 and report.failed == 1
+        assert report.failures[0].category == "timeout"
+        ledger = load_ledger(tmp_path / LEDGER_FILENAME)
+        assert [e["attempt"] for e in ledger["events"]] == [0, 1]
+
+
+# ---------------------------------------------------------------------------
+# Corruption and quarantine
+# ---------------------------------------------------------------------------
+class TestQuarantine:
+    def test_corrupt_artifact_quarantined_on_resume(self, tmp_path, monkeypatch):
+        specs = table1_specs(["c17"], (3.0, 9.0), sizer_config=FAST)
+        _inject(monkeypatch, FaultRule(mode="corrupt", circuit="c17", lam=9.0))
+        run_cells(specs, jobs=1, out_dir=tmp_path)
+        corrupted = specs[1].artifact_path(tmp_path)
+        with pytest.raises(json.JSONDecodeError):
+            json.loads(corrupted.read_text())
+
+        monkeypatch.delenv(FAULTS_ENV)
+        report = run_cells(specs, jobs=1, out_dir=tmp_path, resume=True)
+        assert report.skipped == 1 and report.computed == 1
+        assert report.quarantined == 1
+        assert "1 corrupt artifact(s) quarantined" in report.summary()
+        quarantine = corrupted.with_name(corrupted.name + QUARANTINE_SUFFIX)
+        assert quarantine.is_file()
+        # The cell recomputed into a healthy artifact.
+        assert load_artifact(corrupted) is not None
+        ledger = load_ledger(tmp_path / LEDGER_FILENAME)
+        (entry,) = ledger["quarantines"]
+        assert entry["reason"] == "corrupt"
+        assert entry["artifact"] == corrupted.name
+
+    def test_schema_mismatch_quarantined(self, tmp_path):
+        specs = table1_specs(["c17"], (3.0,), sizer_config=FAST)
+        run_cells(specs, jobs=1, out_dir=tmp_path)
+        path = specs[0].artifact_path(tmp_path)
+        payload = json.loads(path.read_text())
+        payload["schema"] = 1
+        path.write_text(json.dumps(payload))
+        report = run_cells(specs, jobs=1, out_dir=tmp_path, resume=True)
+        assert report.quarantined == 1 and report.computed == 1
+        ledger = load_ledger(tmp_path / LEDGER_FILENAME)
+        assert ledger["quarantines"][0]["reason"] == "schema"
+
+
+# ---------------------------------------------------------------------------
+# Graceful interrupts
+# ---------------------------------------------------------------------------
+class TestInterrupts:
+    @pytest.mark.parametrize("jobs", [1, 2])
+    def test_interrupt_checkpoints_and_resumes(self, tmp_path, monkeypatch, jobs):
+        # A KeyboardInterrupt raised from the progress callback lands in the
+        # parent's orchestration loop exactly where a real SIGINT would.
+        specs = table1_specs(["c17"], (3.0, 6.0, 9.0), sizer_config=FAST)
+        fired = []
+
+        def interrupt_once(done, total, result):
+            if not fired:
+                fired.append(result)
+                raise KeyboardInterrupt
+
+        with pytest.raises(SweepInterrupted) as excinfo:
+            run_cells(specs, jobs=jobs, out_dir=tmp_path, progress=interrupt_once)
+        report = excinfo.value.report
+        assert report.interrupted
+        assert report.computed >= 1
+        assert "interrupted" in report.summary()
+
+        checkpoint = json.loads((tmp_path / CHECKPOINT_FILENAME).read_text())
+        assert checkpoint["total"] == 3
+        assert len(checkpoint["completed"]) == report.computed
+        assert len(checkpoint["pending"]) == 3 - report.computed
+        assert set(checkpoint["completed"]) | set(checkpoint["pending"]) == {
+            spec.artifact_stem() for spec in specs
+        }
+
+        # Resume pays only for the cells the interrupt preempted.
+        resumed = run_cells(specs, jobs=1, out_dir=tmp_path, resume=True)
+        assert resumed.skipped == report.computed
+        assert resumed.computed == 3 - report.computed
+        assert len(resumed.results) == 3
+
+    def test_serial_and_parallel_interrupts_raise_the_same_type(self, tmp_path):
+        # Unified behavior: both paths raise SweepInterrupted (a
+        # KeyboardInterrupt subclass), never a bare KeyboardInterrupt.
+        specs = table1_specs(["c17"], (3.0, 9.0), sizer_config=FAST)
+
+        def interrupt(done, total, result):
+            raise KeyboardInterrupt
+
+        for jobs in (1, 2):
+            with pytest.raises(SweepInterrupted):
+                run_cells(specs, jobs=jobs, out_dir=tmp_path, progress=interrupt)
+            assert issubclass(SweepInterrupted, KeyboardInterrupt)
+
+
+# ---------------------------------------------------------------------------
+# Acceptance: the 12-cell chaos sweep
+# ---------------------------------------------------------------------------
+class TestAcceptanceChaosSweep:
+    def test_twelve_cells_with_crash_hang_and_transient(self, tmp_path, monkeypatch):
+        lams = tuple(float(i) for i in range(1, 13))  # 12 distinct cells
+        crash_lam, hang_lam, transient_lam = 2.0, 5.0, 8.0
+        _inject(
+            monkeypatch,
+            FaultRule(mode="crash", circuit="c17", lam=crash_lam, attempts=(0,)),
+            FaultRule(mode="hang", circuit="c17", lam=hang_lam,
+                      attempts=(0,), seconds=60.0),
+            FaultRule(mode="transient", circuit="c17", lam=transient_lam,
+                      attempts=(0, 1)),  # heals on attempt 2
+        )
+        specs = table1_specs(["c17"], lams, sizer_config=FAST)
+        report = run_cells(specs, jobs=4, out_dir=tmp_path,
+                           cell_timeout=2.0, max_retries=2, **QUICK_RETRY)
+
+        # Every cell completed despite the injected faults.
+        assert report.total == 12 and report.computed == 12
+        assert report.failed == 0 and not report.interrupted
+        assert report.retries == 4  # 1 crash + 1 timeout + 2 transient
+        for spec in specs:
+            assert load_artifact(spec.artifact_path(tmp_path)) is not None
+
+        # The ledger records exactly the injected failures.
+        ledger = load_ledger(tmp_path / LEDGER_FILENAME)
+        events = ledger["events"]
+        assert len(events) == 4
+        by_lam = {}
+        for event in events:
+            by_lam.setdefault(event["lam"], []).append(event)
+        assert by_lam[crash_lam][0]["category"] == "crash"
+        assert by_lam[hang_lam][0]["category"] == "timeout"
+        assert sorted(e["attempt"] for e in by_lam[transient_lam]) == [0, 1]
+        assert all(e["category"] == "transient" for e in by_lam[transient_lam])
+        assert all(e["retried"] for e in events)
+        assert set(by_lam) == {crash_lam, hang_lam, transient_lam}
+
+        # A fault-free resume recomputes nothing.
+        monkeypatch.delenv(FAULTS_ENV)
+        resumed = run_cells(specs, jobs=4, out_dir=tmp_path, resume=True)
+        assert resumed.computed == 0 and resumed.skipped == 12
+
+    def test_chaos_rows_match_fault_free_rows(self, tmp_path, monkeypatch):
+        # Retried/respawned cells must produce bit-identical results: the
+        # evaluators are deterministic and injection never touches payloads.
+        specs = table1_specs(["c17"], (3.0, 9.0), sizer_config=FAST)
+        clean = run_cells(specs, jobs=1)
+        _inject(monkeypatch,
+                FaultRule(mode="transient", circuit="c17", attempts=(0,)))
+        chaotic = run_cells(specs, jobs=2, out_dir=tmp_path,
+                            max_retries=1, **QUICK_RETRY)
+        for a, b in zip(clean.results, chaotic.results):
+            row_a = {k: v for k, v in a.result.items() if k != "runtime_seconds"}
+            row_b = {k: v for k, v in b.result.items() if k != "runtime_seconds"}
+            assert row_a == row_b

@@ -93,8 +93,7 @@ class TestSpecsAndKeys:
         as_float = CellSpec(kind="table1", circuit="c17", lam=3.0,
                             sizer_config=SizerConfig(lam=3.0))
         assert as_int.key() == as_float.key()
-        assert artifact_path(tmp_path, "table1", "c17", as_int.lam) == \
-            artifact_path(tmp_path, "table1", "c17", as_float.lam)
+        assert as_int.artifact_path(tmp_path) == as_float.artifact_path(tmp_path)
 
     def test_key_sensitive_to_seed(self):
         base = CellSpec(kind="table1", circuit="c17", lam=3.0)
@@ -221,7 +220,7 @@ class TestRunCells:
                              sizer_config=FAST)
         with pytest.raises(RuntimeError, match="no_such_circuit"):
             run_cells(specs, jobs=jobs, out_dir=tmp_path)
-        good = load_artifact(artifact_path(tmp_path, "table1", "c17", 3.0))
+        good = load_artifact(specs[0].artifact_path(tmp_path))
         assert good is not None
         report = run_cells(specs[:1], jobs=1, out_dir=tmp_path, resume=True)
         assert report.computed == 0 and report.skipped == 1

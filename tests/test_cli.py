@@ -221,7 +221,7 @@ class TestSweepCommand:
         assert "2 computed, 0 reused" in first
         assert "source_mass" in first
         assert "mc_max_err" in first
-        assert len(list(out_dir.glob("criticality__*__lam0.0.json"))) == 2
+        assert len(list(out_dir.glob("criticality__*__lam0.0__*.json"))) == 2
         assert main(argv + ["--resume"]) == 0
         second = capsys.readouterr().out
         assert "0 computed, 2 reused" in second
