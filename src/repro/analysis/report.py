@@ -156,20 +156,19 @@ def format_criticality_report(data: Dict, markdown: bool = False) -> str:
         )
 
     has_mc = mc is not None
-    out_headers = ["output", "P(critical)"] + (["MC freq"] if has_mc else [])
+    out_headers = ["output", "P(critical)", *(["MC freq"] if has_mc else [])]
     out_rows = [
-        [row["net"], f"{row['probability']:.4f}"]
-        + ([f"{row.get('mc_frequency', 0.0):.4f}"] if has_mc else [])
+        [row["net"], f"{row['probability']:.4f}",
+         *([f"{row.get('mc_frequency', 0.0):.4f}"] if has_mc else [])]
         for row in data["outputs"]
     ]
     sections.append(heading("Output criticality") + "\n" + table(out_headers, out_rows))
 
-    gate_headers = ["gate", "cell", "size", "criticality"] + (
-        ["MC freq"] if has_mc else []
-    )
+    gate_headers = ["gate", "cell", "size", "criticality",
+                    *(["MC freq"] if has_mc else [])]
     gate_rows = [
-        [row["gate"], row["cell"], row["size"], f"{row['criticality']:.4f}"]
-        + ([f"{row.get('mc_frequency', 0.0):.4f}"] if has_mc else [])
+        [row["gate"], row["cell"], row["size"], f"{row['criticality']:.4f}",
+         *([f"{row.get('mc_frequency', 0.0):.4f}"] if has_mc else [])]
         for row in data["gate_criticality"]
     ]
     sections.append(
@@ -178,7 +177,8 @@ def format_criticality_report(data: Dict, markdown: bool = False) -> str:
 
     path_headers = [
         "rank", "criticality", "output", "source", "len", "arrival", "path",
-    ] + (["MC freq"] if has_mc else [])
+        *(["MC freq"] if has_mc else []),
+    ]
     path_rows = []
     for row in data["top_paths"]:
         gates = row["gates"]
@@ -196,8 +196,8 @@ def format_criticality_report(data: Dict, markdown: bool = False) -> str:
                 row["length"],
                 f"{row['arrival_mean']:.1f}+/-{row['arrival_sigma']:.1f}",
                 shown,
+                *([f"{row.get('mc_frequency', 0.0):.4f}"] if has_mc else []),
             ]
-            + ([f"{row.get('mc_frequency', 0.0):.4f}"] if has_mc else [])
         )
     sections.append(
         heading(

@@ -50,7 +50,7 @@ def _ripple_block(
     """Internal ripple chain used by the carry-select adder."""
     sums: List[str] = []
     carry = cin
-    for ai, bi in zip(a, b):
+    for ai, bi in zip(a, b, strict=True):
         s, carry = builder.full_adder(ai, bi, carry)
         sums.append(s)
     return sums, carry
@@ -93,7 +93,7 @@ def carry_select_adder(
         else:
             sums0, carry0 = _ripple_block(builder, block_a, block_b, zero)
             sums1, carry1 = _ripple_block(builder, block_a, block_b, one)
-            for s0, s1 in zip(sums0, sums1):
+            for s0, s1 in zip(sums0, sums1, strict=True):
                 sum_nets.append(builder.mux2(s0, s1, carry))
             carry = builder.mux2(carry0, carry1, carry)
         position = hi

@@ -88,7 +88,7 @@ def sec_circuit(
         covered = [data[i] for i in range(data_width) if (i >> (k % check_bits.bit_length() or 1)) & 1 or (i + k) % check_bits == 0]
         if len(covered) < 2:
             covered = data[: max(2, data_width // 2)]
-        syndrome = xor_pairwise(covered + [checks[k]])
+        syndrome = xor_pairwise([*covered, checks[k]])
         syndromes.append(syndrome)
 
     # Decode stage: for every data bit, AND together the syndrome bits (or

@@ -55,7 +55,7 @@ def array_multiplier(width: int, name: Optional[str] = None) -> Circuit:
                 s, carry = builder.full_adder(addend, running, carry)
             new_sums.append(s)
         products.append(new_sums[0])
-        row_sums = new_sums[1:] + [carry]
+        row_sums = [*new_sums[1:], carry]
 
     # Remaining running-sum bits are the top product bits.
     products.extend(row_sums)

@@ -14,6 +14,9 @@ exposes the main flows without writing any Python:
 * ``report`` — statistical criticality report: per-gate criticality
   probabilities, top-k statistical paths, slack pdfs and an optional
   Monte-Carlo cross-check, as text, markdown or JSON;
+* ``lint``   — run the static design-rule checker (DRC001 ...) over a
+  circuit and report diagnostics as text or JSON; exit 0 when clean at the
+  chosen severity threshold, 1 otherwise, 2 on usage errors;
 * ``table1`` — regenerate Table 1 rows for a list of circuits;
 * ``sweep``  — parallel, resumable, fault-tolerant (circuit, lambda) sweep:
   fans the cells across a process pool (``--jobs``), persists each
@@ -42,7 +45,7 @@ from repro.analysis.report import (
     format_table,
     format_table1,
 )
-from repro.runner.errors import SweepInterrupted
+from repro.runner.errors import DeterministicError, SweepInterrupted
 from repro.runner.ledger import LEDGER_FILENAME
 from repro.runner.sweep import (
     SubstrateSpec,
@@ -185,16 +188,23 @@ def cmd_size(args) -> int:
         max_area_ratio=args.max_area_ratio,
         pdf_samples=args.pdf_samples,
     )
-    result = run_sizing_flow(
-        circuit,
-        lam=args.lam,
-        library=library,
-        delay_model=delay_model,
-        variation_model=variation_model,
-        sizer_config=config,
-        monte_carlo_samples=args.monte_carlo,
-        run_baseline=not args.no_baseline,
-    )
+    try:
+        result = run_sizing_flow(
+            circuit,
+            lam=args.lam,
+            library=library,
+            delay_model=delay_model,
+            variation_model=variation_model,
+            sizer_config=config,
+            monte_carlo_samples=args.monte_carlo,
+            run_baseline=not args.no_baseline,
+            preflight=not args.no_preflight,
+        )
+    except DeterministicError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        print("run `repro-sizer lint` for the full diagnostics, or "
+              "--no-preflight to proceed anyway", file=sys.stderr)
+        return 1
     if args.objective == "yield":
         print(f"circuit {circuit.name}: {circuit.num_gates()} gates, "
               f"objective=yield target={args.target_yield:g} "
@@ -234,6 +244,34 @@ def cmd_size(args) -> int:
             print(f"    {decision.gate:16s} {decision.method:11s} "
                   f"-> {decision.chosen_net:12s} [{candidates}]")
     return 0
+
+
+def cmd_lint(args) -> int:
+    """Static design-rule check of one circuit (text or JSON diagnostics)."""
+    from repro.verify import Severity, lint_circuit, rule_catalogue
+
+    if args.list_rules:
+        headers = ["rule", "severity", "library", "title"]
+        rows = [
+            (r["rule_id"], r["severity"],
+             "yes" if r["requires_library"] else "-", r["title"])
+            for r in rule_catalogue()
+        ]
+        print(format_table(headers, rows))
+        return 0
+    if not args.circuit:
+        print("error: a circuit is required unless --list-rules is given",
+              file=sys.stderr)
+        return 2
+    circuit = load_circuit(args.circuit)
+    library = None if args.no_library else _substrates(args)[0]
+    report = lint_circuit(circuit, library=library)
+    if args.format == "json":
+        print(report.to_json())
+    else:
+        print(report.format_text())
+    fail_on = Severity.WARNING if args.fail_on == "warning" else Severity.ERROR
+    return report.exit_code(fail_on=fail_on)
 
 
 def cmd_report(args) -> int:
@@ -401,7 +439,13 @@ def cmd_sweep(args) -> int:
             max_retries=args.max_retries,
             retry_backoff=args.retry_backoff,
             on_error=args.on_error,
+            preflight=not args.no_preflight,
         )
+    except DeterministicError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        print("run `repro-sizer lint` for the full diagnostics, or "
+              "--no-preflight to proceed anyway", file=sys.stderr)
+        return 1
     except SweepInterrupted as exc:
         print()
         if exc.report is not None:
@@ -524,6 +568,8 @@ def build_parser() -> argparse.ArgumentParser:
     p_size.add_argument("--monte-carlo", type=int, default=0, metavar="N")
     p_size.add_argument("--no-baseline", action="store_true",
                         help="skip the mean-delay baseline sizing step")
+    p_size.add_argument("--no-preflight", action="store_true",
+                        help="skip the pre-flight DRC lint of the circuit")
     p_size.add_argument("--explain-path", action="store_true",
                         help="print the final design's WNSS trace with every "
                              "dominance-vs-sensitivity decision")
@@ -556,6 +602,24 @@ def build_parser() -> argparse.ArgumentParser:
                           help="write the report to FILE instead of stdout")
     _add_common_options(p_report)
     p_report.set_defaults(func=cmd_report)
+
+    p_lint = sub.add_parser(
+        "lint",
+        help="static design-rule check of a circuit (DRC001 ...)",
+    )
+    p_lint.add_argument("circuit", nargs="?", default=None,
+                        help="registry name or .bench path")
+    p_lint.add_argument("--format", choices=["text", "json"], default="text")
+    p_lint.add_argument("--fail-on", choices=["error", "warning"],
+                        default="error",
+                        help="lowest severity that makes the exit code 1 "
+                             "(default: error)")
+    p_lint.add_argument("--no-library", action="store_true",
+                        help="skip the library-domain rules (DRC007-DRC010)")
+    p_lint.add_argument("--list-rules", action="store_true",
+                        help="print the rule catalogue and exit")
+    _add_common_options(p_lint)
+    p_lint.set_defaults(func=cmd_lint)
 
     p_table = sub.add_parser("table1", help="regenerate Table 1 rows")
     p_table.add_argument("circuits", nargs="*", help="circuit names (default: small subset)")
@@ -611,6 +675,10 @@ def build_parser() -> argparse.ArgumentParser:
                          default="fail",
                          help="fail: raise after running every cell (default); "
                               "continue: report failures and exit 1")
+    p_sweep.add_argument("--no-preflight", action="store_true",
+                         help="skip the pre-flight DRC lint of each pending "
+                              "circuit (defective netlists then fail inside "
+                              "the workers instead of up front)")
     p_sweep.add_argument("--seed", type=int, default=0)
     _add_common_options(p_sweep)
     p_sweep.set_defaults(func=cmd_sweep)

@@ -249,7 +249,7 @@ class DiscretePDF:
     # ------------------------------------------------------------------
     def as_tuples(self) -> Tuple[Tuple[float, float], ...]:
         """The pdf as ``((value, probability), ...)`` for reporting/serialisation."""
-        return tuple(zip(self.values.tolist(), self.probabilities.tolist()))
+        return tuple(zip(self.values.tolist(), self.probabilities.tolist(), strict=True))
 
     def __repr__(self) -> str:  # pragma: no cover - repr formatting
         return (

@@ -216,7 +216,7 @@ class FULLSSTA:
                     extra_boundary[net] = pdf
         num_samples = self.num_samples
         width = max(
-            [num_samples] + [pdf.num_samples for pdf in known_boundary.values()]
+            [num_samples, *(pdf.num_samples for pdf in known_boundary.values())]
         )
         values = np.zeros((plan.num_nets, width))
         probs = np.zeros((plan.num_nets, width))

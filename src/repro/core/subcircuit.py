@@ -125,6 +125,8 @@ def extract_subcircuit(
     members.update(circuit.transitive_fanin(seed_gate, depth=depth))
     members.update(circuit.transitive_fanout(seed_gate, depth=depth))
 
+    # Structural extraction, not an analysis loop; the IR has no subcircuit
+    # view.  repro-lint: allow=RL001
     order = [name for name in circuit.topological_order() if name in members]
 
     driven_inside = {circuit.gate(name).output for name in members}
@@ -202,6 +204,7 @@ def extraction_statistics(circuit: Circuit, depth: int = DEFAULT_DEPTH) -> Dict[
     """Average/maximum subcircuit size over all gates (used in reports/tests)."""
     sizes = [
         extract_subcircuit(circuit, name, depth).num_gates
+        # repro-lint: allow=RL001 -- reporting helper, not a hot path
         for name in circuit.topological_order()
     ]
     if not sizes:

@@ -273,7 +273,7 @@ class CriticalityAnalyzer:
                 [arrivals.get(net, ZERO_DELAY) for net in output_nets]
             )
             weights = {}
-            for net, p in zip(output_nets, probs):
+            for net, p in zip(output_nets, probs, strict=True):
                 weights[net] = weights.get(net, 0.0) + float(p)
 
         # Arrival moments per slot.

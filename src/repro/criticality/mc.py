@@ -89,6 +89,8 @@ class MonteCarloCriticality:
         if not outputs:
             raise ValueError(f"circuit {circuit.name!r} has no primary outputs")
         rng = np.random.default_rng(seed)
+        # Draw order pins the RNG stream bit-for-bit against the MC timer.
+        # repro-lint: allow=RL001
         order = circuit.topological_order()
         distributions = self.variation_model.all_gate_distributions(
             circuit, self.delay_model

@@ -150,7 +150,7 @@ def extract_top_paths(
             )
             continue
         edges = result.edge_probabilities.get(driver.name, {})
-        new_gates = gates + [driver.name]
+        new_gates = [*gates, driver.name]
         for net, prob in edges.items():
             bound = mass * prob
             if bound <= 0.0 or bound < min_criticality:

@@ -146,6 +146,7 @@ def run_sizing_flow(
     run_baseline: bool = True,
     monte_carlo_samples: int = 0,
     seed: Optional[int] = 0,
+    preflight: bool = True,
 ) -> FlowResult:
     """Run the full paper flow on ``circuit`` (sized in place).
 
@@ -165,6 +166,11 @@ def run_sizing_flow(
     monte_carlo_samples:
         When positive, validate the original and final designs with this
         many Monte-Carlo samples.
+    preflight:
+        Lint the circuit against the DRC catalogue before any analysis
+        (see :mod:`repro.verify.preflight`); ERROR diagnostics raise
+        :class:`~repro.runner.errors.DeterministicError` up front instead
+        of surfacing as mid-flow engine failures.
     """
     flow_start = time.perf_counter()
     if library is None and delay_model is None:
@@ -173,6 +179,13 @@ def run_sizing_flow(
         delay_model = LookupTableDelayModel(library)
     variation_model = variation_model or VariationModel()
     config = sizer_config or SizerConfig(lam=lam)
+
+    if preflight:
+        # Imported lazily: repro.verify is a leaf consumer of the netlist
+        # and library layers, and flow is imported by nearly everything.
+        from repro.verify.preflight import preflight_circuit
+
+        preflight_circuit(circuit, library=library or delay_model.library)
 
     baseline_sizer = MeanDelaySizer(delay_model)
     if run_baseline:

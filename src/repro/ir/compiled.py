@@ -49,6 +49,10 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, Dict, FrozenSet, Iterable, List, Sequence, Tuple
 
 import numpy as np
+from numpy.typing import NDArray
+
+IntArray = NDArray[np.intp]
+BoolArray = NDArray[np.bool_]
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (circuit imports us)
     from repro.netlist.circuit import Circuit
@@ -65,10 +69,10 @@ class LevelBlock:
 
     level: int
     names: List[str]
-    gate_ids: np.ndarray  # (G,) intp — contiguous: arange(start, stop)
-    out_slots: np.ndarray  # (G,) intp — net slot written by each gate
-    in_slots: np.ndarray  # (G, F) intp — input net slots, pin order, padded
-    in_mask: np.ndarray  # (G, F) bool — valid pin positions
+    gate_ids: IntArray  # (G,) — contiguous: arange(start, stop)
+    out_slots: IntArray  # (G,) — net slot written by each gate
+    in_slots: IntArray  # (G, F) — input net slots, pin order, padded
+    in_mask: BoolArray  # (G, F) — valid pin positions
 
 
 class CompiledCircuit:
@@ -114,17 +118,17 @@ class CompiledCircuit:
         gate_names: List[str],
         net_names: List[str],
         num_pis: int,
-        gate_output_slot: np.ndarray,
-        gate_level: np.ndarray,
+        gate_output_slot: IntArray,
+        gate_level: IntArray,
         level_values: List[int],
-        level_offsets: np.ndarray,
-        fanin_indptr: np.ndarray,
-        fanin_slots: np.ndarray,
-        fanout_indptr: np.ndarray,
-        fanout_gates: np.ndarray,
+        level_offsets: IntArray,
+        fanin_indptr: IntArray,
+        fanin_slots: IntArray,
+        fanout_indptr: IntArray,
+        fanout_gates: IntArray,
         cell_types: List[str],
-        cell_type_ids: np.ndarray,
-        size_index: np.ndarray,
+        cell_type_ids: IntArray,
+        size_index: IntArray,
     ) -> None:
         self.name = name
         self.structure_version = structure_version
@@ -210,20 +214,20 @@ class CompiledCircuit:
         return blocks
 
     # ------------------------------------------------------------------
-    def gate_fanin_slots(self, gate_id: int) -> np.ndarray:
+    def gate_fanin_slots(self, gate_id: int) -> IntArray:
         """Input net slots of one gate, in pin order."""
         return self.fanin_slots[
             self.fanin_indptr[gate_id]: self.fanin_indptr[gate_id + 1]
         ]
 
-    def net_fanout_gates(self, slot: int) -> np.ndarray:
+    def net_fanout_gates(self, slot: int) -> IntArray:
         """Gate ids reading the net in ``slot``."""
         return self.fanout_gates[
             self.fanout_indptr[slot]: self.fanout_indptr[slot + 1]
         ]
 
     # ------------------------------------------------------------------
-    def fanout_cone(self, seed_gate_ids: Iterable[int]) -> np.ndarray:
+    def fanout_cone(self, seed_gate_ids: Iterable[int]) -> IntArray:
         """Seed gates plus their transitive fanout, topologically sorted.
 
         Breadth-first reachability over the fanout CSR.  The returned array
@@ -275,6 +279,8 @@ def lower_circuit(circuit: "Circuit") -> CompiledCircuit:
     """
     levels_map = circuit.levels()
     by_level: Dict[int, List[str]] = {}
+    # The one sanctioned netlist walk: this IS the lowering every engine
+    # shares.  repro-lint: allow=RL001
     for name in circuit.topological_order():
         by_level.setdefault(levels_map[name], []).append(name)
     level_values = sorted(by_level)

@@ -223,7 +223,8 @@ def _interpolate_table(table: Sequence[Tuple[float, float]], load: float) -> flo
     elif load >= points[-1][0]:
         (x0, y0), (x1, y1) = points[-2], points[-1]
     else:
-        for (x0, y0), (x1, y1) in zip(points, points[1:]):
+        # Adjacent-pair walk; the one-shorter second iterable is the point.
+        for (x0, y0), (x1, y1) in zip(points, points[1:], strict=False):  # noqa: B007
             if x0 <= load <= x1:
                 break
     if x1 == x0:

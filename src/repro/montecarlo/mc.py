@@ -154,6 +154,8 @@ class MonteCarloTimer:
             raise ValueError("num_samples must be at least 2")
         rng = np.random.default_rng(seed)
 
+        # Draw order is part of the pinned RNG stream contract (bit-compat
+        # with the scalar timer).  repro-lint: allow=RL001
         order = circuit.topological_order()
         distributions = self.variation_model.all_gate_distributions(
             circuit, self.delay_model

@@ -21,6 +21,7 @@ Design notes
 
 from __future__ import annotations
 
+import os
 from collections import deque
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Dict, Iterator, List, Optional, Sequence, Set
@@ -196,7 +197,7 @@ class Circuit:
     # ------------------------------------------------------------------
     # Compiled IR
     # ------------------------------------------------------------------
-    def compiled(self) -> "CompiledCircuit":
+    def compiled(self, verify: Optional[bool] = None) -> "CompiledCircuit":
         """The circuit's array-native IR, lowered once per structure version.
 
         Every engine (FASSTA, FULLSSTA, DSTA, Monte Carlo, criticality,
@@ -208,19 +209,37 @@ class Circuit:
         recompiling.  (Direct ``Gate.size_index`` writes bypass the
         size-change log and therefore the refresh — the same contract
         incremental re-analysis already imposes.)
+
+        ``verify`` runs :func:`repro.verify.ir_checks.verify_compiled` over
+        every *fresh* lowering (debug/test mode; the test suite enables it
+        globally via the ``REPRO_VERIFY_IR`` environment variable, which is
+        also the default when ``verify`` is ``None``).  ``verify=True`` on a
+        cache hit re-verifies the cached instance, catching external
+        mutation of the IR arrays.
         """
         from repro.ir.compiled import lower_circuit  # local: avoids a cycle
+
+        if verify is None:
+            verify = bool(os.environ.get("REPRO_VERIFY_IR"))
+            verify_cached = False
+        else:
+            verify_cached = verify
 
         cache = self._compiled_cache
         if cache is None or cache.structure_version != self._structure_version:
             cache = lower_circuit(self)
             self._compiled_cache = cache
             self._compiled_size_cursor = len(self._size_change_log)
+            verify_cached = verify
         else:
             cursor = self._compiled_size_cursor
             if cursor != len(self._size_change_log):
                 cache.refresh_sizes(self, self._size_change_log[cursor:])
                 self._compiled_size_cursor = len(self._size_change_log)
+        if verify_cached:
+            from repro.verify.ir_checks import verify_compiled  # local: cycle
+
+            verify_compiled(cache, self)
         return cache
 
     # ------------------------------------------------------------------

@@ -1,31 +1,33 @@
 """Structural validation of circuits.
 
 ``validate_circuit`` checks the invariants the timing engines and the
-optimizer rely on:
+optimizer rely on — every gate input driven, single-driver nets, driven
+primary outputs, no combinational cycles or self-loop gates, and
+(optionally) cell types / size indices that exist in a given library.
 
-* every gate input net has a driver (a primary input or another gate),
-* every net has at most **one** driver — no two gates, and no gate and a
-  primary input, may drive the same net,
-* every primary output net has a driver,
-* the circuit is acyclic (checked implicitly via topological ordering),
-* no gate drives a primary input,
-* optionally, every gate's cell type and size index exist in a given
-  library.
+Since the static-verification layer landed, this module is a thin
+compatibility wrapper over the **ERROR-severity** design rules in
+:mod:`repro.verify.rules` — one source of truth for structural invariants.
+The DRC linter is strictly stronger (it also reports WARNING-severity
+findings such as unreachable gates and out-of-table loads, and attaches
+rule ids, locations and fix hints); callers who want the full picture
+should use :func:`repro.verify.lint_circuit` directly.
 
 :class:`~repro.netlist.circuit.Circuit` construction rejects duplicate
-drivers up front, but the multi-driver checks still matter here: gates are
-mutable objects, so code that rewires ``gate.output`` (or bulk-loads gates)
-behind the circuit's back can violate the invariant without tripping any
-constructor guard.  Validation inspects the gate objects directly and
-therefore catches such states.
+drivers up front, but these checks still matter: gates are mutable objects,
+so code that rewires ``gate.output`` (or bulk-loads gates) behind the
+circuit's back can violate the invariant without tripping any constructor
+guard.  The rules inspect the gate objects directly and therefore catch
+such states — including cycles, which would otherwise only surface as a
+:class:`~repro.netlist.circuit.CircuitError` (or a hang) deep inside
+levelization.
 """
 
 from __future__ import annotations
 
-from collections import Counter
 from typing import List
 
-from repro.netlist.circuit import Circuit, CircuitError
+from repro.netlist.circuit import Circuit
 
 
 class ValidationError(Exception):
@@ -39,6 +41,10 @@ class ValidationError(Exception):
 def validate_circuit(circuit: Circuit, library=None, raise_on_error: bool = True) -> List[str]:
     """Check structural invariants; return the list of problems found.
 
+    Runs the ERROR-severity subset of the DRC catalogue
+    (:func:`repro.verify.rules.error_rules`) and returns the diagnostic
+    messages as plain strings, preserving the historical interface.
+
     Parameters
     ----------
     circuit:
@@ -50,56 +56,11 @@ def validate_circuit(circuit: Circuit, library=None, raise_on_error: bool = True
         When true (default), raise :class:`ValidationError` if any problem
         is found instead of returning the list.
     """
-    problems: List[str] = []
-    primary_inputs = set(circuit.primary_inputs)
-    driven = set(primary_inputs)
-    driven.update(g.output for g in circuit.gates.values())
+    # Local import: repro.verify imports this package's Circuit class.
+    from repro.verify.rules import error_rules, lint_circuit
 
-    # Multi-driver nets: two gates on one net, or a gate driving a net that
-    # is also a primary input.
-    drivers_per_net = Counter(g.output for g in circuit.gates.values())
-    for net, count in sorted(drivers_per_net.items()):
-        if count > 1:
-            names = sorted(
-                g.name for g in circuit.gates.values() if g.output == net
-            )
-            problems.append(
-                f"net {net!r} is driven by {count} gates: {names}"
-            )
-        if net in primary_inputs:
-            names = sorted(
-                g.name for g in circuit.gates.values() if g.output == net
-            )
-            problems.append(
-                f"primary input {net!r} is also driven by gate(s): {names}"
-            )
-
-    for gate in circuit.gates.values():
-        for net in gate.inputs:
-            if net not in driven:
-                problems.append(f"gate {gate.name!r} reads undriven net {net!r}")
-        if library is not None:
-            if not library.has_cell(gate.cell_type):
-                problems.append(
-                    f"gate {gate.name!r} uses unknown cell type {gate.cell_type!r}"
-                )
-            else:
-                num_sizes = library.cell(gate.cell_type).num_sizes
-                if gate.size_index >= num_sizes:
-                    problems.append(
-                        f"gate {gate.name!r} size index {gate.size_index} out of "
-                        f"range for {gate.cell_type!r} ({num_sizes} sizes)"
-                    )
-
-    for net in circuit.primary_outputs:
-        if net not in driven:
-            problems.append(f"primary output {net!r} has no driver")
-
-    try:
-        circuit.topological_order()
-    except CircuitError as exc:
-        problems.append(str(exc))
-
+    report = lint_circuit(circuit, library=library, rules=error_rules())
+    problems = [diag.message for diag in report.diagnostics]
     if problems and raise_on_error:
         raise ValidationError(problems)
     return problems

@@ -106,7 +106,9 @@ def write_verilog(circuit: Circuit) -> str:
         lines.append(f"  wire {', '.join(wires)};")
     for gate in circuit:
         conns = [f".Y({gate.output})"]
-        for pin, net in zip(INPUT_PIN_ORDER, gate.inputs):
+        # INPUT_PIN_ORDER lists every pin name the library could need; a
+        # gate only consumes a prefix of it.
+        for pin, net in zip(INPUT_PIN_ORDER, gate.inputs, strict=False):
             conns.append(f".{pin}({net})")
         lines.append(f"  {gate.cell_type} {gate.name} ({', '.join(conns)});")
     lines.append("endmodule")

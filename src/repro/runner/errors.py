@@ -30,7 +30,7 @@ Categories
 from __future__ import annotations
 
 import math
-from typing import Optional
+from typing import Any, Optional
 
 
 class TransientCellError(RuntimeError):
@@ -39,6 +39,16 @@ class TransientCellError(RuntimeError):
     Evaluators (and the fault-injection harness) raise this to mark a
     failure as retryable; anything else they raise is treated as
     deterministic.
+    """
+
+
+class DeterministicError(RuntimeError):
+    """A failure the same inputs will always reproduce; never retried.
+
+    The explicit counterpart of :class:`TransientCellError`: raised when a
+    defect is *provably* input-determined — most prominently by the
+    pre-flight DRC hooks (:class:`repro.verify.preflight.PreflightError`),
+    which fail a defective netlist before any worker is spawned.
     """
 
 
@@ -69,9 +79,9 @@ class SweepInterrupted(KeyboardInterrupt):
     carried in ``report`` (a :class:`repro.runner.sweep.SweepReport`).
     """
 
-    def __init__(self, message: str, report=None) -> None:
+    def __init__(self, message: str, report: Optional[Any] = None) -> None:
         super().__init__(message)
-        self.report = report
+        self.report: Optional[Any] = report
 
 
 #: Categories whose failures are worth retrying (see module docstring).
@@ -86,6 +96,8 @@ def classify_exception(exc: BaseException) -> str:
         return "crash"
     if isinstance(exc, TransientCellError):
         return "transient"
+    if isinstance(exc, DeterministicError):
+        return "deterministic"
     if isinstance(exc, (MemoryError, BlockingIOError, InterruptedError)):
         return "transient"
     return "deterministic"
@@ -113,7 +125,7 @@ def ensure_finite_moments(
         raise NumericalHealthError(f"{context}: unhealthy area {area!r}")
 
 
-def check_payload_health(payload, context: str) -> None:
+def check_payload_health(payload: object, context: str) -> None:
     """Recursively reject NaN/inf numbers (and negative sigmas) in a payload.
 
     Used on every cell-result dict before it is persisted: a poisoned value
@@ -130,7 +142,7 @@ def _is_sigma_key(context: str) -> bool:
     return leaf == "sigma" or leaf.endswith("_sigma")
 
 
-def _check_health(value, context: str) -> None:
+def _check_health(value: object, context: str) -> None:
     if isinstance(value, bool):
         return
     if isinstance(value, (int, float)):

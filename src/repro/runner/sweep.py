@@ -585,6 +585,38 @@ def evaluate_cell(spec: CellSpec, attempt: int = 0) -> CellResult:
 ProgressFn = Callable[[int, int, CellResult], None]
 
 
+def _preflight_cells(specs: Sequence[CellSpec]) -> None:
+    """Lint each distinct (circuit, library) pair once before any evaluation.
+
+    Cells sharing a circuit and a library geometry are checked once; the
+    linter's ERROR diagnostics surface as
+    :class:`~repro.verify.preflight.PreflightError` (a
+    :class:`~repro.runner.errors.DeterministicError`) in the parent process.
+    Uses the module-level ``build_benchmark`` binding so tests (and embedding
+    callers) that monkeypatch it exercise the same circuits the workers
+    would evaluate.
+    """
+    from repro.verify.preflight import preflight_circuit
+
+    seen = set()
+    for spec in specs:
+        key = (spec.circuit, spec.substrates.sizes_per_cell)
+        if key in seen:
+            continue
+        seen.add(key)
+        try:
+            circuit = build_benchmark(spec.circuit)
+        except Exception:
+            # An unresolvable circuit name is not a lint finding: leave the
+            # cell to fail through the normal per-cell machinery, so sibling
+            # cells still run and the failure lands in the ledger.
+            continue
+        library = make_synthetic_90nm_library(
+            sizes_per_cell=spec.substrates.sizes_per_cell
+        )
+        preflight_circuit(circuit, library=library)
+
+
 def run_cells(
     specs: Sequence[CellSpec],
     jobs: int = 1,
@@ -597,6 +629,7 @@ def run_cells(
     backoff_factor: float = 2.0,
     backoff_max: float = 60.0,
     on_error: str = "fail",
+    preflight: bool = True,
 ) -> SweepReport:
     """Execute sweep cells, optionally in parallel, resumably and fault-tolerantly.
 
@@ -638,6 +671,14 @@ def run_cells(
         aggregating the final failures is raised at the end.
         ``"continue"``: no raise; failures are reported in the returned
         :class:`SweepReport` for the caller to inspect.
+    preflight:
+        Lint each distinct (circuit, substrates) pair among the *pending*
+        cells against the DRC catalogue before any evaluation starts.
+        ERROR diagnostics raise
+        :class:`~repro.runner.errors.DeterministicError` in the parent —
+        before a single worker is spawned — regardless of ``on_error``,
+        because retrying or continuing cannot fix a defective netlist.
+        The CLI exposes ``--no-preflight`` to opt out.
 
     Raises
     ------
@@ -645,6 +686,8 @@ def run_cells(
         On SIGINT, after draining in-flight cells, persisting their
         artifacts and writing ``checkpoint.json`` — identically for serial
         and parallel sweeps.  Carries the partial report.
+    DeterministicError
+        When ``preflight=True`` and a pending cell's circuit fails DRC.
     RuntimeError
         With ``on_error="fail"``, when any cell exhausted its retry budget.
     """
@@ -695,6 +738,9 @@ def run_cells(
                 progress(done, total, cached)
         else:
             pending.append(i)
+
+    if preflight and pending:
+        _preflight_cells([specs[i] for i in pending])
 
     computed = 0
     retries = 0

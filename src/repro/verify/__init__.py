@@ -1,0 +1,44 @@
+"""Static verification layer: circuit DRC, IR invariants, pre-flight hooks.
+
+Three coordinated passes catch whole bug classes before compute is spent:
+
+* :func:`lint_circuit` — the circuit design-rule checker (DRC001-DRC010);
+* :func:`verify_compiled` — the compiled-IR invariant verifier;
+* :func:`preflight_circuit` — the pre-flight hook used by ``flow`` and the
+  sweep runner (ERROR diagnostics become
+  :class:`~repro.runner.errors.DeterministicError`).
+
+``repro-sizer lint`` is the CLI front end; ``tools/repro_lint.py`` holds the
+companion repo-invariant AST lints (run in CI, not imported here).
+"""
+
+from repro.verify.diagnostics import Diagnostic, LintReport, Severity
+from repro.verify.ir_checks import IRVerificationError, ir_problems, verify_compiled
+from repro.verify.preflight import PreflightError, preflight_circuit
+from repro.verify.rules import (
+    Rule,
+    RuleContext,
+    all_rules,
+    error_rules,
+    lint_circuit,
+    register,
+    rule_catalogue,
+)
+
+__all__ = [
+    "Diagnostic",
+    "IRVerificationError",
+    "LintReport",
+    "PreflightError",
+    "Rule",
+    "RuleContext",
+    "Severity",
+    "all_rules",
+    "error_rules",
+    "ir_problems",
+    "lint_circuit",
+    "preflight_circuit",
+    "register",
+    "rule_catalogue",
+    "verify_compiled",
+]

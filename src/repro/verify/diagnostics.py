@@ -1,0 +1,147 @@
+"""Diagnostic data model for the static-verification layer.
+
+Every check in :mod:`repro.verify` — circuit design rules, IR invariant
+verification, pre-flight hooks — reports problems as :class:`Diagnostic`
+records instead of ad-hoc strings or exceptions.  A diagnostic carries a
+stable rule id (``DRC001`` ...), a :class:`Severity`, the location (gate
+and/or net) and a fix hint, so the CLI can render text or JSON, the
+pre-flight hooks can decide what is fatal, and tests can assert *which*
+rule caught a seeded defect rather than pattern-matching messages.
+
+Severity / exit-code contract
+-----------------------------
+* ``ERROR``   — the circuit violates an invariant the engines rely on;
+  running any analysis on it would crash or silently produce garbage.
+  Pre-flight turns these into
+  :class:`~repro.runner.errors.DeterministicError`; ``repro-sizer lint``
+  exits 1.
+* ``WARNING`` — legal but suspicious: results will be computed, but a
+  documented accuracy or performance hazard applies (e.g. a load outside
+  its ``liberty_lite`` table domain is silently extrapolated).  Exit 0
+  unless ``--fail-on warning``.
+* ``INFO``    — informational findings; never affect the exit code.
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+
+class Severity(enum.IntEnum):
+    """Diagnostic severity; ordered so ``max()`` picks the worst."""
+
+    INFO = 10
+    WARNING = 20
+    ERROR = 30
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding of one rule at one location."""
+
+    rule_id: str                      #: stable id, e.g. ``"DRC001"``
+    severity: Severity
+    message: str                      #: human-readable, one line
+    gate: Optional[str] = None        #: offending gate name, when localised
+    net: Optional[str] = None         #: offending net name, when localised
+    fix_hint: Optional[str] = None    #: short actionable suggestion
+
+    def location(self) -> str:
+        """``gate g7 / net n3`` style location fragment (may be empty)."""
+        parts = []
+        if self.gate is not None:
+            parts.append(f"gate {self.gate!r}")
+        if self.net is not None:
+            parts.append(f"net {self.net!r}")
+        return " / ".join(parts)
+
+    def format(self) -> str:
+        """One text line: severity, id, location, message, hint."""
+        loc = self.location()
+        text = f"{str(self.severity):7s} {self.rule_id}"
+        if loc:
+            text += f" [{loc}]"
+        text += f": {self.message}"
+        if self.fix_hint:
+            text += f" (hint: {self.fix_hint})"
+        return text
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "rule_id": self.rule_id,
+            "severity": str(self.severity),
+            "message": self.message,
+            "gate": self.gate,
+            "net": self.net,
+            "fix_hint": self.fix_hint,
+        }
+
+
+@dataclass
+class LintReport:
+    """All diagnostics produced by one lint run over one circuit."""
+
+    circuit: str
+    diagnostics: List[Diagnostic] = field(default_factory=list)
+    #: rule ids that actually ran (so "clean" is distinguishable from
+    #: "rule skipped for lack of a library").
+    rules_run: List[str] = field(default_factory=list)
+
+    # -- queries ---------------------------------------------------------
+    @property
+    def errors(self) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity >= Severity.ERROR]
+
+    @property
+    def warnings(self) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity == Severity.WARNING]
+
+    @property
+    def ok(self) -> bool:
+        """True when no ERROR-severity diagnostics were produced."""
+        return not self.errors
+
+    def by_rule(self, rule_id: str) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.rule_id == rule_id]
+
+    def rule_ids(self) -> List[str]:
+        """Sorted unique rule ids that fired."""
+        return sorted({d.rule_id for d in self.diagnostics})
+
+    def exit_code(self, fail_on: Severity = Severity.ERROR) -> int:
+        """CLI exit-code contract: 1 iff any diagnostic at/above ``fail_on``."""
+        return 1 if any(d.severity >= fail_on for d in self.diagnostics) else 0
+
+    # -- rendering -------------------------------------------------------
+    def summary(self) -> str:
+        n_err, n_warn = len(self.errors), len(self.warnings)
+        if not self.diagnostics:
+            return f"{self.circuit}: clean ({len(self.rules_run)} rule(s) checked)"
+        return (
+            f"{self.circuit}: {n_err} error(s), {n_warn} warning(s) "
+            f"({len(self.rules_run)} rule(s) checked)"
+        )
+
+    def format_text(self) -> str:
+        lines = [d.format() for d in self.diagnostics]
+        lines.append(self.summary())
+        return "\n".join(lines)
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "circuit": self.circuit,
+            "ok": self.ok,
+            "errors": len(self.errors),
+            "warnings": len(self.warnings),
+            "rules_run": list(self.rules_run),
+            "diagnostics": [d.as_dict() for d in self.diagnostics],
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.as_dict(), indent=2, sort_keys=True)

@@ -1,0 +1,513 @@
+"""Circuit design-rule checks (DRC) run before any engine touches a netlist.
+
+Each rule is a small class with a stable id, a severity and a ``check``
+method yielding :class:`~repro.verify.diagnostics.Diagnostic` records.
+Rules never raise on bad circuits — they *describe* the defect — and they
+never rely on :meth:`Circuit.topological_order`, which raises on exactly
+the cyclic circuits the linter must be able to analyse.
+
+Rule catalogue
+--------------
+========  ========  ==========================================================
+id        severity  finding
+========  ========  ==========================================================
+DRC001    ERROR     combinational cycle (gates on a feedback loop)
+DRC002    ERROR     self-loop gate (reads its own output net)
+DRC003    ERROR     multi-driver net, incl. a gate driving a primary input
+DRC004    ERROR     floating gate input (net with no driver and no PI decl)
+DRC005    ERROR     undriven primary output
+DRC006    WARNING   unreachable gate (feeds no primary output)
+DRC007    ERROR     unknown cell type (library)
+DRC008    ERROR     size index out of the cell's range (library)
+DRC009    ERROR     output load beyond any size's drive limit (library)
+DRC010    WARNING   load outside the current size's delay-table domain —
+                    ``liberty_lite`` would silently extrapolate (library)
+========  ========  ==========================================================
+
+Rules DRC007-DRC010 need a :class:`~repro.library.cell.Library` and are
+skipped (recorded as not-run in the report) when none is supplied.
+
+Use :func:`lint_circuit` to run the catalogue; ``repro-sizer lint`` and the
+pre-flight hooks in :mod:`repro.flow` / :mod:`repro.runner.sweep` are thin
+wrappers over it.  ``repro.netlist.validate.validate_circuit`` is likewise a
+compatibility wrapper over the ERROR-severity rules, so there is a single
+source of truth for structural invariants.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, deque
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+    Type,
+)
+
+from repro.netlist.circuit import Circuit
+from repro.netlist.gate import Gate
+from repro.verify.diagnostics import Diagnostic, LintReport, Severity
+
+if TYPE_CHECKING:  # pragma: no cover - type-only imports
+    from repro.library.cell import Library
+    from repro.library.delay_model import LookupTableDelayModel
+
+#: How many offending names a single diagnostic spells out before eliding.
+_MAX_NAMES = 8
+
+#: DRC009 fires when the output load exceeds this multiple of the largest
+#: tabulated load of the cell's *strongest* size — i.e. even the most
+#: generous upsizing would leave the delay query far outside its table.
+DRIVE_LIMIT_FACTOR = 2.0
+
+
+def _elide(names: Sequence[str]) -> str:
+    names = list(names)
+    if len(names) <= _MAX_NAMES:
+        return repr(names)
+    return f"{names[:_MAX_NAMES]!r} (+{len(names) - _MAX_NAMES} more)"
+
+
+class RuleContext:
+    """Shared, lazily-derived structural facts consumed by the rules.
+
+    The linter inspects :class:`Gate` objects directly rather than trusting
+    the circuit's driver/load indexes: gates are mutable, so code that
+    rewires ``gate.output`` behind the circuit's back can violate invariants
+    without tripping any constructor guard (the same reasoning as the
+    historical ``validate_circuit``).
+    """
+
+    def __init__(self, circuit: Circuit, library: Optional[Library] = None) -> None:
+        self.circuit = circuit
+        self.library = library
+        self.primary_inputs = set(circuit.primary_inputs)
+        self.gates: List[Gate] = list(circuit.gates.values())
+        #: net -> gate names driving it (from the gate objects themselves)
+        self.drivers: Dict[str, List[str]] = {}
+        for gate in self.gates:
+            self.drivers.setdefault(gate.output, []).append(gate.name)
+        self.driven: Set[str] = set(self.primary_inputs) | set(self.drivers)
+        #: net -> gate names reading it
+        self.readers: Dict[str, List[str]] = {}
+        for gate in self.gates:
+            for net in gate.inputs:
+                self.readers.setdefault(net, []).append(gate.name)
+        self._cyclic: Optional[Set[str]] = None
+        self._delay_model: Optional[LookupTableDelayModel] = None
+
+    # -- derived ---------------------------------------------------------
+    def cyclic_gates(self) -> Set[str]:
+        """Gate names lying on (or between) combinational cycles.
+
+        Kahn-peels the gate graph from both ends: gates that survive the
+        forward peel are in a cycle *or downstream* of one; gates surviving
+        the backward peel are in a cycle *or upstream* of one.  The
+        intersection is exactly the gates on a cycle or on a path connecting
+        two cycles — a precise, deterministic blame set that never hangs on
+        the cyclic inputs it exists to detect.
+        """
+        if self._cyclic is None:
+            survivors_fwd = self._kahn_survivors(forward=True)
+            survivors_bwd = self._kahn_survivors(forward=False)
+            self._cyclic = survivors_fwd & survivors_bwd
+        return self._cyclic
+
+    def _kahn_survivors(self, forward: bool) -> Set[str]:
+        gate_map = self.circuit.gates
+        degree: Dict[str, int] = {}
+        for name, gate in gate_map.items():
+            if forward:
+                degree[name] = sum(1 for net in gate.inputs if net in self.drivers)
+            else:
+                degree[name] = len(self.readers.get(gate.output, []))
+        ready = deque(sorted(n for n, d in degree.items() if d == 0))
+        removed = 0
+        while ready:
+            name = ready.popleft()
+            removed += 1
+            gate = gate_map[name]
+            if forward:
+                neighbours: Iterable[str] = self.readers.get(gate.output, [])
+            else:
+                neighbours = (
+                    drv
+                    for net in gate.inputs
+                    for drv in self.drivers.get(net, [])
+                )
+            for nxt in neighbours:
+                degree[nxt] -= 1
+                if degree[nxt] == 0:
+                    ready.append(nxt)
+        return {n for n, d in degree.items() if d > 0}
+
+    def delay_model(self) -> Optional[LookupTableDelayModel]:
+        """A LUT delay model over :attr:`library` (for load computations)."""
+        if self._delay_model is None and self.library is not None:
+            from repro.library.delay_model import LookupTableDelayModel
+
+            self._delay_model = LookupTableDelayModel(self.library)
+        return self._delay_model
+
+
+class Rule:
+    """Base class: one design rule with a stable id and fixed severity."""
+
+    rule_id: str = ""
+    severity: Severity = Severity.ERROR
+    title: str = ""
+    #: Library-domain rules are skipped when the context has no library.
+    requires_library: bool = False
+
+    def applicable(self, ctx: RuleContext) -> bool:
+        return not (self.requires_library and ctx.library is None)
+
+    def check(self, ctx: RuleContext) -> Iterator[Diagnostic]:
+        raise NotImplementedError
+
+    def diag(self, message: str, gate: Optional[str] = None,
+             net: Optional[str] = None, fix_hint: Optional[str] = None) -> Diagnostic:
+        return Diagnostic(
+            rule_id=self.rule_id,
+            severity=self.severity,
+            message=message,
+            gate=gate,
+            net=net,
+            fix_hint=fix_hint,
+        )
+
+
+_RULE_CLASSES: List[Type[Rule]] = []
+
+
+def register(cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator adding a rule to the default catalogue."""
+    if not cls.rule_id:
+        raise ValueError(f"rule class {cls.__name__} has no rule_id")
+    if any(existing.rule_id == cls.rule_id for existing in _RULE_CLASSES):
+        raise ValueError(f"duplicate rule id {cls.rule_id!r}")
+    _RULE_CLASSES.append(cls)
+    return cls
+
+
+def all_rules() -> List[Rule]:
+    """Fresh instances of the full catalogue, in id order."""
+    return [cls() for cls in sorted(_RULE_CLASSES, key=lambda c: c.rule_id)]
+
+
+def rule_catalogue() -> List[Dict[str, str]]:
+    """Id / severity / title rows (for ``lint --list-rules`` and docs)."""
+    return [
+        {"rule_id": rule.rule_id, "severity": str(rule.severity),
+         "title": rule.title, "requires_library": rule.requires_library}
+        for rule in all_rules()
+    ]
+
+
+# ---------------------------------------------------------------------------
+# Structural rules
+# ---------------------------------------------------------------------------
+@register
+class CombinationalCycleRule(Rule):
+    rule_id = "DRC001"
+    severity = Severity.ERROR
+    title = "combinational cycle"
+
+    def check(self, ctx: RuleContext) -> Iterator[Diagnostic]:
+        # Pure self-loops are DRC002's finding; report only multi-gate
+        # feedback here so each defect has exactly one owning rule.
+        cyclic = sorted(
+            name
+            for name in ctx.cyclic_gates()
+            if ctx.circuit.gate(name).output not in ctx.circuit.gate(name).inputs
+        )
+        if cyclic:
+            yield self.diag(
+                f"circuit {ctx.circuit.name!r} has a combinational cycle "
+                f"involving {_elide(cyclic)}",
+                gate=cyclic[0],
+                fix_hint="break the feedback loop; combinational timing "
+                         "analysis requires a DAG",
+            )
+
+
+@register
+class SelfLoopRule(Rule):
+    rule_id = "DRC002"
+    severity = Severity.ERROR
+    title = "self-loop gate"
+
+    def check(self, ctx: RuleContext) -> Iterator[Diagnostic]:
+        for gate in ctx.gates:
+            if gate.output in gate.inputs:
+                yield self.diag(
+                    f"gate {gate.name!r} reads its own output net "
+                    f"{gate.output!r}",
+                    gate=gate.name,
+                    net=gate.output,
+                    fix_hint="a combinational gate cannot feed itself; "
+                             "insert a state element or rewire the input",
+                )
+
+
+@register
+class MultiDriverRule(Rule):
+    rule_id = "DRC003"
+    severity = Severity.ERROR
+    title = "multi-driver net"
+
+    def check(self, ctx: RuleContext) -> Iterator[Diagnostic]:
+        counts = Counter(gate.output for gate in ctx.gates)
+        for net, count in sorted(counts.items()):
+            names = sorted(g.name for g in ctx.gates if g.output == net)
+            if count > 1:
+                yield self.diag(
+                    f"net {net!r} is driven by {count} gates: {names}",
+                    net=net,
+                    gate=names[0],
+                    fix_hint="every net must have exactly one driver; "
+                             "rename or merge the extra drivers",
+                )
+            if net in ctx.primary_inputs:
+                yield self.diag(
+                    f"primary input {net!r} is also driven by gate(s): {names}",
+                    net=net,
+                    gate=names[0],
+                    fix_hint="primary inputs are driven from outside the "
+                             "circuit; pick a different output net name",
+                )
+
+
+@register
+class FloatingInputRule(Rule):
+    rule_id = "DRC004"
+    severity = Severity.ERROR
+    title = "floating gate input"
+
+    def check(self, ctx: RuleContext) -> Iterator[Diagnostic]:
+        for gate in ctx.gates:
+            for net in gate.inputs:
+                if net not in ctx.driven:
+                    yield self.diag(
+                        f"gate {gate.name!r} reads undriven net {net!r}",
+                        gate=gate.name,
+                        net=net,
+                        fix_hint="declare the net as a primary input or "
+                                 "connect a driver",
+                    )
+
+
+@register
+class UndrivenOutputRule(Rule):
+    rule_id = "DRC005"
+    severity = Severity.ERROR
+    title = "undriven primary output"
+
+    def check(self, ctx: RuleContext) -> Iterator[Diagnostic]:
+        for net in ctx.circuit.primary_outputs:
+            if net not in ctx.driven:
+                yield self.diag(
+                    f"primary output {net!r} has no driver",
+                    net=net,
+                    fix_hint="connect a gate output (or declare the net a "
+                             "primary input) before timing it",
+                )
+
+
+@register
+class UnreachableGateRule(Rule):
+    rule_id = "DRC006"
+    severity = Severity.WARNING
+    title = "unreachable gate"
+
+    def check(self, ctx: RuleContext) -> Iterator[Diagnostic]:
+        # Backward reachability from the primary outputs over gate objects
+        # (no topological order needed, so cyclic circuits still lint).
+        reachable: Set[str] = set()
+        frontier: deque = deque()
+        for net in ctx.circuit.primary_outputs:
+            for name in ctx.drivers.get(net, []):
+                if name not in reachable:
+                    reachable.add(name)
+                    frontier.append(name)
+        gate_map = ctx.circuit.gates
+        while frontier:
+            name = frontier.popleft()
+            for net in gate_map[name].inputs:
+                for drv in ctx.drivers.get(net, []):
+                    if drv not in reachable:
+                        reachable.add(drv)
+                        frontier.append(drv)
+        dead = sorted(set(gate_map) - reachable)
+        if dead:
+            yield self.diag(
+                f"{len(dead)} gate(s) feed no primary output: {_elide(dead)}",
+                gate=dead[0],
+                fix_hint="dead logic wastes analysis and sizing effort; "
+                         "remove it or declare its sink nets as outputs",
+            )
+
+
+# ---------------------------------------------------------------------------
+# Library-domain rules
+# ---------------------------------------------------------------------------
+@register
+class UnknownCellRule(Rule):
+    rule_id = "DRC007"
+    severity = Severity.ERROR
+    title = "unknown cell type"
+    requires_library = True
+
+    def check(self, ctx: RuleContext) -> Iterator[Diagnostic]:
+        assert ctx.library is not None  # guarded by requires_library
+        for gate in ctx.gates:
+            if not ctx.library.has_cell(gate.cell_type):
+                yield self.diag(
+                    f"gate {gate.name!r} uses unknown cell type "
+                    f"{gate.cell_type!r}",
+                    gate=gate.name,
+                    fix_hint="map the gate onto a library cell (see "
+                             "Library.cell_types)",
+                )
+
+
+@register
+class SizeRangeRule(Rule):
+    rule_id = "DRC008"
+    severity = Severity.ERROR
+    title = "size index out of range"
+    requires_library = True
+
+    def check(self, ctx: RuleContext) -> Iterator[Diagnostic]:
+        assert ctx.library is not None  # guarded by requires_library
+        for gate in ctx.gates:
+            if not ctx.library.has_cell(gate.cell_type):
+                continue  # DRC007's finding
+            num_sizes = ctx.library.cell(gate.cell_type).num_sizes
+            if not 0 <= gate.size_index < num_sizes:
+                yield self.diag(
+                    f"gate {gate.name!r} size index {gate.size_index} out of "
+                    f"range for {gate.cell_type!r} ({num_sizes} sizes)",
+                    gate=gate.name,
+                    fix_hint=f"valid size indices are 0..{num_sizes - 1}",
+                )
+
+
+def _max_table_load(delay_table: Sequence[Tuple[float, float]]) -> Optional[float]:
+    """Largest tabulated load of a delay table (None when untabulated)."""
+    if not delay_table:
+        return None
+    return max(load for load, _ in delay_table)
+
+
+@register
+class DriveLimitRule(Rule):
+    rule_id = "DRC009"
+    severity = Severity.ERROR
+    title = "fanout load beyond library drive limit"
+    requires_library = True
+
+    def check(self, ctx: RuleContext) -> Iterator[Diagnostic]:
+        model = ctx.delay_model()
+        assert ctx.library is not None and model is not None
+        for gate in ctx.gates:
+            if not ctx.library.has_cell(gate.cell_type):
+                continue
+            cell = ctx.library.cell(gate.cell_type)
+            if not cell.num_sizes:
+                continue
+            strongest = cell.size(cell.num_sizes - 1)
+            limit = _max_table_load(strongest.delay_table)
+            if limit is None:
+                continue  # untabulated cell: no drive limit to enforce
+            load = model.load_on_gate(ctx.circuit, gate)
+            if load > DRIVE_LIMIT_FACTOR * limit:
+                yield self.diag(
+                    f"gate {gate.name!r} ({gate.cell_type!r}) drives "
+                    f"{load:.1f} fF on {gate.output!r}, beyond "
+                    f"{DRIVE_LIMIT_FACTOR:g}x the strongest size's "
+                    f"{limit:.1f} fF table limit",
+                    gate=gate.name,
+                    net=gate.output,
+                    fix_hint="buffer the net or split the fanout; no "
+                             "library size can drive this load credibly",
+                )
+
+
+@register
+class TableDomainRule(Rule):
+    rule_id = "DRC010"
+    severity = Severity.WARNING
+    title = "load outside the delay-table domain"
+    requires_library = True
+
+    def check(self, ctx: RuleContext) -> Iterator[Diagnostic]:
+        model = ctx.delay_model()
+        assert ctx.library is not None and model is not None
+        for gate in ctx.gates:
+            if not ctx.library.has_cell(gate.cell_type):
+                continue
+            cell = ctx.library.cell(gate.cell_type)
+            if not 0 <= gate.size_index < cell.num_sizes:
+                continue  # DRC008's finding
+            size = cell.size(gate.size_index)
+            if not size.delay_table:
+                continue
+            loads = [load for load, _ in size.delay_table]
+            lo, hi = min(loads), max(loads)
+            load = model.load_on_gate(ctx.circuit, gate)
+            if not lo <= load <= hi:
+                yield self.diag(
+                    f"gate {gate.name!r} ({size.name!r}) sees "
+                    f"{load:.1f} fF, outside its delay table domain "
+                    f"[{lo:g}, {hi:g}] fF — the delay will be extrapolated",
+                    gate=gate.name,
+                    net=gate.output,
+                    fix_hint="upsize the gate, buffer the net, or extend "
+                             "the library table to cover the load",
+                )
+
+
+# ---------------------------------------------------------------------------
+# Entry point
+# ---------------------------------------------------------------------------
+def lint_circuit(
+    circuit: Circuit,
+    library: Optional[Library] = None,
+    rules: Optional[Sequence[Rule]] = None,
+) -> LintReport:
+    """Run the DRC catalogue (or ``rules``) over ``circuit``.
+
+    Parameters
+    ----------
+    circuit:
+        The netlist to check; it is never mutated, and cyclic circuits are
+        fully supported (no rule calls ``topological_order``).
+    library:
+        Optional :class:`~repro.library.cell.Library`.  Library-domain
+        rules (DRC007-DRC010) are skipped without one; the report's
+        ``rules_run`` records which rules actually executed.
+    rules:
+        Explicit rule instances to run instead of the default catalogue.
+    """
+    ctx = RuleContext(circuit, library)
+    report = LintReport(circuit=circuit.name)
+    for rule in rules if rules is not None else all_rules():
+        if not rule.applicable(ctx):
+            continue
+        report.rules_run.append(rule.rule_id)
+        report.diagnostics.extend(rule.check(ctx))
+    report.diagnostics.sort(key=lambda d: (-int(d.severity), d.rule_id,
+                                           d.gate or "", d.net or ""))
+    return report
+
+
+def error_rules() -> List[Rule]:
+    """The ERROR-severity subset (what ``validate_circuit`` wraps)."""
+    return [rule for rule in all_rules() if rule.severity >= Severity.ERROR]

@@ -102,7 +102,7 @@ class TestTable1Runner:
             ["c17"], lams=(3.0, 9.0), sizer_config=FAST, jobs=2,
             out_dir=tmp_path, resume=False,
         )
-        for a, b in zip(serial, parallel):
+        for a, b in zip(serial, parallel, strict=True):
             a_dict, b_dict = dataclasses.asdict(a), dataclasses.asdict(b)
             a_dict.pop("runtime_seconds"), b_dict.pop("runtime_seconds")
             assert a_dict == b_dict

@@ -33,7 +33,7 @@ PERIOD_RTOL_CORRELATED = 0.20
 TAIL_RTOL_INDEPENDENT = 0.05
 TAIL_RTOL_CORRELATED = 0.15
 
-CORRELATION = dict(grid_size=4, correlated_fraction=0.6, levels=3)
+CORRELATION = {"grid_size": 4, "correlated_fraction": 0.6, "levels": 3}
 
 
 @pytest.fixture(scope="module")

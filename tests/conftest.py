@@ -9,7 +9,15 @@ sizes.
 
 from __future__ import annotations
 
+import os
+
 import pytest
+
+# Verify every fresh IR lowering against its documented invariants for the
+# whole suite (see Circuit.compiled / repro.verify.ir_checks).  Cheap
+# relative to the analyses the tests run, and it turns any lowering
+# regression into an immediate, named failure.
+os.environ.setdefault("REPRO_VERIFY_IR", "1")
 
 from repro.circuits.registry import c17
 from repro.circuits.adders import ripple_carry_adder

@@ -64,7 +64,7 @@ class TestBatchedPrimitives:
         sigmas = rng.uniform(0.0, 40.0, 50)
         sigmas[::7] = 0.0
         values, probs, counts = batched_from_normal(means, sigmas, 13)
-        for row, (mean, sigma) in enumerate(zip(means, sigmas)):
+        for row, (mean, sigma) in enumerate(zip(means, sigmas, strict=True)):
             ref = DiscretePDF.from_normal(mean, sigma, 13)
             n = counts[row]
             assert n == ref.num_samples
@@ -84,7 +84,7 @@ class TestBatchedPrimitives:
         b = self._to_batch(pdfs_b, 13)
         values, probs, counts = batched_combine(a[0], a[1], b[0], b[1], op, 13)
         assert values.shape == (len(pdfs_a), 13)
-        for row, (pa, pb) in enumerate(zip(pdfs_a, pdfs_b)):
+        for row, (pa, pb) in enumerate(zip(pdfs_a, pdfs_b, strict=True)):
             ref = scalar_op(pa, pb, 13)
             n = counts[row]
             assert n == ref.num_samples
@@ -102,7 +102,7 @@ class TestBatchedPrimitives:
 
 
 class TestVectorizedEngine:
-    @pytest.mark.parametrize("name", BENCHMARK_NAMES + ["c17"])
+    @pytest.mark.parametrize("name", [*BENCHMARK_NAMES, "c17"])
     def test_matches_scalar_on_registry_circuit(self, name, delay_model, variation_model):
         circuit = build_benchmark(name)
         scalar = FULLSSTA(delay_model, variation_model).analyze(circuit)

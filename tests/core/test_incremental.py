@@ -167,7 +167,7 @@ class TestIncrementalReanalysis:
 class TestSizerPipelineEquivalence:
     @pytest.mark.parametrize("name", ["c17", "alu2"])
     def test_fast_pipeline_matches_scratch_decisions(self, name, delay_model, variation_model):
-        config_kwargs = dict(lam=3.0, max_iterations=4)
+        config_kwargs = {"lam": 3.0, "max_iterations": 4}
         scratch = StatisticalGreedySizer(
             delay_model,
             variation_model,

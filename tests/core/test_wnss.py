@@ -97,7 +97,7 @@ class TestTrace:
     def test_path_is_structurally_connected(self, tracer, delay_model, variation_model, c17_circuit):
         full = FULLSSTA(delay_model, variation_model).analyze(c17_circuit)
         path = tracer.trace(c17_circuit, full.arrival_moments)
-        for upstream, downstream in zip(path.gates, path.gates[1:]):
+        for upstream, downstream in zip(path.gates, path.gates[1:], strict=False):
             up = c17_circuit.gate(upstream)
             down = c17_circuit.gate(downstream)
             assert up.output in down.inputs

@@ -48,7 +48,7 @@ class TestMonteCarloAgreement:
     def test_c17_path_frequencies_match(self, mc_setup):
         _, _, paths, mc = mc_setup("c17")
         assert len(mc.path_frequency) == len(paths)
-        for freq, path in zip(mc.path_frequency, paths):
+        for freq, path in zip(mc.path_frequency, paths, strict=True):
             assert freq == pytest.approx(path.criticality, abs=0.06)
 
     @pytest.mark.parametrize("name", ["alu2", "c432"])

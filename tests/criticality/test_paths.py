@@ -38,7 +38,7 @@ class TestExtractTopPaths:
             assert path.source_net in c17_circuit.gate(path.gates[0]).inputs
             assert c17_circuit.driver_of(path.source_net) is None
             # Consecutive gates are actually connected.
-            for upstream, downstream in zip(path.gates, path.gates[1:]):
+            for upstream, downstream in zip(path.gates, path.gates[1:], strict=False):
                 out_net = c17_circuit.gate(upstream).output
                 assert out_net in c17_circuit.gate(downstream).inputs
             assert path.arrival_rv == res.arrivals[path.output_net]
@@ -112,7 +112,7 @@ class TestExtractTopPaths:
         assert all(p.exact for p in exact)
         for path in budgeted:
             assert c17_circuit.driver_of(path.output_net).name == path.gates[-1]
-            for upstream, downstream in zip(path.gates, path.gates[1:]):
+            for upstream, downstream in zip(path.gates, path.gates[1:], strict=False):
                 out_net = c17_circuit.gate(upstream).output
                 assert out_net in c17_circuit.gate(downstream).inputs
         # The greedy top-1 follows locally-best edges, which on c17 is also

@@ -19,7 +19,7 @@ from repro.circuits.registry import BENCHMARK_NAMES, build_benchmark, c17
 from repro.ir import CompiledCircuit, lower_circuit
 from repro.netlist.circuit import Circuit
 
-ALL_NAMES = ["c17"] + BENCHMARK_NAMES
+ALL_NAMES = ["c17", *BENCHMARK_NAMES]
 
 
 def build(name):
@@ -104,7 +104,7 @@ def assert_lowering_invariants(circuit, plan):
         positions = [topo_pos[n] for n in block.names]
         assert positions == sorted(positions)
     # Ascending gate id is a valid topological order overall.
-    for gid, name in enumerate(plan.gate_names):
+    for gid, _name in enumerate(plan.gate_names):
         for slot in plan.gate_fanin_slots(gid):
             if plan.num_pis <= slot < floating_start:
                 assert slot - plan.num_pis < gid  # driver id < reader id

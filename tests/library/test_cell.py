@@ -6,14 +6,14 @@ from repro.library.cell import CellSize, CellType, Library, _interpolate_table
 
 
 def make_size(name="INV_X1", drive=1.0, **overrides):
-    params = dict(
-        name=name,
-        drive=drive,
-        area=2.0,
-        input_cap=1.5,
-        intrinsic_delay=10.0,
-        drive_resistance=6.0,
-    )
+    params = {
+        "name": name,
+        "drive": drive,
+        "area": 2.0,
+        "input_cap": 1.5,
+        "intrinsic_delay": 10.0,
+        "drive_resistance": 6.0,
+    }
     params.update(overrides)
     return CellSize(**params)
 

@@ -13,7 +13,7 @@ from repro.circuits.registry import BENCHMARK_NAMES, build_benchmark
 from repro.netlist.bench import parse_bench, write_bench
 from repro.netlist.verilog import parse_verilog, write_verilog
 
-ALL_CIRCUITS = ["c17"] + BENCHMARK_NAMES
+ALL_CIRCUITS = ["c17", *BENCHMARK_NAMES]
 
 
 def _structure(circuit):

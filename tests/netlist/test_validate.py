@@ -81,3 +81,32 @@ class TestValidateCircuit:
         for name in ("c17", "alu2", "c432", "c499"):
             circuit = build_benchmark(name)
             assert validate_circuit(circuit, library) == []
+
+
+class TestCycleDetection:
+    """The historical validator missed cycles and self-loops entirely; the
+    DRC-backed wrapper catches both (without hanging on levelization)."""
+
+    def test_combinational_cycle_detected(self):
+        circuit = Circuit("loop", primary_inputs=["a"], primary_outputs=["y"])
+        circuit.add("g1", "NAND2", ["a", "n2"], "n1")
+        circuit.add("g2", "INV", ["n1"], "n2")
+        circuit.add("g3", "INV", ["n1"], "y")
+        problems = validate_circuit(circuit, raise_on_error=False)
+        assert any("combinational cycle" in p for p in problems)
+        assert any("'g1'" in p and "'g2'" in p for p in problems)
+
+    def test_self_loop_detected(self):
+        circuit = Circuit("self", primary_inputs=["a"], primary_outputs=["y"])
+        circuit.add("g1", "NAND2", ["a", "n1"], "n1")
+        circuit.add("g2", "INV", ["n1"], "y")
+        problems = validate_circuit(circuit, raise_on_error=False)
+        assert any("reads its own output" in p for p in problems)
+
+    def test_cycle_raises_validation_error_not_hang(self):
+        circuit = Circuit("loop", primary_inputs=["a"], primary_outputs=["y"])
+        circuit.add("g1", "INV", ["n2"], "n1")
+        circuit.add("g2", "INV", ["n1"], "n2")
+        circuit.add("g3", "INV", ["a"], "y")
+        with pytest.raises(ValidationError):
+            validate_circuit(circuit)

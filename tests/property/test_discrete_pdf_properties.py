@@ -64,7 +64,7 @@ class TestInvariants:
         lo, hi = pdf.support()
         points = np.linspace(lo - 1.0, hi + 1.0, 7)
         cdf_values = [pdf.cdf(float(x)) for x in points]
-        assert all(b >= a - 1e-12 for a, b in zip(cdf_values, cdf_values[1:]))
+        assert all(b >= a - 1e-12 for a, b in zip(cdf_values, cdf_values[1:], strict=False))
         assert cdf_values[-1] == 1.0 or abs(cdf_values[-1] - 1.0) < 1e-9
 
 

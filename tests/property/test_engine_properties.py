@@ -26,7 +26,7 @@ class TestEngineConsistency:
     def test_fassta_mean_at_least_nominal(self, width, sizes):
         circuit = ripple_carry_adder(width)
         names = circuit.topological_order()
-        for name, size in zip(names, sizes):
+        for name, size in zip(names, sizes, strict=False):
             circuit.set_size(name, size)
         nominal = DeterministicSTA(_DELAY).max_delay(circuit)
         result = FASSTA(_DELAY, _VARIATION).analyze(circuit)
@@ -37,7 +37,7 @@ class TestEngineConsistency:
     def test_fassta_and_fullssta_agree_on_mean(self, width, sizes):
         circuit = ripple_carry_adder(width)
         names = circuit.topological_order()
-        for name, size in zip(names, sizes):
+        for name, size in zip(names, sizes, strict=False):
             circuit.set_size(name, size)
         fast = FASSTA(_DELAY, _VARIATION).analyze(circuit).output_rv
         full = FULLSSTA(_DELAY, _VARIATION).analyze(circuit).output_rv

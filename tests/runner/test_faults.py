@@ -51,7 +51,7 @@ from repro.runner.sweep import (
 FAST = SizerConfig(lam=3.0, max_iterations=2, max_outputs_per_pass=1, patience=1)
 
 #: Backoff small enough that retry scheduling never dominates test time.
-QUICK_RETRY = dict(retry_backoff=0.01, backoff_factor=1.0)
+QUICK_RETRY = {"retry_backoff": 0.01, "backoff_factor": 1.0}
 
 
 def _inject(monkeypatch, *rules):
@@ -459,7 +459,7 @@ class TestAcceptanceChaosSweep:
                 FaultRule(mode="transient", circuit="c17", attempts=(0,)))
         chaotic = run_cells(specs, jobs=2, out_dir=tmp_path,
                             max_retries=1, **QUICK_RETRY)
-        for a, b in zip(clean.results, chaotic.results):
+        for a, b in zip(clean.results, chaotic.results, strict=True):
             row_a = {k: v for k, v in a.result.items() if k != "runtime_seconds"}
             row_b = {k: v for k, v in b.result.items() if k != "runtime_seconds"}
             assert row_a == row_b

@@ -162,7 +162,7 @@ class TestRunCells:
         serial = run_cells(specs, jobs=1)
         parallel = run_cells(specs, jobs=2)
         assert serial.computed == 2 and parallel.computed == 2
-        for a, b in zip(serial.results, parallel.results):
+        for a, b in zip(serial.results, parallel.results, strict=True):
             assert a.spec == b.spec
             # Rows are bitwise identical apart from measured wall-clock.
             assert _row_fields_except_runtime(a) == _row_fields_except_runtime(b)
@@ -183,7 +183,7 @@ class TestRunCells:
         # Artifacts were not rewritten.
         assert mtimes == {p.name: p.stat().st_mtime_ns for p in tmp_path.glob("*.json")}
         # Cached rows equal the originally computed ones.
-        for a, b in zip(first.results, second.results):
+        for a, b in zip(first.results, second.results, strict=True):
             assert _row_fields_except_runtime(a) == _row_fields_except_runtime(b)
 
     def test_resume_recomputes_on_config_change(self, tmp_path):
@@ -311,7 +311,7 @@ class TestYieldCells:
         assert first.computed == 2 and first.skipped == 0
         second = run_cells(specs, jobs=1, out_dir=tmp_path, resume=True)
         assert second.computed == 0 and second.skipped == 2
-        for a, b in zip(first.results, second.results):
+        for a, b in zip(first.results, second.results, strict=True):
             assert _row_fields_except_runtime(a) == _row_fields_except_runtime(b)
 
     def test_table1_row_rejected_for_yield(self):

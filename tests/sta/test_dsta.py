@@ -71,7 +71,7 @@ class TestVectorizedPath:
     registry circuit.
     """
 
-    @pytest.mark.parametrize("name", ["c17"] + BENCHMARK_NAMES)
+    @pytest.mark.parametrize("name", ["c17", *BENCHMARK_NAMES])
     def test_bit_identical_on_registry(self, delay_model, name):
         circuit = c17() if name == "c17" else build_benchmark(name)
         scalar_arrival, scalar_delays = DeterministicSTA(
@@ -114,7 +114,7 @@ class TestCriticalPath:
         last_gate = c17_circuit.gate(path[-1])
         assert last_gate.output == report.worst_output
         # Consecutive gates must be connected.
-        for upstream, downstream in zip(path, path[1:]):
+        for upstream, downstream in zip(path, path[1:], strict=False):
             up = c17_circuit.gate(upstream)
             down = c17_circuit.gate(downstream)
             assert up.output in down.inputs

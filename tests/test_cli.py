@@ -186,7 +186,7 @@ class TestSweepCommand:
         assert "2 computed, 0 reused" in first
         assert len(list(out_dir.glob("table1__c17__lam*.json"))) == 2
 
-        assert main(argv + ["--resume"]) == 0
+        assert main([*argv, "--resume"]) == 0
         second = capsys.readouterr().out
         assert "0 computed, 2 reused" in second
         assert "cached" in second
@@ -222,7 +222,7 @@ class TestSweepCommand:
         assert "source_mass" in first
         assert "mc_max_err" in first
         assert len(list(out_dir.glob("criticality__*__lam0.0__*.json"))) == 2
-        assert main(argv + ["--resume"]) == 0
+        assert main([*argv, "--resume"]) == 0
         second = capsys.readouterr().out
         assert "0 computed, 2 reused" in second
         table = lambda text: [l for l in text.splitlines()
@@ -250,7 +250,7 @@ class TestSweepCommand:
         assert "2 computed, 0 reused" in first
         assert "orig_period" in first
         assert len(list(out_dir.glob("yield__c17__lam0.0__y*.json"))) == 2
-        assert main(argv + ["--resume"]) == 0
+        assert main([*argv, "--resume"]) == 0
         second = capsys.readouterr().out
         assert "0 computed, 2 reused" in second
         table = lambda text: [l for l in text.splitlines() if l.startswith("c17")]
@@ -290,3 +290,60 @@ class TestSizeYieldCommand:
         assert len(rows) == 2
         # The lambda = 0 point is the normalization anchor.
         assert rows[0].split()[4] == "1.000"
+
+
+class TestLintCommand:
+    def test_clean_registry_circuit_exits_zero(self, capsys):
+        assert main(["lint", "c17"]) == 0
+        out = capsys.readouterr().out
+        assert "clean" in out
+
+    def test_defective_bench_file_exits_one(self, tmp_path, capsys):
+        path = tmp_path / "bad.bench"
+        path.write_text(
+            "INPUT(a)\nOUTPUT(y)\ny = NAND(a, ghost)\n"
+        )
+        assert main(["lint", str(path)]) == 1
+        out = capsys.readouterr().out
+        assert "DRC004" in out
+
+    def test_json_format(self, tmp_path, capsys):
+        import json as json_mod
+
+        path = tmp_path / "bad.bench"
+        path.write_text("INPUT(a)\nOUTPUT(y)\ny = NAND(a, ghost)\n")
+        assert main(["lint", str(path), "--format", "json"]) == 1
+        payload = json_mod.loads(capsys.readouterr().out)
+        assert payload["circuit"] == "bad"
+        assert any(d["rule_id"] == "DRC004" for d in payload["diagnostics"])
+
+    def test_fail_on_warning_promotes_warnings(self, capsys):
+        # c432 carries a known dangling-gate warning (DRC006): exit 0 by
+        # default, exit 1 under --fail-on warning.
+        assert main(["lint", "c432"]) == 0
+        capsys.readouterr()
+        assert main(["lint", "c432", "--fail-on", "warning"]) == 1
+        assert "DRC006" in capsys.readouterr().out
+
+    def test_no_library_skips_library_rules(self, capsys):
+        assert main(["lint", "c17", "--no-library"]) == 0
+        out = capsys.readouterr().out
+        assert "DRC007" not in out
+
+    def test_list_rules_catalogue(self, capsys):
+        assert main(["lint", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in ("DRC001", "DRC010"):
+            assert rule_id in out
+
+    def test_circuit_required_without_list_rules(self, capsys):
+        assert main(["lint"]) == 2
+        assert "required" in capsys.readouterr().err
+
+    def test_size_preflight_rejects_defective_netlist(self, tmp_path, capsys):
+        path = tmp_path / "bad.bench"
+        path.write_text("INPUT(a)\nOUTPUT(y)\ny = NAND(a, ghost)\n")
+        assert main(["size", str(path), "--max-iterations", "1"]) == 1
+        err = capsys.readouterr().err
+        assert "pre-flight" in err
+        assert "--no-preflight" in err

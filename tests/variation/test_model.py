@@ -12,6 +12,7 @@ class TestGateDelayDistribution:
         assert dist.cv == pytest.approx(0.2)
 
     def test_zero_mean_cv(self):
+        # repro-lint: allow=RL004 -- cv is defined as exactly 0 at mean 0
         assert GateDelayDistribution(mean=0.0, sigma=1.0).cv == 0.0
 
     def test_negative_values_rejected(self):

@@ -1,0 +1,139 @@
+"""Property tests: inject a random defect, assert the owning rule fires.
+
+Hypothesis builds random layered DAG circuits, then seeds exactly one class
+of defect; the linter must attribute it to the exact rule id (and, for the
+structural rules, must not report *other* error rules on an otherwise-clean
+netlist).
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.netlist.circuit import Circuit
+from repro.verify import Severity, lint_circuit
+
+CELLS = ["INV", "BUF", "NAND2", "NOR2"]
+
+
+def _random_dag(draw) -> Circuit:
+    """A clean layered circuit: every gate reads earlier nets; last net is the PO."""
+    num_pis = draw(st.integers(min_value=1, max_value=4))
+    num_gates = draw(st.integers(min_value=2, max_value=12))
+    pis = [f"in{i}" for i in range(num_pis)]
+    circuit = Circuit("rand", primary_inputs=pis,
+                      primary_outputs=[f"n{num_gates - 1}"])
+    nets = list(pis)
+    for gid in range(num_gates):
+        cell = draw(st.sampled_from(CELLS))
+        fanin = 2 if cell in ("NAND2", "NOR2") else 1
+        inputs = [draw(st.sampled_from(nets)) for _ in range(fanin)]
+        out = f"n{gid}"
+        circuit.add(f"g{gid}", cell, inputs, out)
+        nets.append(out)
+    return circuit
+
+
+
+class TestDefectInjection:
+    @given(st.data())
+    @settings(max_examples=30, deadline=None)
+    def test_clean_dag_has_no_structural_errors(self, data):
+        circuit = _random_dag(data.draw)
+        report = lint_circuit(circuit)
+        assert report.errors == [], report.format_text()
+
+    @given(st.data())
+    @settings(max_examples=30, deadline=None)
+    def test_cycle_edge_fires_drc001(self, data):
+        circuit = _random_dag(data.draw)
+        gates = list(circuit.gates.values())
+        # Rewire some early gate to read a strictly later gate's output:
+        # a guaranteed feedback edge (self-loops excluded — DRC002 owns those).
+        src = data.draw(st.integers(min_value=0, max_value=len(gates) - 2))
+        dst = data.draw(st.integers(min_value=src + 1, max_value=len(gates) - 1))
+        pin = data.draw(st.integers(min_value=0,
+                                    max_value=len(gates[src].inputs) - 1))
+        gates[src].inputs[pin] = gates[dst].output
+        gates[dst].inputs[0] = gates[src].output
+        report = lint_circuit(circuit)
+        assert "DRC001" in report.rule_ids(), report.format_text()
+        (diag,) = report.by_rule("DRC001")
+        assert f"'{gates[src].name}'" in diag.message
+        assert f"'{gates[dst].name}'" in diag.message
+
+    @given(st.data())
+    @settings(max_examples=30, deadline=None)
+    def test_self_loop_fires_drc002_not_drc001(self, data):
+        circuit = _random_dag(data.draw)
+        gates = list(circuit.gates.values())
+        victim = data.draw(st.sampled_from(gates))
+        pin = data.draw(st.integers(min_value=0,
+                                    max_value=len(victim.inputs) - 1))
+        victim.inputs[pin] = victim.output
+        report = lint_circuit(circuit)
+        assert "DRC002" in report.rule_ids(), report.format_text()
+        drc002 = report.by_rule("DRC002")
+        assert any(d.gate == victim.name for d in drc002)
+
+    @given(st.data())
+    @settings(max_examples=30, deadline=None)
+    def test_duplicated_driver_fires_drc003(self, data):
+        circuit = _random_dag(data.draw)
+        gates = list(circuit.gates.values())
+        a = data.draw(st.integers(min_value=0, max_value=len(gates) - 2))
+        b = data.draw(st.integers(min_value=a + 1, max_value=len(gates) - 1))
+        gates[b].output = gates[a].output  # rewire behind the circuit's back
+        report = lint_circuit(circuit)
+        drc003 = report.by_rule("DRC003")
+        assert any(d.net == gates[a].output for d in drc003), report.format_text()
+
+    @given(st.data())
+    @settings(max_examples=30, deadline=None)
+    def test_orphaned_input_fires_drc004(self, data):
+        circuit = _random_dag(data.draw)
+        gates = list(circuit.gates.values())
+        victim = data.draw(st.sampled_from(gates))
+        pin = data.draw(st.integers(min_value=0,
+                                    max_value=len(victim.inputs) - 1))
+        victim.inputs[pin] = "__nowhere__"
+        report = lint_circuit(circuit)
+        drc004 = report.by_rule("DRC004")
+        assert any(d.gate == victim.name and d.net == "__nowhere__"
+                   for d in drc004), report.format_text()
+
+    @given(st.data())
+    @settings(max_examples=30, deadline=None)
+    def test_error_diagnostics_always_fail_preflight(self, data):
+        """Any ERROR diagnostic must make preflight raise, and vice versa."""
+        import pytest
+
+        from repro.verify import PreflightError, preflight_circuit
+
+        circuit = _random_dag(data.draw)
+        defective = data.draw(st.booleans())
+        if defective:
+            gates = list(circuit.gates.values())
+            victim = data.draw(st.sampled_from(gates))
+            victim.inputs[0] = "__nowhere__"
+        report = lint_circuit(circuit)
+        if report.errors:
+            with pytest.raises(PreflightError) as exc_info:
+                preflight_circuit(circuit)
+            assert not exc_info.value.report.ok
+        else:
+            assert preflight_circuit(circuit).ok
+
+    @given(st.data())
+    @settings(max_examples=20, deadline=None)
+    def test_report_severity_ordering_invariant(self, data):
+        circuit = _random_dag(data.draw)
+        # Maybe add some dead logic (warning) and a floating input (error).
+        if data.draw(st.booleans()):
+            circuit.add("dead", "INV", [circuit.primary_inputs[0]], "n_dead")
+        if data.draw(st.booleans()):
+            victim = data.draw(st.sampled_from(list(circuit.gates.values())))
+            victim.inputs[0] = "__nowhere__"
+        report = lint_circuit(circuit)
+        severities = [int(d.severity) for d in report.diagnostics]
+        assert severities == sorted(severities, reverse=True)
+        assert report.ok == (not any(s >= Severity.ERROR for s in severities))

@@ -1,0 +1,254 @@
+"""Each DRC rule demonstrated on a minimal circuit seeding exactly its defect.
+
+Every test asserts the *rule id* that fired, not message substrings — the
+ids are the stable contract (see the catalogue in ``repro/verify/rules.py``).
+"""
+
+import pytest
+
+from repro.netlist.circuit import Circuit
+from repro.verify import (
+    Rule,
+    Severity,
+    all_rules,
+    error_rules,
+    lint_circuit,
+    register,
+    rule_catalogue,
+)
+
+
+def _clean_pair():
+    """in -> g1 -> g2 -> out, structurally clean."""
+    circuit = Circuit("clean", primary_inputs=["a", "b"], primary_outputs=["y"])
+    circuit.add("g1", "NAND2", ["a", "b"], "n1")
+    circuit.add("g2", "INV", ["n1"], "y")
+    return circuit
+
+
+class TestCatalogue:
+    def test_ten_rules_in_id_order(self):
+        ids = [rule.rule_id for rule in all_rules()]
+        assert ids == [f"DRC{i:03d}" for i in range(1, 11)]
+        assert ids == sorted(ids)
+
+    def test_catalogue_rows_match_rules(self):
+        rows = rule_catalogue()
+        assert [r["rule_id"] for r in rows] == [r.rule_id for r in all_rules()]
+        for row in rows:
+            assert row["severity"] in ("ERROR", "WARNING", "INFO")
+            assert row["title"]
+
+    def test_error_rules_are_the_error_subset(self):
+        assert {r.rule_id for r in error_rules()} == {
+            r.rule_id for r in all_rules() if r.severity >= Severity.ERROR
+        }
+
+    def test_register_rejects_duplicate_id(self):
+        with pytest.raises(ValueError, match="duplicate rule id"):
+            @register
+            class Dup(Rule):  # pragma: no cover - class body only
+                rule_id = "DRC001"
+
+    def test_register_rejects_missing_id(self):
+        with pytest.raises(ValueError, match="no rule_id"):
+            @register
+            class NoId(Rule):  # pragma: no cover - class body only
+                pass
+
+
+class TestCleanCircuit:
+    def test_no_diagnostics_without_library(self):
+        report = lint_circuit(_clean_pair())
+        assert report.diagnostics == []
+        assert report.ok
+        # Library-domain rules were skipped, and that is recorded.
+        assert "DRC007" not in report.rules_run
+        assert "DRC001" in report.rules_run
+
+    def test_no_errors_with_library(self, library):
+        report = lint_circuit(_clean_pair(), library=library)
+        assert report.errors == []
+        assert set(report.rules_run) == {f"DRC{i:03d}" for i in range(1, 11)}
+
+
+class TestStructuralRules:
+    def test_drc001_combinational_cycle(self):
+        circuit = Circuit("loop", primary_inputs=["a"], primary_outputs=["y"])
+        circuit.add("g1", "NAND2", ["a", "n2"], "n1")
+        circuit.add("g2", "INV", ["n1"], "n2")
+        circuit.add("g3", "INV", ["n1"], "y")
+        report = lint_circuit(circuit)
+        assert "DRC001" in report.rule_ids()
+        (diag,) = report.by_rule("DRC001")
+        assert diag.severity == Severity.ERROR
+        assert "'g1'" in diag.message and "'g2'" in diag.message
+        # The cycle blame set excludes the off-loop reader g3.
+        assert "'g3'" not in diag.message
+
+    def test_drc002_self_loop_not_drc001(self):
+        circuit = Circuit("self", primary_inputs=["a"], primary_outputs=["y"])
+        circuit.add("g1", "NAND2", ["a", "n1"], "n1")
+        circuit.add("g2", "INV", ["n1"], "y")
+        report = lint_circuit(circuit)
+        assert report.by_rule("DRC002")
+        # A pure self-loop is owned by DRC002 alone.
+        assert not report.by_rule("DRC001")
+        (diag,) = report.by_rule("DRC002")
+        assert diag.gate == "g1" and diag.net == "n1"
+
+    def test_drc003_multi_driver(self):
+        circuit = Circuit("multi", primary_inputs=["a", "b"], primary_outputs=["y"])
+        circuit.add("g1", "INV", ["a"], "y")
+        circuit.add("g2", "INV", ["b"], "z")
+        circuit.gate("g2").output = "y"  # rewire behind the circuit's back
+        report = lint_circuit(circuit)
+        diags = report.by_rule("DRC003")
+        assert len(diags) == 1
+        assert diags[0].net == "y"
+
+    def test_drc003_gate_driving_primary_input(self):
+        circuit = Circuit("pi", primary_inputs=["a", "b"], primary_outputs=["y"])
+        circuit.add("g1", "NAND2", ["a", "b"], "y")
+        circuit.add("g2", "INV", ["a"], "z")
+        circuit.gate("g2").output = "b"
+        report = lint_circuit(circuit)
+        assert any("primary input" in d.message for d in report.by_rule("DRC003"))
+
+    def test_drc004_floating_input(self):
+        circuit = Circuit("float", primary_inputs=["a"], primary_outputs=["y"])
+        circuit.add("g1", "NAND2", ["a", "ghost"], "y")
+        report = lint_circuit(circuit)
+        (diag,) = report.by_rule("DRC004")
+        assert diag.gate == "g1" and diag.net == "ghost"
+
+    def test_drc005_undriven_output(self):
+        circuit = Circuit("po", primary_inputs=["a"], primary_outputs=["y", "z"])
+        circuit.add("g1", "INV", ["a"], "y")
+        report = lint_circuit(circuit)
+        (diag,) = report.by_rule("DRC005")
+        assert diag.net == "z"
+
+    def test_drc006_unreachable_gate_is_warning(self):
+        circuit = Circuit("dead", primary_inputs=["a"], primary_outputs=["y"])
+        circuit.add("g1", "INV", ["a"], "y")
+        circuit.add("g2", "INV", ["a"], "n_dead")
+        report = lint_circuit(circuit)
+        (diag,) = report.by_rule("DRC006")
+        assert diag.severity == Severity.WARNING
+        assert "'g2'" in diag.message
+        assert report.ok  # warnings never make a report fail
+
+    def test_cyclic_circuit_still_lints_other_rules(self):
+        # The linter never calls topological_order, so a cyclic circuit
+        # still gets its floating-input finding.
+        circuit = Circuit("both", primary_inputs=["a"], primary_outputs=["y"])
+        circuit.add("g1", "NAND2", ["a", "n2"], "n1")
+        circuit.add("g2", "NAND2", ["n1", "ghost"], "n2")
+        circuit.add("g3", "INV", ["n1"], "y")
+        report = lint_circuit(circuit)
+        assert "DRC001" in report.rule_ids()
+        assert "DRC004" in report.rule_ids()
+
+
+class TestLibraryRules:
+    def test_drc007_unknown_cell(self, library):
+        circuit = Circuit("cell", primary_inputs=["a"], primary_outputs=["y"])
+        circuit.add("g1", "FROBNICATOR", ["a"], "y")
+        report = lint_circuit(circuit, library=library)
+        (diag,) = report.by_rule("DRC007")
+        assert diag.gate == "g1"
+        # DRC008-010 do not pile onto the same root cause.
+        assert not report.by_rule("DRC008")
+
+    def test_drc008_size_out_of_range(self, library):
+        circuit = Circuit("size", primary_inputs=["a"], primary_outputs=["y"])
+        circuit.add("g1", "INV", ["a"], "y", size_index=99)
+        report = lint_circuit(circuit, library=library)
+        (diag,) = report.by_rule("DRC008")
+        assert diag.gate == "g1"
+
+    def test_drc009_drive_limit(self, library):
+        # One INV driving a wall of max-size inverters: far beyond twice
+        # the strongest size's largest tabulated load.
+        circuit = Circuit("drive", primary_inputs=["a"], primary_outputs=["y"])
+        circuit.add("g0", "INV", ["a"], "n0")
+        inv = library.cell("INV")
+        for i in range(40):
+            out = "y" if i == 0 else f"n{i + 1}"
+            circuit.add(f"load{i}", "INV", ["n0"], out,
+                        size_index=inv.num_sizes - 1)
+        report = lint_circuit(circuit, library=library)
+        assert any(d.gate == "g0" for d in report.by_rule("DRC009"))
+
+    def test_drc010_out_of_table_domain_is_warning(self, library):
+        # Smallest INV driving several max-size loads: outside its own
+        # table domain but within the DRC009 drive limit.
+        circuit = Circuit("domain", primary_inputs=["a"], primary_outputs=["y"])
+        circuit.add("g0", "INV", ["a"], "n0", size_index=0)
+        inv = library.cell("INV")
+        for i in range(7):
+            out = "y" if i == 0 else f"n{i + 1}"
+            circuit.add(f"load{i}", "INV", ["n0"], out,
+                        size_index=inv.num_sizes - 1)
+        report = lint_circuit(circuit, library=library)
+        diags = [d for d in report.by_rule("DRC010") if d.gate == "g0"]
+        assert diags and diags[0].severity == Severity.WARNING
+        assert not any(d.gate == "g0" for d in report.by_rule("DRC009"))
+        assert report.ok
+
+    def test_library_rules_skipped_without_library(self):
+        circuit = Circuit("cell", primary_inputs=["a"], primary_outputs=["y"])
+        circuit.add("g1", "FROBNICATOR", ["a"], "y")
+        report = lint_circuit(circuit)
+        assert not report.by_rule("DRC007")
+        assert "DRC007" not in report.rules_run
+
+
+class TestReport:
+    def test_sorted_errors_first_then_rule_id(self, library):
+        circuit = Circuit("mixed", primary_inputs=["a"], primary_outputs=["y", "z"])
+        circuit.add("g1", "INV", ["a"], "y")
+        circuit.add("dead", "INV", ["a"], "n_dead")  # DRC006 warning
+        # DRC005: z undriven (error)
+        report = lint_circuit(circuit, library=library)
+        severities = [int(d.severity) for d in report.diagnostics]
+        assert severities == sorted(severities, reverse=True)
+
+    def test_exit_code_contract(self):
+        circuit = Circuit("dead", primary_inputs=["a"], primary_outputs=["y"])
+        circuit.add("g1", "INV", ["a"], "y")
+        circuit.add("g2", "INV", ["a"], "n_dead")
+        report = lint_circuit(circuit)  # one warning, no errors
+        assert report.exit_code() == 0
+        assert report.exit_code(fail_on=Severity.WARNING) == 1
+
+    def test_json_roundtrip(self, library):
+        circuit = Circuit("bad", primary_inputs=["a"], primary_outputs=["y"])
+        circuit.add("g1", "NAND2", ["a", "ghost"], "y")
+        report = lint_circuit(circuit, library=library)
+        import json
+
+        payload = json.loads(report.to_json())
+        assert payload["circuit"] == "bad"
+        assert any(d["rule_id"] == "DRC004" for d in payload["diagnostics"])
+
+    def test_format_text_mentions_rule_and_hint(self):
+        circuit = Circuit("bad", primary_inputs=["a"], primary_outputs=["y"])
+        circuit.add("g1", "NAND2", ["a", "ghost"], "y")
+        text = lint_circuit(circuit).format_text()
+        assert "DRC004" in text
+        assert "hint:" in text
+
+
+class TestValidateWrapperParity:
+    def test_validate_circuit_is_the_error_subset(self, library):
+        """netlist.validate must report exactly the ERROR diagnostics."""
+        from repro.netlist.validate import validate_circuit
+
+        circuit = Circuit("bad", primary_inputs=["a"], primary_outputs=["y", "z"])
+        circuit.add("g1", "NAND2", ["a", "ghost"], "y")
+        circuit.add("dead", "INV", ["a"], "n_dead")  # warning only
+        problems = validate_circuit(circuit, library, raise_on_error=False)
+        report = lint_circuit(circuit, library=library)
+        assert problems == [d.message for d in report.errors]
