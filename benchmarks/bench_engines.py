@@ -26,10 +26,19 @@ report goes to ``benchmarks/results/engines.txt`` and a machine-readable
 entry is appended to the checked-in ``BENCH_engines.json`` perf trajectory
 at the repo root.
 
+A second axis, ``--generated depth,width[,seed]``, times the front-end scale
+path on synthetic circuits instead: generate -> elaborate/canonicalize ->
+lint -> compile -> vectorized DSTA, stage by stage.  At 100k gates the
+scalar reference engines are the bottleneck, so this axis tracks pipeline
+linearity rather than the scalar/levelized ratio; its records land in the
+same ``BENCH_engines.json`` trajectory tagged ``"kind": "frontend-scale"``.
+
 Run directly::
 
     PYTHONPATH=src python benchmarks/bench_engines.py --quick   # CI smoke
     PYTHONPATH=src python benchmarks/bench_engines.py           # largest circuits
+    PYTHONPATH=src python benchmarks/bench_engines.py \\
+        --circuits "" --generated 100,1000,17                   # 100k-gate scale
 """
 
 from __future__ import annotations
@@ -285,6 +294,68 @@ def bench_circuit(
     return record, lines, ok
 
 
+def bench_generated(
+    spec_text: str,
+    delay_model,
+    rounds: int,
+) -> Tuple[Dict[str, object], List[str], bool]:
+    """Front-end scale benchmark on one generated circuit.
+
+    Times the full pipeline stage by stage — generate (raw netlist),
+    elaborate + canonicalize, DRC lint, compile to the array IR, vectorized
+    DSTA — rather than the scalar/levelized engine comparison: at the 100k
+    gate scale the scalar reference engines are the bottleneck, and what
+    this axis tracks is that the front end and compiled path stay linear.
+    """
+    from repro.circuits.synthetic import parse_generated_spec, synthetic_raw
+    from repro.netlist.elaborate import elaborate
+    from repro.verify import lint_circuit
+
+    spec = parse_generated_spec(spec_text)
+    stages: Dict[str, float] = {}
+
+    start = time.perf_counter()
+    raw = synthetic_raw(spec)
+    stages["generate_s"] = time.perf_counter() - start
+
+    start = time.perf_counter()
+    circuit = elaborate(raw, name=spec.display_name)
+    stages["elaborate_s"] = time.perf_counter() - start
+
+    start = time.perf_counter()
+    lint = lint_circuit(circuit, library=delay_model.library)
+    stages["lint_s"] = time.perf_counter() - start
+    ok = lint.ok
+
+    start = time.perf_counter()
+    circuit.compiled()
+    stages["compile_s"] = time.perf_counter() - start
+
+    dsta = DeterministicSTA(delay_model, vectorized=True)
+    stages["dsta_levelized_s"], _ = _best_of(
+        lambda: dsta.arrival_times(circuit), rounds
+    )
+
+    record: Dict[str, object] = {
+        "circuit": f"gen:{spec_text}",
+        "kind": "frontend-scale",
+        "gates": circuit.num_gates(),
+        "levels": circuit.logic_depth(),
+        "lint_errors": len(lint.errors),
+        "stages": stages,
+    }
+    lines = [
+        f"gen:{spec_text} ({circuit.num_gates()} gates, "
+        f"depth {circuit.logic_depth()}):",
+        "  " + "   ".join(
+            f"{stage.rsplit('_', 1)[0]} {seconds:6.2f} s"
+            for stage, seconds in stages.items()
+        )
+        + f"   lint {'clean' if ok else f'{len(lint.errors)} error(s)'}",
+    ]
+    return record, lines, ok
+
+
 def append_trajectory(records: List[Dict[str, object]], mode: str) -> None:
     """Append one entry to the checked-in BENCH_engines.json trajectory."""
     if TRAJECTORY_PATH.exists():
@@ -303,7 +374,8 @@ def append_trajectory(records: List[Dict[str, object]], mode: str) -> None:
 
 
 def run(
-    circuits: List[str], mc_samples: int, rounds: int
+    circuits: List[str], mc_samples: int, rounds: int,
+    generated: Optional[List[str]] = None,
 ) -> Tuple[str, List[Dict[str, object]], bool]:
     delay_model, variation_model = _substrates()
     lines = [
@@ -323,6 +395,14 @@ def run(
         lines.extend(circuit_lines)
         lines.append("")
         ok = ok and circuit_ok
+    for spec_text in generated or []:
+        record, circuit_lines, circuit_ok = bench_generated(
+            spec_text, delay_model, rounds
+        )
+        records.append(record)
+        lines.extend(circuit_lines)
+        lines.append("")
+        ok = ok and circuit_ok
     return "\n".join(lines).rstrip() + "\n", records, ok
 
 
@@ -337,6 +417,15 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--circuits",
         default=None,
         help="comma-separated registry circuit names (overrides the mode default)",
+    )
+    parser.add_argument(
+        "--generated",
+        action="append",
+        default=None,
+        metavar="DEPTH,WIDTH[,SEED]",
+        help="additionally run the front-end scale benchmark on a generated "
+             "circuit (repeatable; any SyntheticSpec keyword form works, "
+             "e.g. 'depth=100,width=1000,seed=17')",
     )
     parser.add_argument(
         "--mc-samples",
@@ -361,10 +450,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         if args.circuits
         else (QUICK_CIRCUITS if args.quick else FULL_CIRCUITS)
     )
+    if args.circuits == "":
+        circuits = []
     mc_samples = args.mc_samples or 128
     rounds = args.rounds or (2 if args.quick else 5)
 
-    report, records, ok = run(circuits, mc_samples, rounds)
+    report, records, ok = run(circuits, mc_samples, rounds,
+                              generated=args.generated)
     print(report)
 
     results_dir = Path(__file__).parent / "results"

@@ -1,0 +1,38 @@
+// Hierarchical front-end smoke fixture: module instantiation with
+// parameter overrides, vector ports, bit/part-selects, concatenation and
+// assign aliases (including an aliased primary output that exercises the
+// canonicalizer's PO repair).  Used by the CI frontend-smoke job and free
+// for local experiments:
+//
+//   PYTHONPATH=src python -m repro.cli info benchmarks/fixtures/hier_pipeline.v \
+//       --top top --frontend
+
+module full_adder (input a, input b, input cin, output s, output cout);
+  wire p, g, t;
+  XOR2 u_p (.Y(p), .A(a), .B(b));
+  XOR2 u_s (.Y(s), .A(p), .B(cin));
+  AND2 u_g (.Y(g), .A(a), .B(b));
+  AND2 u_t (.Y(t), .A(p), .B(cin));
+  OR2  u_c (.Y(cout), .A(g), .B(t));
+endmodule
+
+module adder #(parameter W = 2) (input [W-1:0] a, input [W-1:0] b,
+                                 input cin, output [W-1:0] s, output cout);
+  wire [W-1:0] carry;
+  full_adder fa0 (.a(a[0]), .b(b[0]), .cin(cin),      .s(s[0]), .cout(carry[0]));
+  full_adder fa1 (.a(a[1]), .b(b[1]), .cin(carry[0]), .s(s[1]), .cout(carry[1]));
+  assign cout = carry[W-1];
+endmodule
+
+module top (input [1:0] x, input [1:0] y, input [1:0] z, input c0,
+            output [1:0] sum, output carry, output flag);
+  wire [1:0] partial;
+  wire mid;
+  wire [1:0] staged;
+  adder #(.W(2)) stage1 (.a(x), .b(y), .cin(c0), .s(partial), .cout(mid));
+  assign staged = {partial[1], partial[0]};
+  adder #(.W(2)) stage2 (.a(staged), .b(z), .cin(mid), .s(sum), .cout(carry));
+  // Aliased primary output: the front end must insert a repair buffer so
+  // 'flag' stays observable and singly driven.
+  assign flag = sum[0];
+endmodule

@@ -147,5 +147,17 @@ class CircuitBuilder:
 
     # -- finishing ----------------------------------------------------------
     def build(self) -> Circuit:
-        """Return the finished circuit (no copy; the builder should be discarded)."""
-        return self.circuit
+        """Finish the circuit through the shared front-end pipeline.
+
+        The accumulated netlist is wrapped as a
+        :class:`~repro.netlist.ast.RawNetlist`, elaborated and canonicalized
+        — the same path the Verilog and ``.bench`` readers take — so builder
+        output gets identical semantics (driver checks, repair policy) and
+        the builders cannot drift from the parsers.  Names, port order, gate
+        order and sizes are all preserved; the builder should be discarded
+        afterwards.
+        """
+        from repro.netlist.ast import RawNetlist
+        from repro.netlist.elaborate import elaborate
+
+        return elaborate(RawNetlist.from_circuit(self.circuit))

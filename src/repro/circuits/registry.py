@@ -21,6 +21,7 @@ from repro.circuits.alu import alu
 from repro.circuits.control import magnitude_comparator, priority_interrupt_controller
 from repro.circuits.ecc import parity_tree, sec_circuit
 from repro.circuits.multiplier import array_multiplier
+from repro.circuits.synthetic import SyntheticSpec, parse_generated_spec, synthetic_circuit
 from repro.netlist.circuit import Circuit
 from repro.netlist.gate import Gate
 
@@ -189,6 +190,18 @@ _BUILDERS: Dict[str, Callable[[], Circuit]] = {
     "c7552": _build_c7552,
 }
 
+#: Named synthetic scale points (kept out of ``BENCHMARK_NAMES`` so the
+#: paper-facing parametrized suites stay fast; address them directly or via
+#: a ``gen:`` spec).  Gate count = depth * width.
+GENERATED_SPECS: Dict[str, SyntheticSpec] = {
+    "gen1k": SyntheticSpec(depth=10, width=100, seed=17, name="gen1k"),
+    "gen10k": SyntheticSpec(depth=20, width=500, seed=17, name="gen10k"),
+    "gen50k": SyntheticSpec(depth=50, width=1000, seed=17, name="gen50k"),
+    "gen100k": SyntheticSpec(depth=100, width=1000, seed=17, name="gen100k"),
+}
+
+GENERATED_NAMES: List[str] = list(GENERATED_SPECS)
+
 #: Names appearing in Table 1, in the paper's order (c17 is extra, for demos).
 BENCHMARK_NAMES: List[str] = [
     "alu1",
@@ -208,11 +221,25 @@ BENCHMARK_NAMES: List[str] = [
 
 
 def build_benchmark(name: str) -> Circuit:
-    """Build a fresh instance of the named benchmark circuit."""
+    """Build a fresh instance of the named benchmark circuit.
+
+    Besides the registry names, two synthetic-generator forms are accepted:
+    the named scale points (``"gen50k"``) and inline ``gen:`` specs such as
+    ``"gen:40,250"`` (depth,width[,seed]) or
+    ``"gen:depth=40,width=250,reconvergence=0.4"``.
+    """
+    if name.startswith("gen:"):
+        try:
+            spec = parse_generated_spec(name[len("gen:"):])
+        except ValueError as exc:
+            raise KeyError(f"bad generator spec {name!r}: {exc}") from exc
+        return synthetic_circuit(spec)
+    if name in GENERATED_SPECS:
+        return synthetic_circuit(GENERATED_SPECS[name])
     try:
         builder = _BUILDERS[name]
     except KeyError:
-        known = ", ".join(sorted(_BUILDERS))
+        known = ", ".join([*sorted(_BUILDERS), *GENERATED_NAMES, "gen:<spec>"])
         raise KeyError(f"unknown benchmark {name!r}; known: {known}") from None
     return builder()
 

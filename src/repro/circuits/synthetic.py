@@ -1,0 +1,252 @@
+"""Parameterized synthetic big-circuit generator.
+
+The registry's paper stand-ins top out at a few thousand gates, which is
+too small to exercise the 100k-gate scale path (ROADMAP: "100k-gate
+scenario pool").  This module generates layered random combinational
+circuits with controllable structure:
+
+* ``depth`` x ``width`` — the gate grid: ``depth`` logic levels of
+  ``width`` gates each (total gate count = ``depth * width``);
+* ``fanin_min``/``fanin_max`` — gates draw a uniform fanin in this range;
+* ``reconvergence`` — probability that a non-coverage input comes from a
+  *random earlier* level instead of the immediately preceding one, creating
+  the reconvergent fanout structure that makes SSTA correlation handling
+  meaningful;
+* ``fanout_skew`` — probability that an input is drawn from a small set of
+  per-level hub nets, giving the skewed fanout distribution of real
+  netlists (capped at ``max_fanout`` loads per net so the library's drive
+  limits hold);
+* ``alias_fraction`` — fraction of each level's nets that also get an
+  ``assign`` alias (sometimes chained alias-of-alias), so canonicalization
+  is exercised at scale.
+
+Generation is fully deterministic for a given :class:`SyntheticSpec`
+(seeded :class:`random.Random`; no global RNG).  Structural guarantees:
+
+* every primary input and every gate output below the last level is read
+  by at least one later gate (coverage inputs are dealt round-robin), so
+  there are no floating or unreachable nets and DRC passes clean;
+* the last level's outputs are the primary outputs;
+* the result is produced as a :class:`~repro.netlist.ast.RawNetlist` and
+  lowered through the shared elaborate + canonicalize pipeline — the
+  generator is a front end like the parsers, not a backdoor.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional
+
+from repro.netlist.ast import RawInstance, RawModule, RawNetlist
+from repro.netlist.circuit import Circuit
+from repro.netlist.elaborate import elaborate
+from repro.netlist.gate import make_cell_type
+
+#: Logic functions the generator draws from, with selection weights.
+#: Inverting functions dominate, as in technology-mapped netlists.
+_FUNCTION_WEIGHTS = (
+    ("NAND", 35),
+    ("NOR", 15),
+    ("AND", 15),
+    ("OR", 10),
+    ("XOR", 10),
+    ("XNOR", 5),
+    ("INV", 7),
+    ("BUF", 3),
+)
+
+
+@dataclass(frozen=True)
+class SyntheticSpec:
+    """Knobs of one synthetic circuit (hashable; the generator is pure)."""
+
+    depth: int
+    width: int
+    seed: int = 0
+    inputs: Optional[int] = None  # default: width, capped at width
+    fanin_min: int = 2
+    fanin_max: int = 3
+    reconvergence: float = 0.3
+    fanout_skew: float = 0.1
+    alias_fraction: float = 0.02
+    max_fanout: int = 12
+    name: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.depth < 1 or self.width < 1:
+            raise ValueError("depth and width must be at least 1")
+        if not 1 <= self.fanin_min <= self.fanin_max:
+            raise ValueError("need 1 <= fanin_min <= fanin_max")
+        if self.max_fanout < 2:
+            raise ValueError("max_fanout must be at least 2")
+
+    @property
+    def num_inputs(self) -> int:
+        return min(self.inputs or self.width, self.width)
+
+    @property
+    def num_gates(self) -> int:
+        return self.depth * self.width
+
+    @property
+    def display_name(self) -> str:
+        if self.name:
+            return self.name
+        return f"gen_d{self.depth}_w{self.width}_s{self.seed}"
+
+
+def parse_generated_spec(text: str, name: Optional[str] = None) -> SyntheticSpec:
+    """Parse a generator spec string.
+
+    Two forms are accepted: the positional shorthand ``"depth,width"``
+    (optionally ``"depth,width,seed"``) and the keyword form
+    ``"depth=50,width=1000,seed=7,reconvergence=0.4"`` using any
+    :class:`SyntheticSpec` field.
+    """
+    fields: Dict[str, str] = {}
+    parts = [p.strip() for p in text.split(",") if p.strip()]
+    if not parts:
+        raise ValueError(f"empty generator spec {text!r}")
+    if "=" in parts[0]:
+        for part in parts:
+            if "=" not in part:
+                raise ValueError(f"bad generator spec field {part!r}")
+            key, _, value = part.partition("=")
+            fields[key.strip()] = value.strip()
+    else:
+        if len(parts) not in (2, 3):
+            raise ValueError(
+                f"positional generator spec must be 'depth,width[,seed]', "
+                f"got {text!r}"
+            )
+        fields["depth"] = parts[0]
+        fields["width"] = parts[1]
+        if len(parts) == 3:
+            fields["seed"] = parts[2]
+
+    kwargs: Dict[str, object] = {}
+    int_fields = {"depth", "width", "seed", "inputs", "fanin_min",
+                  "fanin_max", "max_fanout"}
+    float_fields = {"reconvergence", "fanout_skew", "alias_fraction"}
+    for key, value in fields.items():
+        if key in int_fields:
+            kwargs[key] = int(value)
+        elif key in float_fields:
+            kwargs[key] = float(value)
+        elif key == "name":
+            kwargs[key] = value
+        else:
+            raise ValueError(f"unknown generator spec field {key!r}")
+    if "depth" not in kwargs or "width" not in kwargs:
+        raise ValueError(f"generator spec {text!r} needs depth and width")
+    spec = SyntheticSpec(**kwargs)  # type: ignore[arg-type]
+    if name is not None:
+        spec = replace(spec, name=name)
+    return spec
+
+
+def synthetic_raw(spec: SyntheticSpec) -> RawNetlist:
+    """Generate the raw (unelaborated) netlist for ``spec``."""
+    rng = random.Random(spec.seed)
+    functions = [f for f, w in _FUNCTION_WEIGHTS for _ in range(w)]
+
+    module = RawModule(name=spec.display_name)
+    pis = [f"i{k}" for k in range(spec.num_inputs)]
+    for net in pis:
+        module.add_port(net, "input")
+
+    # Reader counts enforce max_fanout.  Loads on an alias land on the net
+    # the alias canonicalizes to, so counts are kept per resolved target.
+    fanout: Dict[str, int] = {net: 0 for net in pis}
+    resolved: Dict[str, str] = {}  # alias name -> concrete target net
+    levels: List[List[str]] = [pis]
+    aliases: List[str] = []  # alias names usable as inputs
+
+    def pick_input(level_idx: int, coverage: Optional[str]) -> str:
+        """One input net for a gate at ``level_idx`` (levels[0..level_idx-1])."""
+        if coverage is not None:
+            return coverage
+        prev = levels[level_idx - 1]
+        r = rng.random()
+        if aliases and r < spec.alias_fraction:
+            alias = rng.choice(aliases)
+            if fanout[resolved[alias]] < spec.max_fanout:
+                return alias
+        if level_idx > 1 and r < spec.reconvergence:
+            source = levels[rng.randrange(level_idx - 1)]
+        else:
+            source = prev
+        if rng.random() < spec.fanout_skew:
+            hubs = source[: max(1, len(source) // 50)]
+            candidate = rng.choice(hubs)
+        else:
+            candidate = rng.choice(source)
+        if fanout[candidate] >= spec.max_fanout:
+            # Net is saturated: fall back to the least-loaded net sampled
+            # from a few tries, keeping the distribution cheap to compute.
+            candidate = min(
+                (rng.choice(source) for _ in range(4)),
+                key=lambda n: fanout[n],
+            )
+        return candidate
+
+    for level in range(1, spec.depth + 1):
+        prev = levels[level - 1]
+        outs: List[str] = []
+        is_last = level == spec.depth
+        for i in range(spec.width):
+            out = f"n{level}_{i}"
+            function = rng.choice(functions)
+            if function in ("INV", "BUF"):
+                fanin = 1
+            else:
+                fanin = rng.randint(spec.fanin_min, spec.fanin_max)
+            # Coverage: input 0 is dealt round-robin from the previous
+            # level, so every net there gets at least one reader.
+            coverage = prev[i % len(prev)]
+            inputs = [pick_input(level, coverage if j == 0 else None)
+                      for j in range(fanin)]
+            for net in inputs:
+                target = resolved.get(net, net)
+                fanout[target] = fanout.get(target, 0) + 1
+            if is_last:
+                module.add_port(out, "output")
+            else:
+                module.add_wire(out)
+            fanout[out] = 0
+            module.add_instance(
+                RawInstance(
+                    name=f"u{level}_{i}",
+                    target=make_cell_type(function, fanin),
+                    positional=[out, *inputs],
+                )
+            )
+            outs.append(out)
+        # A slice of this level's nets gets assign aliases (occasionally
+        # chained), so canonicalization has real work at scale.
+        if not is_last and spec.alias_fraction > 0:
+            n_aliases = int(spec.alias_fraction * spec.width)
+            for k in range(n_aliases):
+                alias = f"a{level}_{k}"
+                if aliases and rng.random() < 0.3:
+                    target = rng.choice(aliases)  # alias-of-alias chain
+                else:
+                    target = rng.choice(outs)
+                module.add_wire(alias)
+                module.add_assign(alias, target)
+                resolved[alias] = resolved.get(target, target)
+                aliases.append(alias)
+        levels.append(outs)
+    return RawNetlist(modules={module.name: module}, top=module.name)
+
+
+def synthetic_circuit(spec: SyntheticSpec) -> Circuit:
+    """Generate, elaborate and canonicalize a synthetic circuit."""
+    return elaborate(synthetic_raw(spec), name=spec.display_name)
+
+
+def generate(depth: int, width: int, seed: int = 0, **knobs: object) -> Circuit:
+    """Convenience wrapper: ``generate(100, 1000)`` -> 100k-gate circuit."""
+    spec = SyntheticSpec(depth=depth, width=width, seed=seed, **knobs)  # type: ignore[arg-type]
+    return synthetic_circuit(spec)

@@ -27,8 +27,13 @@ exposes the main flows without writing any Python:
 * ``benchmarks`` — list the available benchmark circuits and their stand-in
   gate counts versus the paper's.
 
-Circuits are named either by registry name (``alu2``, ``c432`` ...) or by a
-path to an ISCAS ``.bench`` file.
+Circuits are named by registry name (``alu2``, ``c432`` ...), by a synthetic
+generator spec (``gen50k`` or ``gen:depth=40,width=250``), or by a path to an
+ISCAS ``.bench`` or structural-Verilog ``.v`` netlist (``--top`` picks the
+root module of a hierarchical design).  ``info --frontend`` additionally
+reports what the netlist front end did on the way in: nets merged by
+``assign``-alias canonicalization, repair buffers inserted, duplicate
+drivers removed and any diagnostics.
 """
 
 from __future__ import annotations
@@ -56,7 +61,12 @@ from repro.runner.sweep import (
     yield_specs,
 )
 from repro.analysis.timing_yield import YieldReport
-from repro.circuits.registry import BENCHMARK_NAMES, PAPER_GATE_COUNTS, build_benchmark
+from repro.circuits.registry import (
+    BENCHMARK_NAMES,
+    GENERATED_SPECS,
+    PAPER_GATE_COUNTS,
+    build_benchmark,
+)
 from repro.core.baseline import MeanDelaySizer
 from repro.core.fassta import FASSTA
 from repro.core.fullssta import FULLSSTA
@@ -65,16 +75,56 @@ from repro.flow import run_sizing_flow
 from repro.montecarlo.mc import MonteCarloTimer
 from repro.netlist.bench import parse_bench_file
 from repro.netlist.circuit import Circuit
+from repro.netlist.verilog import parse_verilog_file
 from repro.netlist.validate import validate_circuit
 from repro.sta.dsta import DeterministicSTA
 
 
-def load_circuit(name_or_path: str) -> Circuit:
-    """Resolve a circuit argument: registry name or path to a ``.bench`` file."""
+def load_circuit(name_or_path: str, top: Optional[str] = None) -> Circuit:
+    """Resolve a circuit argument.
+
+    Accepts a registry name, a named synthetic scale point (``gen50k``), an
+    inline generator spec (``gen:40,250``), or a path to a ``.bench`` or
+    structural-Verilog ``.v``/``.sv`` netlist.  ``top`` selects the root
+    module when a hierarchical Verilog file declares several.
+    """
     path = Path(name_or_path)
+    if path.suffix in (".v", ".sv"):
+        return parse_verilog_file(path, top=top)
     if path.suffix == ".bench" or path.exists():
         return parse_bench_file(path)
     return build_benchmark(name_or_path)
+
+
+def _frontend_result(name_or_path: str, top: Optional[str]):
+    """The :class:`CanonicalizeResult` behind a circuit argument.
+
+    Re-runs the front-end pipeline (parse -> elaborate -> canonicalize) so
+    ``info --frontend`` can report net merges, repairs and diagnostics.
+    Registry builders are routed through ``RawNetlist.from_circuit`` so the
+    report works uniformly for every circuit source.
+    """
+    from repro.netlist.ast import RawNetlist
+    from repro.netlist.bench import parse_bench_raw
+    from repro.netlist.elaborate import elaborate_design
+    from repro.netlist.verilog import parse_verilog_raw
+
+    path = Path(name_or_path)
+    if path.suffix in (".v", ".sv"):
+        raw = parse_verilog_raw(path.read_text())
+        return elaborate_design(raw, top=top, name=path.stem)
+    if path.suffix == ".bench" or path.exists():
+        raw = parse_bench_raw(path.read_text(), name=path.stem)
+        return elaborate_design(raw, name=path.stem)
+    if name_or_path.startswith("gen:") or name_or_path in GENERATED_SPECS:
+        from repro.circuits.synthetic import parse_generated_spec, synthetic_raw
+
+        spec = (GENERATED_SPECS[name_or_path]
+                if name_or_path in GENERATED_SPECS
+                else parse_generated_spec(name_or_path[len("gen:"):]))
+        return elaborate_design(synthetic_raw(spec), name=spec.display_name)
+    circuit = build_benchmark(name_or_path)
+    return elaborate_design(RawNetlist.from_circuit(circuit), name=circuit.name)
 
 
 def _substrate_spec(args) -> SubstrateSpec:
@@ -90,6 +140,12 @@ def _substrates(args) -> Tuple:
     return _substrate_spec(args).build()
 
 
+def _add_frontend_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--top", default=None, metavar="MODULE",
+                        help="top module of a hierarchical Verilog netlist "
+                             "(default: the unique uninstantiated module)")
+
+
 def _add_common_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--sizes-per-cell", type=int, default=7,
                         help="discrete sizes per cell type in the synthetic library")
@@ -103,7 +159,12 @@ def _add_common_options(parser: argparse.ArgumentParser) -> None:
 # Subcommands
 # ---------------------------------------------------------------------------
 def cmd_info(args) -> int:
-    circuit = load_circuit(args.circuit)
+    if args.frontend:
+        result = _frontend_result(args.circuit, args.top)
+        circuit = result.circuit
+    else:
+        result = None
+        circuit = load_circuit(args.circuit, top=args.top)
     library, _, _ = _substrates(args)
     stats = circuit.stats()
     problems = validate_circuit(circuit, library, raise_on_error=False)
@@ -117,11 +178,19 @@ def cmd_info(args) -> int:
     print(f"validation     : {'ok' if not problems else f'{len(problems)} problem(s)'}")
     for problem in problems:
         print(f"  - {problem}")
+    if result is not None:
+        print("front end:")
+        print(f"  merged nets   : {result.merged_nets}")
+        print(f"  repair buffers: {len(result.repairs)}")
+        print(f"  deduplicated  : {len(result.deduplicated)}")
+        print(f"  diagnostics   : {len(result.diagnostics)}")
+        for diag in result.diagnostics:
+            print(f"    [{diag.severity}] {diag.rule}: {diag.message}")
     return 1 if problems else 0
 
 
 def cmd_sta(args) -> int:
-    circuit = load_circuit(args.circuit)
+    circuit = load_circuit(args.circuit, top=args.top)
     _, delay_model, _ = _substrates(args)
     report = DeterministicSTA(delay_model).analyze(circuit, clock_period=args.period)
     print(f"worst arrival : {report.worst_arrival:.1f} ps at {report.worst_output}")
@@ -137,7 +206,7 @@ def cmd_sta(args) -> int:
 
 
 def cmd_ssta(args) -> int:
-    circuit = load_circuit(args.circuit)
+    circuit = load_circuit(args.circuit, top=args.top)
     _, delay_model, variation_model = _substrates(args)
     fast = FASSTA(delay_model, variation_model).analyze(circuit).output_rv
     full = FULLSSTA(delay_model, variation_model).analyze(circuit).output_rv
@@ -178,7 +247,7 @@ def cmd_size(args) -> int:
     if problem:
         print(f"error: {problem}", file=sys.stderr)
         return 2
-    circuit = load_circuit(args.circuit)
+    circuit = load_circuit(args.circuit, top=args.top)
     library, delay_model, variation_model = _substrates(args)
     config = SizerConfig(
         lam=args.lam,
@@ -263,7 +332,7 @@ def cmd_lint(args) -> int:
         print("error: a circuit is required unless --list-rules is given",
               file=sys.stderr)
         return 2
-    circuit = load_circuit(args.circuit)
+    circuit = load_circuit(args.circuit, top=args.top)
     library = None if args.no_library else _substrates(args)[0]
     report = lint_circuit(circuit, library=library)
     if args.format == "json":
@@ -279,7 +348,7 @@ def cmd_report(args) -> int:
     if args.top_k < 1:
         print("error: --top-k must be >= 1", file=sys.stderr)
         return 2
-    circuit = load_circuit(args.circuit)
+    circuit = load_circuit(args.circuit, top=args.top)
     _, delay_model, variation_model = _substrates(args)
     if args.baseline:
         MeanDelaySizer(delay_model).optimize(circuit)
@@ -530,12 +599,18 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_info = sub.add_parser("info", help="structural summary of a circuit")
     p_info.add_argument("circuit")
+    p_info.add_argument("--frontend", action="store_true",
+                        help="also report the netlist front end's work: "
+                             "merged alias nets, repair buffers, removed "
+                             "duplicate drivers and diagnostics")
+    _add_frontend_options(p_info)
     _add_common_options(p_info)
     p_info.set_defaults(func=cmd_info)
 
     p_sta = sub.add_parser("sta", help="deterministic STA report")
     p_sta.add_argument("circuit")
     p_sta.add_argument("--period", type=float, default=None, help="clock period in ps")
+    _add_frontend_options(p_sta)
     _add_common_options(p_sta)
     p_sta.set_defaults(func=cmd_sta)
 
@@ -546,6 +621,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_ssta.add_argument("--period", type=float, default=None,
                         help="report timing yield at this clock period (ps)")
     p_ssta.add_argument("--seed", type=int, default=0)
+    _add_frontend_options(p_ssta)
     _add_common_options(p_ssta)
     p_ssta.set_defaults(func=cmd_ssta)
 
@@ -573,6 +649,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_size.add_argument("--explain-path", action="store_true",
                         help="print the final design's WNSS trace with every "
                              "dominance-vs-sensitivity decision")
+    _add_frontend_options(p_size)
     _add_common_options(p_size)
     p_size.set_defaults(func=cmd_size)
 
@@ -600,6 +677,7 @@ def build_parser() -> argparse.ArgumentParser:
                           default="text")
     p_report.add_argument("--out", default=None, metavar="FILE",
                           help="write the report to FILE instead of stdout")
+    _add_frontend_options(p_report)
     _add_common_options(p_report)
     p_report.set_defaults(func=cmd_report)
 
@@ -608,7 +686,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="static design-rule check of a circuit (DRC001 ...)",
     )
     p_lint.add_argument("circuit", nargs="?", default=None,
-                        help="registry name or .bench path")
+                        help="registry name, gen: spec, or .bench/.v path")
     p_lint.add_argument("--format", choices=["text", "json"], default="text")
     p_lint.add_argument("--fail-on", choices=["error", "warning"],
                         default="error",
@@ -618,6 +696,7 @@ def build_parser() -> argparse.ArgumentParser:
                         help="skip the library-domain rules (DRC007-DRC010)")
     p_lint.add_argument("--list-rules", action="store_true",
                         help="print the rule catalogue and exit")
+    _add_frontend_options(p_lint)
     _add_common_options(p_lint)
     p_lint.set_defaults(func=cmd_lint)
 

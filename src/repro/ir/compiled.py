@@ -155,9 +155,15 @@ class CompiledCircuit:
         self.fanin_matrix = np.full(
             (self.num_gates, max_fanin), self.num_nets, dtype=np.intp
         )
-        for gid in range(self.num_gates):
-            lo, hi = fanin_indptr[gid], fanin_indptr[gid + 1]
-            self.fanin_matrix[gid, : hi - lo] = fanin_slots[lo:hi]
+        if self.num_gates:
+            # Scatter the CSR payload in one shot: row gid's first
+            # fanin_counts[gid] columns are valid, and fanin_slots is
+            # already row-major in that same order.
+            valid = (
+                np.arange(max_fanin, dtype=np.intp)[None, :]
+                < self.fanin_counts[:, None]
+            )
+            self.fanin_matrix[valid] = fanin_slots
         self.fanout_indptr = fanout_indptr
         self.fanout_gates = fanout_gates
         self.cell_types = cell_types
@@ -196,11 +202,15 @@ class CompiledCircuit:
             counts = self.fanin_counts[start:stop]
             max_fanin = int(counts.max()) if len(counts) else 0
             in_slots = np.zeros((stop - start, max_fanin), dtype=np.intp)
-            in_mask = np.zeros((stop - start, max_fanin), dtype=bool)
-            for row, gid in enumerate(range(start, stop)):
-                lo, hi = self.fanin_indptr[gid], self.fanin_indptr[gid + 1]
-                in_slots[row, : hi - lo] = self.fanin_slots[lo:hi]
-                in_mask[row, : hi - lo] = True
+            in_mask = (
+                np.arange(max_fanin, dtype=np.intp)[None, :] < counts[:, None]
+            )
+            # Gate ids in a level are contiguous, so their CSR span is one
+            # contiguous, row-major slice of fanin_slots.
+            span = self.fanin_slots[
+                self.fanin_indptr[start]: self.fanin_indptr[stop]
+            ]
+            in_slots[in_mask] = span
             blocks.append(
                 LevelBlock(
                     level=level,
@@ -292,6 +302,10 @@ def lower_circuit(circuit: "Circuit") -> CompiledCircuit:
         level_offsets[li + 1] = len(gate_names)
 
     num_gates = len(gate_names)
+    # One dict lookup per gate for the whole lowering, not one per loop.
+    all_gates = circuit.gates
+    gate_objs = [all_gates[name] for name in gate_names]
+
     gate_level = np.zeros(num_gates, dtype=np.intp)
     for gid, name in enumerate(gate_names):
         gate_level[gid] = levels_map[name]
@@ -301,13 +315,13 @@ def lower_circuit(circuit: "Circuit") -> CompiledCircuit:
     net_names: List[str] = list(circuit.primary_inputs)
     net_index: Dict[str, int] = {n: i for i, n in enumerate(net_names)}
     gate_output_slot = np.zeros(num_gates, dtype=np.intp)
-    for gid, name in enumerate(gate_names):
-        out = circuit.gate(name).output
+    for gid, gate in enumerate(gate_objs):
+        out = gate.output
         gate_output_slot[gid] = len(net_names)
         net_index[out] = len(net_names)
         net_names.append(out)
-    for name in gate_names:
-        for net in circuit.gate(name).inputs:
+    for gate in gate_objs:
+        for net in gate.inputs:
             if net not in net_index:
                 net_index[net] = len(net_names)
                 net_names.append(net)
@@ -315,8 +329,8 @@ def lower_circuit(circuit: "Circuit") -> CompiledCircuit:
     # Fanin CSR (gate -> input net slots, pin order).
     fanin_indptr = np.zeros(num_gates + 1, dtype=np.intp)
     flat_fanin: List[int] = []
-    for gid, name in enumerate(gate_names):
-        for net in circuit.gate(name).inputs:
+    for gid, gate in enumerate(gate_objs):
+        for net in gate.inputs:
             flat_fanin.append(net_index[net])
         fanin_indptr[gid + 1] = len(flat_fanin)
     fanin_slots = np.array(flat_fanin, dtype=np.intp)
@@ -327,8 +341,8 @@ def lower_circuit(circuit: "Circuit") -> CompiledCircuit:
     flat_fanout: List[int] = []
     gate_index = {n: i for i, n in enumerate(gate_names)}
     for slot, net in enumerate(net_names):
-        for load in circuit.loads_of(net):
-            flat_fanout.append(gate_index[load.name])
+        for load_name in circuit.load_names(net):
+            flat_fanout.append(gate_index[load_name])
         fanout_indptr[slot + 1] = len(flat_fanout)
     fanout_gates = np.array(flat_fanout, dtype=np.intp)
 
@@ -337,8 +351,7 @@ def lower_circuit(circuit: "Circuit") -> CompiledCircuit:
     cell_vocab: Dict[str, int] = {}
     cell_type_ids = np.zeros(num_gates, dtype=np.intp)
     size_index = np.zeros(num_gates, dtype=np.intp)
-    for gid, name in enumerate(gate_names):
-        gate = circuit.gate(name)
+    for gid, gate in enumerate(gate_objs):
         cid = cell_vocab.get(gate.cell_type)
         if cid is None:
             cid = len(cell_types)

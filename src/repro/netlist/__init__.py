@@ -11,8 +11,26 @@ in alongside the parametric generators in :mod:`repro.circuits`.
 
 from repro.netlist.gate import Gate
 from repro.netlist.circuit import Circuit, CircuitStats
-from repro.netlist.bench import parse_bench, parse_bench_file, write_bench
-from repro.netlist.verilog import parse_verilog, write_verilog
+from repro.netlist.ast import (
+    CanonicalizationError,
+    ElaborationError,
+    FlatDesign,
+    FrontendError,
+    RawInstance,
+    RawModule,
+    RawNetlist,
+    SourceLoc,
+)
+from repro.netlist.elaborate import elaborate, elaborate_design, flatten_netlist
+from repro.netlist.canonical import CanonicalizeResult, canonicalize_design
+from repro.netlist.bench import parse_bench, parse_bench_file, parse_bench_raw, write_bench
+from repro.netlist.verilog import (
+    parse_verilog,
+    parse_verilog_file,
+    parse_verilog_raw,
+    write_verilog,
+    write_verilog_netlist,
+)
 from repro.netlist.validate import ValidationError, validate_circuit
 from repro.netlist.simulate import simulate, simulate_outputs
 
@@ -22,11 +40,28 @@ __all__ = [
     "Gate",
     "Circuit",
     "CircuitStats",
+    "CanonicalizationError",
+    "CanonicalizeResult",
+    "ElaborationError",
+    "FlatDesign",
+    "FrontendError",
+    "RawInstance",
+    "RawModule",
+    "RawNetlist",
+    "SourceLoc",
+    "canonicalize_design",
+    "elaborate",
+    "elaborate_design",
+    "flatten_netlist",
     "parse_bench",
     "parse_bench_file",
+    "parse_bench_raw",
     "write_bench",
     "parse_verilog",
+    "parse_verilog_file",
+    "parse_verilog_raw",
     "write_verilog",
+    "write_verilog_netlist",
     "ValidationError",
     "validate_circuit",
 ]

@@ -1,0 +1,467 @@
+"""Raw netlist front-end IR.
+
+Every netlist reader in the package — the structural-Verilog parser, the
+ISCAS ``.bench`` reader and the Python circuit builders — produces a
+:class:`RawNetlist`: an *unelaborated* description of modules, ports,
+wires, instances and ``assign`` aliases, annotated with source locations.
+One shared pipeline then turns it into the analysable
+:class:`~repro.netlist.circuit.Circuit` the engines consume::
+
+    RawNetlist --elaborate--> FlatDesign --canonicalize--> Circuit
+
+* :mod:`repro.netlist.elaborate` flattens hierarchy (module instantiation
+  with port maps, bus/vector expansion, parameterized widths) into a
+  :class:`FlatDesign` of scalar gates plus alias pairs;
+* :mod:`repro.netlist.canonical` merges the ``assign``-aliased nets with a
+  union-find pass and repairs benign multi-driver patterns, producing the
+  final :class:`~repro.netlist.circuit.Circuit`.
+
+The raw IR is deliberately dumb: names are unresolved, bus ranges are
+unevaluated expressions (they may reference parameters), and nothing is
+checked beyond local well-formedness.  All semantic checks live in the
+elaboration and canonicalization passes so every front end shares them.
+
+Net expressions
+---------------
+Connections and assign sides are :class:`NetExpr` trees:
+
+* :class:`Id` — a plain net reference (``a`` — scalar, or a full bus);
+* :class:`Select` — a bit- or part-select (``a[3]``, ``a[7:4]``);
+* :class:`Concat` — a concatenation (``{a, b[1], c}``).
+
+Index expressions inside selects and bus ranges are tiny arithmetic trees
+(:data:`IndexExpr`): an ``int`` literal, a ``str`` parameter reference, or a
+``(op, lhs, rhs)`` / ``("neg", operand)`` tuple; :func:`eval_index` folds
+one to an integer under a parameter environment.  Plain strings are
+accepted anywhere a :class:`NetExpr` is expected and mean ``Id(string)``,
+which keeps the ``.bench`` reader and the builders free of ceremony.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+#: Input pin names of library (leaf) cells, in pin order: the output pin is
+#: ``Y``; a gate with N inputs uses the first N letters.
+INPUT_PIN_ORDER = "ABCDEFGHIJKLMNOP"
+
+#: Index expressions: int literal | parameter name | (op, lhs, rhs) |
+#: ("neg", operand).  Kept as plain tuples so the AST stays trivially
+#: picklable and hashable.
+IndexExpr = Union[int, str, Tuple[object, ...]]
+
+
+@dataclass(frozen=True)
+class SourceLoc:
+    """Line/column of a construct in its source text (both 1-based)."""
+
+    line: int
+    col: int
+
+    def __str__(self) -> str:
+        return f"line {self.line}, column {self.col}"
+
+
+class FrontendError(Exception):
+    """Base class for all netlist front-end failures.
+
+    Carries the source location and the offending token when known, so
+    parse and elaboration errors point at the construct that caused them.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        loc: Optional[SourceLoc] = None,
+        token: Optional[str] = None,
+    ) -> None:
+        self.loc = loc
+        self.token = token
+        prefix = f"{loc}: " if loc is not None else ""
+        suffix = f" (at {token!r})" if token else ""
+        super().__init__(f"{prefix}{message}{suffix}")
+        self.message = message
+
+    @property
+    def line(self) -> Optional[int]:
+        return self.loc.line if self.loc is not None else None
+
+    @property
+    def col(self) -> Optional[int]:
+        return self.loc.col if self.loc is not None else None
+
+
+class ElaborationError(FrontendError):
+    """Raised when a raw netlist cannot be flattened to scalar gates."""
+
+
+class CanonicalizationError(FrontendError):
+    """Raised when alias merging meets a defect it cannot repair."""
+
+
+# ---------------------------------------------------------------------------
+# Net expressions
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class Id:
+    """A plain net reference: a scalar net or a whole bus."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class Select:
+    """A bit-select ``name[msb]`` or part-select ``name[msb:lsb]``."""
+
+    name: str
+    msb: IndexExpr
+    lsb: Optional[IndexExpr] = None
+
+
+@dataclass(frozen=True)
+class Concat:
+    """A concatenation ``{a, b, ...}`` (left part holds the MSBs)."""
+
+    parts: Tuple["NetExpr", ...]
+
+
+NetExpr = Union[Id, Select, Concat, str]
+
+
+def eval_index(expr: IndexExpr, params: Mapping[str, int],
+               loc: Optional[SourceLoc] = None) -> int:
+    """Fold an index expression to an integer under ``params``."""
+    if isinstance(expr, bool):  # bool is an int subclass; reject explicitly
+        raise ElaborationError(f"invalid index expression {expr!r}", loc)
+    if isinstance(expr, int):
+        return expr
+    if isinstance(expr, str):
+        try:
+            return params[expr]
+        except KeyError:
+            raise ElaborationError(
+                f"unknown parameter {expr!r} in index expression", loc,
+                token=expr,
+            ) from None
+    op = expr[0]
+    if op == "neg":
+        return -eval_index(expr[1], params, loc)  # type: ignore[arg-type]
+    lhs = eval_index(expr[1], params, loc)  # type: ignore[arg-type]
+    rhs = eval_index(expr[2], params, loc)  # type: ignore[arg-type]
+    if op == "+":
+        return lhs + rhs
+    if op == "-":
+        return lhs - rhs
+    if op == "*":
+        return lhs * rhs
+    if op in ("/", "%"):
+        if rhs == 0:
+            raise ElaborationError("division by zero in index expression", loc)
+        return lhs // rhs if op == "/" else lhs % rhs
+    raise ElaborationError(f"unknown index operator {op!r}", loc)
+
+
+def format_expr(expr: NetExpr) -> str:
+    """Render a net expression back to source-ish text (for messages/emit)."""
+    if isinstance(expr, str):
+        return expr
+    if isinstance(expr, Id):
+        return expr.name
+    if isinstance(expr, Select):
+        if expr.lsb is None:
+            return f"{expr.name}[{format_index(expr.msb)}]"
+        return f"{expr.name}[{format_index(expr.msb)}:{format_index(expr.lsb)}]"
+    return "{" + ", ".join(format_expr(p) for p in expr.parts) + "}"
+
+
+def format_index(expr: IndexExpr) -> str:
+    if isinstance(expr, int):
+        return str(expr)
+    if isinstance(expr, str):
+        return expr
+    op = expr[0]
+    if op == "neg":
+        return f"-{format_index(expr[1])}"  # type: ignore[arg-type]
+    return (f"{format_index(expr[1])}{op}"  # type: ignore[arg-type]
+            f"{format_index(expr[2])}")  # type: ignore[arg-type]
+
+
+# ---------------------------------------------------------------------------
+# Declarations / statements
+# ---------------------------------------------------------------------------
+@dataclass
+class PortDecl:
+    """One module port: direction plus an optional (unevaluated) bus range."""
+
+    name: str
+    direction: str  # "input" | "output"
+    msb: Optional[IndexExpr] = None
+    lsb: Optional[IndexExpr] = None
+    loc: Optional[SourceLoc] = None
+
+    @property
+    def is_vector(self) -> bool:
+        return self.msb is not None
+
+
+@dataclass
+class NetDecl:
+    """One ``wire`` declaration (scalar or vector)."""
+
+    name: str
+    msb: Optional[IndexExpr] = None
+    lsb: Optional[IndexExpr] = None
+    loc: Optional[SourceLoc] = None
+
+
+@dataclass
+class RawInstance:
+    """One instantiation: of a module (hierarchy) or of a library cell (leaf).
+
+    Exactly one of ``named`` / ``positional`` is non-``None`` (an instance
+    with an empty connection list counts as positional).  For leaf cells the
+    conventions match the historical flat parser: named pin ``Y`` is the
+    output and the remaining pins are inputs sorted by pin name; positional
+    connections put the output first.  ``size_index`` carries the discrete
+    size for instances converted from an existing :class:`Gate` (it has no
+    textual syntax and defaults to 0).
+    """
+
+    name: str
+    target: str
+    named: Optional[Dict[str, Optional[NetExpr]]] = None
+    positional: Optional[List[NetExpr]] = None
+    param_overrides: Dict[str, IndexExpr] = field(default_factory=dict)
+    size_index: int = 0
+    loc: Optional[SourceLoc] = None
+
+
+@dataclass
+class RawAssign:
+    """One alias statement ``assign lhs = rhs;`` (net-to-net only)."""
+
+    lhs: NetExpr
+    rhs: NetExpr
+    loc: Optional[SourceLoc] = None
+
+
+@dataclass
+class RawModule:
+    """One unelaborated module."""
+
+    name: str
+    port_order: List[str] = field(default_factory=list)
+    ports: Dict[str, PortDecl] = field(default_factory=dict)
+    nets: Dict[str, NetDecl] = field(default_factory=dict)
+    params: Dict[str, IndexExpr] = field(default_factory=dict)
+    instances: List[RawInstance] = field(default_factory=list)
+    assigns: List[RawAssign] = field(default_factory=list)
+    loc: Optional[SourceLoc] = None
+
+    # -- construction helpers (used by bench.py and the builders) --------
+    def add_port(self, name: str, direction: str,
+                 msb: Optional[IndexExpr] = None,
+                 lsb: Optional[IndexExpr] = None,
+                 loc: Optional[SourceLoc] = None) -> PortDecl:
+        if name in self.ports:
+            raise ElaborationError(
+                f"port {name!r} declared twice in module {self.name!r}", loc,
+                token=name,
+            )
+        decl = PortDecl(name=name, direction=direction, msb=msb, lsb=lsb, loc=loc)
+        self.ports[name] = decl
+        if name not in self.port_order:
+            self.port_order.append(name)
+        return decl
+
+    def add_wire(self, name: str, msb: Optional[IndexExpr] = None,
+                 lsb: Optional[IndexExpr] = None,
+                 loc: Optional[SourceLoc] = None) -> NetDecl:
+        decl = NetDecl(name=name, msb=msb, lsb=lsb, loc=loc)
+        self.nets.setdefault(name, decl)
+        return decl
+
+    def add_instance(self, instance: RawInstance) -> RawInstance:
+        self.instances.append(instance)
+        return instance
+
+    def add_assign(self, lhs: NetExpr, rhs: NetExpr,
+                   loc: Optional[SourceLoc] = None) -> RawAssign:
+        assign = RawAssign(lhs=lhs, rhs=rhs, loc=loc)
+        self.assigns.append(assign)
+        return assign
+
+    def input_ports(self) -> List[PortDecl]:
+        return [p for p in self.ports.values() if p.direction == "input"]
+
+    def output_ports(self) -> List[PortDecl]:
+        return [p for p in self.ports.values() if p.direction == "output"]
+
+
+@dataclass
+class RawNetlist:
+    """A set of raw modules (insertion-ordered) with an optional default top."""
+
+    modules: Dict[str, RawModule] = field(default_factory=dict)
+    top: Optional[str] = None
+
+    def add_module(self, module: RawModule) -> RawModule:
+        if module.name in self.modules:
+            raise ElaborationError(
+                f"module {module.name!r} defined twice", module.loc,
+                token=module.name,
+            )
+        self.modules[module.name] = module
+        return module
+
+    def module(self, name: str) -> RawModule:
+        try:
+            return self.modules[name]
+        except KeyError:
+            known = ", ".join(self.modules) or "<none>"
+            raise ElaborationError(
+                f"no module named {name!r} (known: {known})", token=name
+            ) from None
+
+    def top_module(self, top: Optional[str] = None) -> RawModule:
+        """Resolve the top module: explicit name, recorded default, or the
+        unique module never instantiated by another module."""
+        if top is not None:
+            return self.module(top)
+        if self.top is not None:
+            return self.module(self.top)
+        if not self.modules:
+            raise ElaborationError("netlist contains no modules")
+        if len(self.modules) == 1:
+            return next(iter(self.modules.values()))
+        instantiated = {
+            inst.target
+            for module in self.modules.values()
+            for inst in module.instances
+            if inst.target in self.modules
+        }
+        roots = [m for name, m in self.modules.items() if name not in instantiated]
+        if len(roots) == 1:
+            return roots[0]
+        names = sorted(m.name for m in roots) if roots else sorted(self.modules)
+        raise ElaborationError(
+            f"cannot infer the top module (candidates: {names}); "
+            f"pass top= explicitly"
+        )
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_circuit(cls, circuit: "Circuit") -> "RawNetlist":  # noqa: F821
+        """Wrap an existing flat :class:`Circuit` as a single-module netlist.
+
+        Gate order, pin order, port order, names and size indices are all
+        preserved, so elaborating the result reproduces the circuit exactly.
+        This is how the Python builders join the shared front-end path, and
+        the starting point for hierarchical re-emission.
+        """
+        module = RawModule(name=circuit.name)
+        for net in circuit.primary_inputs:
+            module.add_port(net, "input")
+        for net in circuit.primary_outputs:
+            module.add_port(net, "output")
+        port_names = set(circuit.primary_inputs) | set(circuit.primary_outputs)
+        for gate in circuit.gates.values():
+            if gate.output not in port_names:
+                module.add_wire(gate.output)
+            named: Dict[str, Optional[NetExpr]] = {"Y": Id(gate.output)}
+            for pin, net in zip(INPUT_PIN_ORDER, gate.inputs, strict=False):
+                named[pin] = Id(net)
+            module.add_instance(
+                RawInstance(
+                    name=gate.name,
+                    target=gate.cell_type,
+                    named=named,
+                    size_index=gate.size_index,
+                )
+            )
+        return cls(modules={module.name: module}, top=module.name)
+
+
+# ---------------------------------------------------------------------------
+# Flat (elaborated, pre-canonicalization) design
+# ---------------------------------------------------------------------------
+@dataclass
+class FlatGate:
+    """One scalar leaf-cell instance after elaboration."""
+
+    name: str
+    cell_type: str
+    inputs: List[str]
+    output: str
+    size_index: int = 0
+    loc: Optional[SourceLoc] = None
+
+
+@dataclass
+class FlatDesign:
+    """Hierarchy-free design: scalar gates plus unresolved alias pairs.
+
+    Produced by :func:`repro.netlist.elaborate.flatten_netlist`; consumed by
+    :func:`repro.netlist.canonical.canonicalize_design`, which merges the
+    ``aliases`` and lowers to a :class:`~repro.netlist.circuit.Circuit`.
+    """
+
+    name: str
+    primary_inputs: List[str] = field(default_factory=list)
+    primary_outputs: List[str] = field(default_factory=list)
+    gates: List[FlatGate] = field(default_factory=list)
+    aliases: List[Tuple[str, str]] = field(default_factory=list)
+    alias_locs: List[Optional[SourceLoc]] = field(default_factory=list)
+
+    def add_alias(self, lhs: str, rhs: str,
+                  loc: Optional[SourceLoc] = None) -> None:
+        self.aliases.append((lhs, rhs))
+        self.alias_locs.append(loc)
+
+
+def expand_range(msb: int, lsb: int) -> List[int]:
+    """Bit indices of a ``[msb:lsb]`` range, MSB first (either direction)."""
+    step = -1 if msb >= lsb else 1
+    return list(range(msb, lsb + step, step))
+
+
+def bus_bits(name: str, msb: int, lsb: int) -> List[str]:
+    """Bit-blasted net names of a vector, MSB first: ``name[i]``."""
+    return [f"{name}[{i}]" for i in expand_range(msb, lsb)]
+
+
+__all__ = [
+    "INPUT_PIN_ORDER",
+    "Concat",
+    "CanonicalizationError",
+    "ElaborationError",
+    "FlatDesign",
+    "FlatGate",
+    "FrontendError",
+    "Id",
+    "IndexExpr",
+    "NetDecl",
+    "NetExpr",
+    "PortDecl",
+    "RawAssign",
+    "RawInstance",
+    "RawModule",
+    "RawNetlist",
+    "Select",
+    "SourceLoc",
+    "bus_bits",
+    "eval_index",
+    "expand_range",
+    "format_expr",
+    "format_index",
+]
+
+from typing import TYPE_CHECKING  # noqa: E402
+
+if TYPE_CHECKING:  # pragma: no cover - circular-import guard
+    from repro.netlist.circuit import Circuit
+
+# Sequence import is used in annotations of downstream modules re-exporting
+# from here; keep the namespace tidy for linting.
+_ = (Sequence,)

@@ -14,6 +14,12 @@ Every right-hand-side function maps onto one of the library cell types used
 throughout this package (``NOT`` -> ``INV``, ``NAND`` with three operands ->
 ``NAND3``, ...).  ``DFF`` lines are rejected: the reproduction, like the
 paper, is restricted to combinational circuits.
+
+The reader builds a :class:`~repro.netlist.ast.RawModule` and lowers it
+through the shared elaboration + canonicalization pipeline, so ``.bench``
+input gets exactly the same semantics (implicit nets, driver repair,
+diagnostics) as structural Verilog.  Parse errors carry the 1-based
+line/column and the offending token.
 """
 
 from __future__ import annotations
@@ -22,8 +28,16 @@ import re
 from pathlib import Path
 from typing import Dict, List, Union
 
+from repro.netlist.ast import (
+    FrontendError,
+    RawInstance,
+    RawModule,
+    RawNetlist,
+    SourceLoc,
+)
 from repro.netlist.circuit import Circuit
-from repro.netlist.gate import Gate, make_cell_type
+from repro.netlist.elaborate import elaborate
+from repro.netlist.gate import make_cell_type
 
 _LINE_RE = re.compile(
     r"^\s*(?P<out>[\w\.\[\]]+)\s*=\s*(?P<func>[A-Za-z]+)\s*\((?P<args>[^)]*)\)\s*$"
@@ -45,8 +59,74 @@ BENCH_FUNCTIONS: Dict[str, str] = {
 }
 
 
-class BenchParseError(Exception):
+class BenchParseError(FrontendError):
     """Raised when a ``.bench`` description cannot be parsed."""
+
+
+def _loc(lineno: int, line: str, needle: str) -> SourceLoc:
+    """Source location of ``needle`` within ``line`` (1-based column)."""
+    col = line.find(needle)
+    return SourceLoc(lineno, col + 1 if col >= 0 else 1)
+
+
+def parse_bench_raw(text: str, name: str = "bench_circuit") -> RawNetlist:
+    """Parse ``.bench`` text into the raw front-end IR (no elaboration)."""
+    module = RawModule(name=name)
+    gate_lines: List[tuple] = []
+
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].rstrip()
+        if not line.strip():
+            continue
+        io_match = _IO_RE.match(line)
+        if io_match:
+            net = io_match.group("net")
+            kind = io_match.group("kind").upper()
+            direction = "input" if kind == "INPUT" else "output"
+            module.add_port(net, direction, loc=_loc(lineno, line, net))
+            continue
+        gate_match = _LINE_RE.match(line)
+        if gate_match:
+            func = gate_match.group("func").upper()
+            loc = _loc(lineno, line, gate_match.group("func"))
+            if func == "DFF":
+                raise BenchParseError(
+                    "sequential element DFF is not supported "
+                    "(combinational circuits only)", loc, token="DFF",
+                )
+            args = [a.strip() for a in gate_match.group("args").split(",") if a.strip()]
+            gate_lines.append((loc, gate_match.group("out"), func, args))
+            continue
+        stripped = line.strip()
+        raise BenchParseError(
+            f"cannot parse {raw!r}",
+            _loc(lineno, line, stripped),
+            token=stripped.split()[0] if stripped.split() else stripped,
+        )
+
+    for loc, out, func, args in gate_lines:
+        if func not in BENCH_FUNCTIONS:
+            raise BenchParseError(f"unknown function {func!r}", loc, token=func)
+        logic = BENCH_FUNCTIONS[func]
+        if logic in ("INV", "BUF") and len(args) != 1:
+            raise BenchParseError(
+                f"{func} expects one operand, got {len(args)}", loc, token=func
+            )
+        if logic not in ("INV", "BUF") and len(args) < 2:
+            raise BenchParseError(
+                f"{func} expects at least two operands, got {len(args)}",
+                loc, token=func,
+            )
+        cell_type = make_cell_type(logic, len(args))
+        module.add_instance(
+            RawInstance(
+                name=f"g_{out}",
+                target=cell_type,
+                positional=[out, *args],
+                loc=loc,
+            )
+        )
+    return RawNetlist(modules={module.name: module}, top=module.name)
 
 
 def parse_bench(text: str, name: str = "bench_circuit") -> Circuit:
@@ -59,51 +139,13 @@ def parse_bench(text: str, name: str = "bench_circuit") -> Circuit:
     name:
         Name to give the resulting circuit.
     """
-    inputs: List[str] = []
-    outputs: List[str] = []
-    gate_lines: List[tuple] = []
-
-    for lineno, raw in enumerate(text.splitlines(), start=1):
-        line = raw.split("#", 1)[0].strip()
-        if not line:
-            continue
-        io_match = _IO_RE.match(line)
-        if io_match:
-            net = io_match.group("net")
-            if io_match.group("kind").upper() == "INPUT":
-                inputs.append(net)
-            else:
-                outputs.append(net)
-            continue
-        gate_match = _LINE_RE.match(line)
-        if gate_match:
-            func = gate_match.group("func").upper()
-            if func == "DFF":
-                raise BenchParseError(
-                    f"line {lineno}: sequential element DFF is not supported "
-                    "(combinational circuits only)"
-                )
-            args = [a.strip() for a in gate_match.group("args").split(",") if a.strip()]
-            gate_lines.append((lineno, gate_match.group("out"), func, args))
-            continue
-        raise BenchParseError(f"line {lineno}: cannot parse {raw!r}")
-
-    circuit = Circuit(name, primary_inputs=inputs, primary_outputs=outputs)
-    for lineno, out, func, args in gate_lines:
-        if func not in BENCH_FUNCTIONS:
-            raise BenchParseError(f"line {lineno}: unknown function {func!r}")
-        logic = BENCH_FUNCTIONS[func]
-        if logic in ("INV", "BUF") and len(args) != 1:
-            raise BenchParseError(
-                f"line {lineno}: {func} expects one operand, got {len(args)}"
-            )
-        if logic not in ("INV", "BUF") and len(args) < 2:
-            raise BenchParseError(
-                f"line {lineno}: {func} expects at least two operands, got {len(args)}"
-            )
-        cell_type = make_cell_type(logic, len(args))
-        circuit.add_gate(Gate(name=f"g_{out}", cell_type=cell_type, inputs=args, output=out))
-    return circuit
+    raw = parse_bench_raw(text, name=name)
+    try:
+        return elaborate(raw, name=name)
+    except BenchParseError:
+        raise
+    except FrontendError as exc:
+        raise BenchParseError(exc.message, exc.loc, exc.token) from exc
 
 
 def parse_bench_file(path: Union[str, Path]) -> Circuit:

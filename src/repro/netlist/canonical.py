@@ -1,0 +1,340 @@
+"""Net canonicalization: alias merging, driver repair, and lowering.
+
+The elaboration pass (:mod:`repro.netlist.elaborate`) leaves ``assign``
+statements as raw *alias pairs* — it does not try to decide which of the two
+names survives.  This module finishes the job:
+
+1. **Union** every alias pair in a disjoint-set-union (union-find) structure
+   with path compression, so arbitrarily long alias chains collapse in
+   near-constant amortized time.
+2. **Elect** one canonical representative per alias class.  The choice is a
+   pure function of the class *membership* (primary inputs win, then primary
+   outputs, then gate-driven nets, then plain wires; ties break on port
+   declaration order or net name) — never of the order the ``assign``
+   statements appeared in.  Canonicalization is therefore idempotent and
+   order-independent by construction.
+3. **Repair** the benign driver conflicts that alias merging can surface,
+   instead of rejecting the netlist:
+
+   * an alias class containing several primary outputs keeps one canonical
+     net and gets a ``BUF`` repair gate per extra output, so every declared
+     output stays observable and singly driven;
+   * a class shorting a primary input to a primary output is the same shape
+     (the input is canonical, the output gets a ``BUF``);
+   * structurally identical parallel drivers (same cell type, same
+     canonical input nets) are deduplicated down to the first instance;
+   * primary inputs shorted to each other collapse onto the first-declared
+     input (the others stay declared but unused).
+
+   Everything else — distinct gates fighting over one canonical net, a gate
+   driving a primary input — is *not* silently patched: in strict mode it
+   raises :class:`~repro.netlist.ast.CanonicalizationError` naming the DRC
+   rule that covers the defect; in non-strict mode the extra drivers are
+   parked on reserved ``<net>__drv<k>`` nets and reported as diagnostics so
+   ``lint`` can show the full picture.
+4. **Lower** the result to a :class:`~repro.netlist.circuit.Circuit`, the
+   single analysable form every engine consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.netlist.ast import (
+    CanonicalizationError,
+    FlatDesign,
+    FlatGate,
+    SourceLoc,
+)
+from repro.netlist.circuit import Circuit
+from repro.netlist.gate import Gate
+
+#: Name prefix of gates inserted by driver repair (never produced by parsers).
+REPAIR_PREFIX = "__fe_buf_"
+
+#: Net-name suffix used to park non-benign extra drivers in non-strict mode.
+CONFLICT_SUFFIX = "__drv"
+
+
+class DisjointSets:
+    """Union-find over net names with iterative path compression.
+
+    Only nets that actually appear in an alias pair are ever inserted, so
+    the structure stays tiny even for 100k-gate designs with a handful of
+    ``assign`` statements.
+    """
+
+    def __init__(self) -> None:
+        self._parent: Dict[str, str] = {}
+
+    def add(self, item: str) -> None:
+        self._parent.setdefault(item, item)
+
+    def find(self, item: str) -> str:
+        parent = self._parent
+        if item not in parent:
+            parent[item] = item
+            return item
+        root = item
+        while parent[root] != root:
+            root = parent[root]
+        while parent[item] != root:  # path compression
+            parent[item], item = root, parent[item]
+        return root
+
+    def union(self, a: str, b: str) -> str:
+        ra, rb = self.find(a), self.find(b)
+        if ra != rb:
+            self._parent[rb] = ra
+        return ra
+
+    def classes(self) -> List[List[str]]:
+        """All classes with two or more members, members in insertion order."""
+        groups: Dict[str, List[str]] = {}
+        for item in self._parent:
+            groups.setdefault(self.find(item), []).append(item)
+        return [members for members in groups.values() if len(members) > 1]
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One canonicalization finding, tagged with the DRC rule it maps onto."""
+
+    rule: str  # DRC rule id covering this defect ("" for pure repairs)
+    severity: str  # "error" | "warning" | "repair"
+    message: str
+    loc: Optional[SourceLoc] = None
+
+    def __str__(self) -> str:
+        tag = f"[{self.rule}] " if self.rule else ""
+        where = f" ({self.loc})" if self.loc is not None else ""
+        return f"{self.severity.upper()} {tag}{self.message}{where}"
+
+
+@dataclass
+class CanonicalizeResult:
+    """Outcome of canonicalizing a :class:`FlatDesign`."""
+
+    circuit: Circuit
+    #: Original net name -> canonical net name (identity entries omitted).
+    net_map: Dict[str, str] = field(default_factory=dict)
+    #: Names of repair gates inserted (``__fe_buf_*``).
+    repairs: List[str] = field(default_factory=list)
+    #: Gate names dropped as structurally identical parallel drivers.
+    deduplicated: List[str] = field(default_factory=list)
+    diagnostics: List[Diagnostic] = field(default_factory=list)
+
+    @property
+    def merged_nets(self) -> int:
+        return len(self.net_map)
+
+    def errors(self) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity == "error"]
+
+
+def _elect_representative(
+    members: Iterable[str],
+    pi_order: Dict[str, int],
+    po_order: Dict[str, int],
+    driven: Dict[str, int],
+) -> str:
+    """Pick the canonical net of an alias class.
+
+    Priority: primary input (by declaration order), then primary output (by
+    declaration order), then gate-driven net (by gate order), then any other
+    net (lexicographic).  Depends only on the class membership, never on the
+    order the aliases were declared or unioned.
+    """
+
+    def rank(net: str) -> Tuple[int, int, str]:
+        if net in pi_order:
+            return (0, pi_order[net], net)
+        if net in po_order:
+            return (1, po_order[net], net)
+        if net in driven:
+            return (2, driven[net], net)
+        return (3, 0, net)
+
+    return min(members, key=rank)
+
+
+def canonicalize_design(
+    design: FlatDesign,
+    strict: bool = True,
+) -> CanonicalizeResult:
+    """Merge alias classes, repair benign conflicts, lower to a ``Circuit``.
+
+    With ``strict=True`` (the default) any conflict that cannot be repaired
+    raises :class:`CanonicalizationError`; with ``strict=False`` the netlist
+    is still lowered — conflicting drivers are parked on reserved nets — and
+    the problems are returned as :attr:`CanonicalizeResult.diagnostics` so
+    callers like ``repro.cli lint`` can report everything at once.
+    """
+    pi_order = {net: i for i, net in enumerate(design.primary_inputs)}
+    po_order = {net: i for i, net in enumerate(design.primary_outputs)}
+    driven: Dict[str, int] = {}
+    for idx, gate in enumerate(design.gates):
+        driven.setdefault(gate.output, idx)
+
+    # -- 1. union the alias pairs --------------------------------------
+    dsu = DisjointSets()
+    for lhs, rhs in design.aliases:
+        dsu.union(lhs, rhs)
+
+    # -- 2. elect canonical representatives ----------------------------
+    net_map: Dict[str, str] = {}
+    diagnostics: List[Diagnostic] = []
+    class_of: Dict[str, List[str]] = {}
+    for members in dsu.classes():
+        rep = _elect_representative(members, pi_order, po_order, driven)
+        class_of[rep] = members
+        for net in members:
+            if net != rep:
+                net_map[net] = rep
+
+    def canon(net: str) -> str:
+        return net_map.get(net, net)
+
+    # Shorted primary inputs: the non-canonical ones stay declared but all
+    # readers move to the representative.
+    for rep, members in class_of.items():
+        extra_pis = [n for n in members if n in pi_order and n != rep]
+        if extra_pis:
+            diagnostics.append(
+                Diagnostic(
+                    rule="FE001",
+                    severity="warning",
+                    message=(
+                        f"primary inputs {extra_pis} are aliased to "
+                        f"{rep!r}; they remain declared but unused"
+                    ),
+                )
+            )
+
+    # Primary outputs folded into a class keep their declared name via a BUF
+    # repair gate; readers use the canonical net.  A repaired output maps to
+    # itself (its net is driven by the repair gate, not merged away).
+    repaired_po_sources: Dict[str, str] = {}  # repaired PO -> its class rep
+    for rep, members in class_of.items():
+        for net in members:
+            if net != rep and net in po_order:
+                del net_map[net]
+                repaired_po_sources[net] = rep
+                diagnostics.append(
+                    Diagnostic(
+                        rule="FE002",
+                        severity="repair",
+                        message=(
+                            f"primary output {net!r} aliased to {rep!r}: "
+                            f"inserted buffer {REPAIR_PREFIX + net!r}"
+                        ),
+                    )
+                )
+
+    # -- 3. rewrite gates through the canonical map --------------------
+    conflicts: Dict[str, List[int]] = {}
+    for idx, gate in enumerate(design.gates):
+        conflicts.setdefault(canon(gate.output), []).append(idx)
+
+    drop: set = set()
+    renamed_outputs: Dict[int, str] = {}
+    deduplicated: List[str] = []
+
+    def _gate_signature(gate: FlatGate) -> Tuple[str, Tuple[str, ...], int]:
+        return (gate.cell_type, tuple(canon(n) for n in gate.inputs), gate.size_index)
+
+    for net, indices in conflicts.items():
+        gate_drives_pi = net in pi_order
+        if len(indices) == 1 and not gate_drives_pi:
+            continue
+        if gate_drives_pi:
+            gates = [design.gates[i] for i in indices]
+            message = (
+                f"gate(s) {[g.name for g in gates]} drive primary input {net!r}"
+            )
+            if strict:
+                raise CanonicalizationError(
+                    f"{message} [DRC003]", loc=gates[0].loc
+                )
+            diagnostics.append(
+                Diagnostic("DRC003", "error", message, loc=gates[0].loc)
+            )
+            for k, idx in enumerate(indices):
+                renamed_outputs[idx] = f"{net}{CONFLICT_SUFFIX}{k}"
+            continue
+        # Multiple gate drivers on one canonical net: deduplicate identical
+        # parallel drivers; anything else is a real multi-driver defect.
+        keep = indices[0]
+        keep_sig = _gate_signature(design.gates[keep])
+        offenders: List[int] = []
+        for idx in indices[1:]:
+            if _gate_signature(design.gates[idx]) == keep_sig:
+                drop.add(idx)
+                deduplicated.append(design.gates[idx].name)
+                diagnostics.append(
+                    Diagnostic(
+                        rule="FE003",
+                        severity="repair",
+                        message=(
+                            f"dropped gate {design.gates[idx].name!r}: "
+                            f"identical parallel driver of {net!r} "
+                            f"(kept {design.gates[keep].name!r})"
+                        ),
+                        loc=design.gates[idx].loc,
+                    )
+                )
+            else:
+                offenders.append(idx)
+        if offenders:
+            names = [design.gates[i].name for i in [keep, *offenders]]
+            message = f"net {net!r} driven by multiple distinct gates {names}"
+            if strict:
+                raise CanonicalizationError(
+                    f"{message} [DRC003]", loc=design.gates[offenders[0]].loc
+                )
+            diagnostics.append(
+                Diagnostic(
+                    "DRC003", "error", message, loc=design.gates[offenders[0]].loc
+                )
+            )
+            for k, idx in enumerate(offenders):
+                renamed_outputs[idx] = f"{net}{CONFLICT_SUFFIX}{k + 1}"
+
+    # -- 4. lower ------------------------------------------------------
+    circuit = Circuit(
+        design.name,
+        primary_inputs=design.primary_inputs,
+        primary_outputs=design.primary_outputs,
+    )
+    for idx, gate in enumerate(design.gates):
+        if idx in drop:
+            continue
+        circuit.add_gate(
+            Gate(
+                name=gate.name,
+                cell_type=gate.cell_type,
+                inputs=[canon(n) for n in gate.inputs],
+                output=renamed_outputs.get(idx, canon(gate.output)),
+                size_index=gate.size_index,
+            )
+        )
+
+    repairs: List[str] = []
+    for po in sorted(repaired_po_sources, key=lambda n: po_order[n]):
+        source = repaired_po_sources[po]
+        buf_name = REPAIR_PREFIX + po
+        while circuit.has_gate(buf_name):
+            buf_name += "_"
+        circuit.add_gate(
+            Gate(name=buf_name, cell_type="BUF", inputs=[source], output=po)
+        )
+        repairs.append(buf_name)
+
+    return CanonicalizeResult(
+        circuit=circuit,
+        net_map=net_map,
+        repairs=repairs,
+        deduplicated=deduplicated,
+        diagnostics=diagnostics,
+    )

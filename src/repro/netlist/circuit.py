@@ -73,6 +73,8 @@ class Circuit:
         self.name = name
         self._primary_inputs: List[str] = list(primary_inputs or [])
         self._primary_outputs: List[str] = list(primary_outputs or [])
+        self._pi_set: Set[str] = set(self._primary_inputs)
+        self._po_set: Set[str] = set(self._primary_outputs)
         self._gates: Dict[str, Gate] = {}
         self._driver: Dict[str, str] = {}  # net -> gate name driving it
         self._loads: Dict[str, List[str]] = {}  # net -> gate names reading it
@@ -83,29 +85,32 @@ class Circuit:
         self._compiled_cache: Optional["CompiledCircuit"] = None
         self._compiled_size_cursor: int = 0
 
-        seen: Set[str] = set()
-        for pi in self._primary_inputs:
-            if pi in seen:
-                raise CircuitError(f"duplicate primary input {pi!r}")
-            seen.add(pi)
+        if len(self._pi_set) != len(self._primary_inputs):
+            seen: Set[str] = set()
+            for pi in self._primary_inputs:
+                if pi in seen:
+                    raise CircuitError(f"duplicate primary input {pi!r}")
+                seen.add(pi)
 
     # ------------------------------------------------------------------
     # Construction
     # ------------------------------------------------------------------
     def add_primary_input(self, net: str) -> None:
         """Declare ``net`` as a primary input."""
-        if net in self._primary_inputs:
+        if net in self._pi_set:
             raise CircuitError(f"primary input {net!r} already declared")
         if net in self._driver:
             raise CircuitError(f"net {net!r} is already driven by gate {self._driver[net]!r}")
         self._primary_inputs.append(net)
+        self._pi_set.add(net)
         self._invalidate()
 
     def add_primary_output(self, net: str) -> None:
         """Declare ``net`` as a primary output."""
-        if net in self._primary_outputs:
+        if net in self._po_set:
             raise CircuitError(f"primary output {net!r} already declared")
         self._primary_outputs.append(net)
+        self._po_set.add(net)
 
     def add_gate(self, gate: Gate) -> Gate:
         """Add a gate instance; returns the gate for chaining."""
@@ -115,7 +120,7 @@ class Circuit:
             raise CircuitError(
                 f"net {gate.output!r} already driven by {self._driver[gate.output]!r}"
             )
-        if gate.output in self._primary_inputs:
+        if gate.output in self._pi_set:
             raise CircuitError(f"gate {gate.name!r} drives primary input {gate.output!r}")
         self._gates[gate.name] = gate
         self._driver[gate.output] = gate.name
@@ -315,10 +320,10 @@ class Circuit:
         return nets
 
     def is_primary_input(self, net: str) -> bool:
-        return net in set(self._primary_inputs)
+        return net in self._pi_set
 
     def is_primary_output(self, net: str) -> bool:
-        return net in set(self._primary_outputs)
+        return net in self._po_set
 
     def driver_of(self, net: str) -> Optional[Gate]:
         """Gate driving ``net``, or ``None`` if it is a primary input."""
@@ -328,6 +333,14 @@ class Circuit:
     def loads_of(self, net: str) -> List[Gate]:
         """Gates reading ``net`` (deterministic order of insertion)."""
         return [self._gates[n] for n in self._loads.get(net, [])]
+
+    def load_names(self, net: str) -> List[str]:
+        """Names of the gates reading ``net`` (same order as :meth:`loads_of`).
+
+        Cheaper than :meth:`loads_of` on hot paths (the IR lowering walks
+        every net) because no :class:`Gate` objects are materialised.
+        """
+        return list(self._loads.get(net, []))
 
     def fanout_gates(self, gate_name: str) -> List[Gate]:
         """Gates directly driven by the output of ``gate_name``."""

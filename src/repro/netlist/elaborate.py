@@ -1,0 +1,390 @@
+"""Hierarchy elaboration: RawNetlist -> FlatDesign -> Circuit.
+
+This pass turns the unelaborated front-end IR (:mod:`repro.netlist.ast`)
+into a flat, scalar design:
+
+* **module instantiation** is expanded recursively; every net and gate of a
+  child instance is prefixed with the instance path (``u1.n3``,
+  ``u1.u2.g7``);
+* **buses** are bit-blasted MSB-first into scalar nets named ``bus[i]``;
+* **parameters** (module defaults plus per-instance ``#(.N(v))`` overrides)
+  are folded into integers before any range is evaluated, so parameterized
+  widths work across the hierarchy;
+* **port maps** (named or positional, with width checking) bind child ports
+  to parent nets directly — connecting through a port never costs a gate;
+* **leaf cells** (any instantiated name that is not a module) become
+  :class:`~repro.netlist.ast.FlatGate` records using the library pin
+  convention: named pin ``Y`` is the output and the remaining pins are
+  inputs in pin-name order; positional connections put the output first.
+
+``assign`` statements are *not* resolved here — they are emitted as alias
+pairs for :func:`repro.netlist.canonical.canonicalize_design`, which merges
+them with a union-find pass and performs driver repair.  The two passes
+together are the single lowering path to :class:`Circuit` shared by the
+Verilog reader, the ``.bench`` reader and the Python circuit builders.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from repro.netlist.ast import (
+    Concat,
+    ElaborationError,
+    FlatDesign,
+    FlatGate,
+    Id,
+    NetExpr,
+    RawInstance,
+    RawModule,
+    RawNetlist,
+    Select,
+    SourceLoc,
+    bus_bits,
+    eval_index,
+)
+from repro.netlist.canonical import CanonicalizeResult, canonicalize_design
+from repro.netlist.circuit import Circuit
+
+#: Separator between instance-path components in flattened names.
+HIER_SEP = "."
+
+
+class _Scope:
+    """Symbol table of one module instance during expansion.
+
+    Maps local net names to their global bit lists (MSB first).  Scalars are
+    one-element lists.  Undeclared names referenced in expressions become
+    implicit scalar wires, as in Verilog.
+    """
+
+    def __init__(self, module: RawModule, prefix: str,
+                 params: Mapping[str, int]) -> None:
+        self.module = module
+        self.prefix = prefix
+        self.params = params
+        self.symbols: Dict[str, List[str]] = {}
+
+    def declare(self, name: str, msb: Optional[int], lsb: Optional[int],
+                bits: Optional[List[str]] = None) -> List[str]:
+        if bits is None:
+            if msb is None:
+                bits = [self.prefix + name]
+            else:
+                assert lsb is not None
+                bits = [self.prefix + b for b in bus_bits(name, msb, lsb)]
+        self.symbols[name] = bits
+        return bits
+
+    def lookup(self, name: str) -> Optional[List[str]]:
+        return self.symbols.get(name)
+
+    def implicit(self, name: str) -> List[str]:
+        """Implicit scalar wire for an undeclared reference."""
+        return self.symbols.setdefault(name, [self.prefix + name])
+
+
+def _eval_range(
+    msb: Optional[object], lsb: Optional[object],
+    params: Mapping[str, int], loc: Optional[SourceLoc],
+) -> Tuple[Optional[int], Optional[int]]:
+    if msb is None:
+        return None, None
+    m = eval_index(msb, params, loc)  # type: ignore[arg-type]
+    low = eval_index(lsb, params, loc) if lsb is not None else m  # type: ignore[arg-type]
+    return m, low
+
+
+def _resolve(expr: NetExpr, scope: _Scope,
+             loc: Optional[SourceLoc] = None) -> List[str]:
+    """Resolve a net expression to its global bit list (MSB first)."""
+    if isinstance(expr, str):
+        expr = Id(expr)
+    if isinstance(expr, Id):
+        bits = scope.lookup(expr.name)
+        if bits is not None:
+            return list(bits)
+        return list(scope.implicit(expr.name))
+    if isinstance(expr, Select):
+        msb = eval_index(expr.msb, scope.params, loc)
+        lsb = eval_index(expr.lsb, scope.params, loc) if expr.lsb is not None else None
+        bits = scope.lookup(expr.name)
+        if bits is None:
+            # Undeclared base: a constant bit-select like ``n[3]`` names a
+            # literal scalar net ``n[3]`` — the form our own writer emits
+            # for bit-blasted netlists — so flattened output re-parses.
+            if lsb is None:
+                return list(scope.implicit(f"{expr.name}[{msb}]"))
+            raise ElaborationError(
+                f"part-select on undeclared net {expr.name!r}", loc,
+                token=expr.name,
+            )
+        decl = scope.module.ports.get(expr.name) or scope.module.nets.get(expr.name)
+        if decl is None or decl.msb is None:
+            raise ElaborationError(
+                f"bit-select on scalar net {expr.name!r}", loc, token=expr.name
+            )
+        d_msb, d_lsb = _eval_range(decl.msb, decl.lsb, scope.params, loc)
+        assert d_msb is not None and d_lsb is not None
+
+        def bit_pos(i: int) -> int:
+            lo, hi = min(d_msb, d_lsb), max(d_msb, d_lsb)
+            if not lo <= i <= hi:
+                raise ElaborationError(
+                    f"index {i} out of range [{d_msb}:{d_lsb}] "
+                    f"for net {expr.name!r}", loc, token=str(i),
+                )
+            # bits are MSB first
+            return abs(d_msb - i)
+
+        if lsb is None:
+            return [bits[bit_pos(msb)]]
+        step = -1 if msb >= lsb else 1
+        return [bits[bit_pos(i)] for i in range(msb, lsb + step, step)]
+    if isinstance(expr, Concat):
+        out: List[str] = []
+        for part in expr.parts:
+            out.extend(_resolve(part, scope, loc))
+        return out
+    raise ElaborationError(f"unsupported net expression {expr!r}", loc)
+
+
+def _child_params(
+    child: RawModule, inst: RawInstance, scope: _Scope,
+) -> Dict[str, int]:
+    """Parameter environment of a child instance.
+
+    Overrides are evaluated in the *parent* scope; defaults are evaluated in
+    the child's own (accumulating) environment, so later defaults may
+    reference earlier parameters.
+    """
+    overrides: Dict[str, int] = {}
+    for pname, pexpr in inst.param_overrides.items():
+        if pname not in child.params:
+            raise ElaborationError(
+                f"instance {inst.name!r} overrides unknown parameter "
+                f"{pname!r} of module {child.name!r}", inst.loc, token=pname,
+            )
+        overrides[pname] = eval_index(pexpr, scope.params, inst.loc)
+    env: Dict[str, int] = {}
+    for pname, default in child.params.items():
+        if pname in overrides:
+            env[pname] = overrides[pname]
+        else:
+            env[pname] = eval_index(default, env, child.loc)
+    return env
+
+
+def _bind_ports(
+    child: RawModule, inst: RawInstance, scope: _Scope,
+    child_params: Mapping[str, int], prefix: str,
+) -> Dict[str, List[str]]:
+    """Resolve an instance's connections to per-port global bit lists."""
+    conn_exprs: Dict[str, Optional[NetExpr]] = {}
+    if inst.named is not None:
+        for port_name in inst.named:
+            if port_name not in child.ports:
+                raise ElaborationError(
+                    f"instance {inst.name!r} connects unknown port "
+                    f"{port_name!r} of module {child.name!r}",
+                    inst.loc, token=port_name,
+                )
+        conn_exprs.update(inst.named)
+    else:
+        positional = inst.positional or []
+        if len(positional) > len(child.port_order):
+            raise ElaborationError(
+                f"instance {inst.name!r} has {len(positional)} connections "
+                f"but module {child.name!r} has only "
+                f"{len(child.port_order)} ports", inst.loc,
+            )
+        for port_name, expr in zip(child.port_order, positional):
+            conn_exprs[port_name] = expr
+
+    bindings: Dict[str, List[str]] = {}
+    for port_name in child.port_order:
+        port = child.ports[port_name]
+        p_msb, p_lsb = _eval_range(port.msb, port.lsb, child_params, port.loc)
+        width = 1 if p_msb is None or p_lsb is None else abs(p_msb - p_lsb) + 1
+        expr = conn_exprs.get(port_name)
+        if expr is None:
+            # Unconnected port: give it fresh (undriven/unread) nets.
+            base = f"{prefix}{port_name}"
+            if p_msb is None:
+                bindings[port_name] = [base]
+            else:
+                assert p_lsb is not None
+                bindings[port_name] = [base + f"[{i}]"
+                                       for i in range(width)]
+            continue
+        bits = _resolve(expr, scope, inst.loc)
+        if len(bits) != width:
+            raise ElaborationError(
+                f"port {port_name!r} of instance {inst.name!r} "
+                f"(module {child.name!r}) is {width} bit(s) wide but is "
+                f"connected to {len(bits)} bit(s)", inst.loc, token=port_name,
+            )
+        bindings[port_name] = bits
+    return bindings
+
+
+def _leaf_gate(inst: RawInstance, scope: _Scope, prefix: str) -> FlatGate:
+    """Lower a library-cell instance to a scalar :class:`FlatGate`."""
+
+    def one_bit(expr: NetExpr, pin: str) -> str:
+        bits = _resolve(expr, scope, inst.loc)
+        if len(bits) != 1:
+            raise ElaborationError(
+                f"pin {pin!r} of leaf instance {inst.name!r} "
+                f"({inst.target}) must be one bit wide, got {len(bits)}",
+                inst.loc, token=pin,
+            )
+        return bits[0]
+
+    if inst.named is not None:
+        pins = {pin.upper(): expr for pin, expr in inst.named.items()}
+        if "Y" not in pins or pins["Y"] is None:
+            raise ElaborationError(
+                f"instance {inst.name!r} has no output pin .Y(...)", inst.loc,
+                token=inst.name,
+            )
+        output = one_bit(pins.pop("Y"), "Y")  # type: ignore[arg-type]
+        inputs = []
+        for pin, expr in sorted(pins.items()):
+            if expr is None:
+                raise ElaborationError(
+                    f"input pin {pin!r} of leaf instance {inst.name!r} "
+                    f"is unconnected", inst.loc, token=pin,
+                )
+            inputs.append(one_bit(expr, pin))
+    else:
+        conns = inst.positional or []
+        if len(conns) < 2:
+            raise ElaborationError(
+                f"instance {inst.name!r} needs an output and at least one "
+                f"input", inst.loc, token=inst.name,
+            )
+        output = one_bit(conns[0], "Y")
+        inputs = [one_bit(expr, f"in{i}") for i, expr in enumerate(conns[1:])]
+    return FlatGate(
+        name=prefix + inst.name,
+        cell_type=inst.target,
+        inputs=inputs,
+        output=output,
+        size_index=inst.size_index,
+        loc=inst.loc,
+    )
+
+
+def _expand(
+    raw: RawNetlist,
+    module: RawModule,
+    prefix: str,
+    params: Dict[str, int],
+    port_bindings: Dict[str, List[str]],
+    design: FlatDesign,
+    stack: Tuple[str, ...],
+) -> None:
+    if module.name in stack:
+        chain = " -> ".join([*stack, module.name])
+        raise ElaborationError(
+            f"recursive module instantiation: {chain}", module.loc,
+            token=module.name,
+        )
+    stack = (*stack, module.name)
+
+    scope = _Scope(module, prefix, params)
+    for port_name, port in module.ports.items():
+        bits = port_bindings.get(port_name)
+        if bits is not None:
+            scope.declare(port_name, None, None, bits=bits)
+        else:
+            p_msb, p_lsb = _eval_range(port.msb, port.lsb, params, port.loc)
+            scope.declare(port_name, p_msb, p_lsb)
+    for net_name, net in module.nets.items():
+        if net_name in scope.symbols:
+            continue  # a port redeclared as wire keeps its port binding
+        n_msb, n_lsb = _eval_range(net.msb, net.lsb, params, net.loc)
+        scope.declare(net_name, n_msb, n_lsb)
+
+    for inst in module.instances:
+        child = raw.modules.get(inst.target)
+        if child is None:
+            design.gates.append(_leaf_gate(inst, scope, prefix))
+            continue
+        child_env = _child_params(child, inst, scope)
+        child_prefix = f"{prefix}{inst.name}{HIER_SEP}"
+        bindings = _bind_ports(child, inst, scope, child_env, child_prefix)
+        _expand(raw, child, child_prefix, child_env, bindings, design, stack)
+
+    for assign in module.assigns:
+        lhs = _resolve(assign.lhs, scope, assign.loc)
+        rhs = _resolve(assign.rhs, scope, assign.loc)
+        if len(lhs) != len(rhs):
+            raise ElaborationError(
+                f"assign width mismatch: left side is {len(lhs)} bit(s), "
+                f"right side is {len(rhs)} bit(s)", assign.loc,
+            )
+        for left, right in zip(lhs, rhs):
+            design.add_alias(left, right, assign.loc)
+
+
+def flatten_netlist(
+    raw: RawNetlist,
+    top: Optional[str] = None,
+    name: Optional[str] = None,
+) -> FlatDesign:
+    """Flatten a raw netlist to scalar gates plus unresolved alias pairs.
+
+    ``top`` selects the root module (default: the recorded top, else the
+    unique module no other module instantiates); ``name`` overrides the
+    resulting design name (default: the top module's name).
+    """
+    top_module = raw.top_module(top)
+    design = FlatDesign(name=name or top_module.name)
+
+    params: Dict[str, int] = {}
+    for pname, default in top_module.params.items():
+        params[pname] = eval_index(default, params, top_module.loc)
+
+    scope = _Scope(top_module, "", params)
+    for port_name, port in top_module.ports.items():
+        p_msb, p_lsb = _eval_range(port.msb, port.lsb, params, port.loc)
+        bits = bus_bits(port_name, p_msb, p_lsb) if p_msb is not None \
+            else [port_name]
+        if port.direction == "input":
+            design.primary_inputs.extend(bits)
+        elif port.direction == "output":
+            design.primary_outputs.extend(bits)
+        else:
+            raise ElaborationError(
+                f"port {port_name!r} of top module {top_module.name!r} has "
+                f"no direction", port.loc, token=port_name,
+            )
+        scope.symbols[port_name] = bits
+
+    _expand(raw, top_module, "", params, dict(scope.symbols), design, ())
+    return design
+
+
+def elaborate(
+    raw: RawNetlist,
+    top: Optional[str] = None,
+    name: Optional[str] = None,
+    strict: bool = True,
+) -> Circuit:
+    """Flatten + canonicalize a raw netlist down to a :class:`Circuit`."""
+    return elaborate_design(raw, top=top, name=name, strict=strict).circuit
+
+
+def elaborate_design(
+    raw: RawNetlist,
+    top: Optional[str] = None,
+    name: Optional[str] = None,
+    strict: bool = True,
+) -> CanonicalizeResult:
+    """Like :func:`elaborate` but returns the full
+    :class:`~repro.netlist.canonical.CanonicalizeResult` (circuit plus net
+    map, repairs and diagnostics)."""
+    design = flatten_netlist(raw, top=top, name=name)
+    return canonicalize_design(design, strict=strict)

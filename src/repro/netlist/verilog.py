@@ -1,94 +1,483 @@
-"""Minimal structural-Verilog reader and writer.
+"""Structural-Verilog reader and writer.
 
-Only the subset needed to exchange technology-mapped combinational netlists
-is supported: one module, ``input``/``output``/``wire`` declarations, and
-primitive-style instantiations of the library cell types::
+The reader is a tokenizer plus recursive-descent parser producing the raw
+front-end IR (:class:`~repro.netlist.ast.RawNetlist`); the shared
+elaboration + canonicalization pipeline then lowers it to a
+:class:`~repro.netlist.circuit.Circuit`.  The supported subset is what is
+needed to exchange technology-mapped combinational netlists, hierarchical
+or flat::
 
-    module c17 (N1, N2, N3, N6, N7, N22, N23);
-      input N1, N2, N3, N6, N7;
-      output N22, N23;
-      wire N10, N11, N16, N19;
-      NAND2 g10 (.Y(N10), .A(N1), .B(N3));
+    module full_adder (input a, input b, input cin,
+                       output sum, output cout);
+      wire n1, n2, n3;
+      XOR2 g1 (.Y(n1), .A(a), .B(b));
       ...
     endmodule
 
-Pin conventions: output pin is ``Y``; inputs are ``A``, ``B``, ``C``, ... in
-order.  Positional connections are also accepted with the output first.
+    module top (a, b, y);
+      input [3:0] a, b;
+      output [3:0] y;
+      full_adder u0 (.a(a[0]), .b(b[0]), .cin(zero), .sum(y[0]), ...);
+      assign y_alias = y[3];
+    endmodule
+
+Supported: multiple modules with instantiation (named or positional port
+maps), ANSI and non-ANSI port declarations, vector ports/wires with
+``[msb:lsb]`` ranges, bit- and part-selects, concatenations,
+``parameter`` declarations with ``#(.N(v))`` overrides and parameterized
+ranges, ``assign`` net aliases, ``//`` and ``/* */`` comments, and escaped
+identifiers.  Not supported: behavioural code, ``always``/``initial``
+blocks, expressions other than net selections/concatenations, constant
+literals on nets, and sequential primitives.
+
+Pin conventions for leaf (library) cells: output pin is ``Y``; inputs are
+``A``, ``B``, ``C``, ... in order.  Positional connections are accepted
+with the output first.
+
+All parse errors carry the 1-based line/column and the offending token.
 """
 
 from __future__ import annotations
 
 import re
-from typing import Dict, List
+from pathlib import Path
+from typing import Dict, List, Optional, Union
 
-from repro.netlist.circuit import Circuit
-from repro.netlist.gate import Gate
-
-_MODULE_RE = re.compile(r"module\s+(?P<name>\w+)\s*\((?P<ports>[^)]*)\)\s*;", re.S)
-_DECL_RE = re.compile(r"(?P<kind>input|output|wire)\s+(?P<nets>[^;]+);")
-_INST_RE = re.compile(
-    r"(?P<cell>[A-Z][A-Z0-9_]*)\s+(?P<inst>[\w\\\[\]\.]+)\s*\((?P<conns>[^;]*)\)\s*;"
+from repro.netlist.ast import (
+    INPUT_PIN_ORDER,
+    Concat,
+    FrontendError,
+    Id,
+    IndexExpr,
+    NetExpr,
+    RawInstance,
+    RawModule,
+    RawNetlist,
+    Select,
+    SourceLoc,
+    format_expr,
+    format_index,
 )
-_NAMED_CONN_RE = re.compile(r"\.(?P<pin>\w+)\s*\(\s*(?P<net>[\w\\\[\]\.]+)\s*\)")
+from repro.netlist.circuit import Circuit
+from repro.netlist.elaborate import elaborate
 
-INPUT_PIN_ORDER = "ABCDEFGHIJKLMNOP"
+__all__ = [
+    "INPUT_PIN_ORDER",
+    "VerilogParseError",
+    "parse_verilog",
+    "parse_verilog_file",
+    "parse_verilog_raw",
+    "write_verilog",
+    "write_verilog_netlist",
+]
 
 
-class VerilogParseError(Exception):
-    """Raised when structural Verilog cannot be parsed."""
+class VerilogParseError(FrontendError):
+    """Raised when structural Verilog cannot be parsed or elaborated."""
 
 
-def _split_nets(decl: str) -> List[str]:
-    return [n.strip() for n in decl.replace("\n", " ").split(",") if n.strip()]
+_KEYWORDS = frozenset(
+    {"module", "endmodule", "input", "output", "inout", "wire", "assign",
+     "parameter"}
+)
+
+_TOKEN_RE = re.compile(
+    r"""(?P<ws>\s+)
+      | (?P<comment>//[^\n]*|/\*.*?\*/)
+      | (?P<escaped>\\\S+)
+      | (?P<id>[A-Za-z_$][\w$]*(?:\.[A-Za-z_$][\w$]*)*)
+      | (?P<number>\d+)
+      | (?P<symbol>[()\[\]{},;:=\#.+\-*/%])
+    """,
+    re.VERBOSE | re.DOTALL,
+)
 
 
-def parse_verilog(text: str) -> Circuit:
-    """Parse a single-module structural Verilog netlist into a :class:`Circuit`."""
-    text = re.sub(r"//[^\n]*", "", text)
-    text = re.sub(r"/\*.*?\*/", "", text, flags=re.S)
+class _Token:
+    __slots__ = ("kind", "value", "line", "col")
 
-    module = _MODULE_RE.search(text)
-    if module is None:
-        raise VerilogParseError("no module declaration found")
-    name = module.group("name")
+    def __init__(self, kind: str, value: str, line: int, col: int) -> None:
+        self.kind = kind  # "id" | "number" | "symbol" | "eof"
+        self.value = value
+        self.line = line
+        self.col = col
 
-    inputs: List[str] = []
-    outputs: List[str] = []
-    for decl in _DECL_RE.finditer(text):
-        nets = _split_nets(decl.group("nets"))
-        if decl.group("kind") == "input":
-            inputs.extend(nets)
-        elif decl.group("kind") == "output":
-            outputs.extend(nets)
+    @property
+    def loc(self) -> SourceLoc:
+        return SourceLoc(self.line, self.col)
 
-    circuit = Circuit(name, primary_inputs=inputs, primary_outputs=outputs)
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"_Token({self.kind}, {self.value!r}, {self.line}:{self.col})"
 
-    body = text[module.end():]
-    for inst in _INST_RE.finditer(body):
-        cell = inst.group("cell")
-        inst_name = inst.group("inst")
-        conns = inst.group("conns")
-        named = _NAMED_CONN_RE.findall(conns)
-        if named:
-            pins: Dict[str, str] = {pin.upper(): net for pin, net in named}
-            if "Y" not in pins:
-                raise VerilogParseError(
-                    f"instance {inst_name!r} has no output pin .Y(...)"
-                )
-            output = pins.pop("Y")
-            ordered = sorted(pins.items(), key=lambda kv: kv[0])
-            gate_inputs = [net for _, net in ordered]
+
+def _tokenize(text: str) -> List[_Token]:
+    tokens: List[_Token] = []
+    pos, line, col = 0, 1, 1
+    end = len(text)
+    while pos < end:
+        match = _TOKEN_RE.match(text, pos)
+        if match is None:
+            raise VerilogParseError(
+                "unexpected character", SourceLoc(line, col), token=text[pos]
+            )
+        kind = match.lastgroup
+        value = match.group()
+        if kind == "escaped":
+            tokens.append(_Token("id", value, line, col))
+        elif kind in ("id", "number", "symbol"):
+            tokens.append(_Token(kind, value, line, col))
+        # advance line/col over the consumed text (comments/ws may span lines)
+        newlines = value.count("\n")
+        if newlines:
+            line += newlines
+            col = len(value) - value.rfind("\n")
         else:
-            nets = _split_nets(conns)
-            if len(nets) < 2:
-                raise VerilogParseError(
-                    f"instance {inst_name!r} needs an output and at least one input"
-                )
-            output, gate_inputs = nets[0], nets[1:]
-        circuit.add_gate(
-            Gate(name=inst_name, cell_type=cell, inputs=gate_inputs, output=output)
+            col += len(value)
+        pos = match.end()
+    tokens.append(_Token("eof", "", line, col))
+    return tokens
+
+
+class _Parser:
+    """Recursive-descent parser over the token stream."""
+
+    def __init__(self, tokens: List[_Token]) -> None:
+        self._tokens = tokens
+        self._pos = 0
+
+    # -- token-stream helpers ------------------------------------------
+    def peek(self, offset: int = 0) -> _Token:
+        return self._tokens[min(self._pos + offset, len(self._tokens) - 1)]
+
+    def next(self) -> _Token:
+        tok = self._tokens[self._pos]
+        if tok.kind != "eof":
+            self._pos += 1
+        return tok
+
+    def at_symbol(self, value: str) -> bool:
+        tok = self.peek()
+        return tok.kind == "symbol" and tok.value == value
+
+    def at_keyword(self, value: str) -> bool:
+        tok = self.peek()
+        return tok.kind == "id" and tok.value == value
+
+    def accept_symbol(self, value: str) -> bool:
+        if self.at_symbol(value):
+            self.next()
+            return True
+        return False
+
+    def expect_symbol(self, value: str, what: str = "") -> _Token:
+        tok = self.next()
+        if tok.kind != "symbol" or tok.value != value:
+            context = f" {what}" if what else ""
+            raise VerilogParseError(
+                f"expected {value!r}{context}", tok.loc,
+                token=tok.value or "<eof>",
+            )
+        return tok
+
+    def expect_id(self, what: str = "identifier") -> _Token:
+        tok = self.next()
+        if tok.kind != "id" or tok.value in _KEYWORDS:
+            raise VerilogParseError(
+                f"expected {what}", tok.loc, token=tok.value or "<eof>"
+            )
+        return tok
+
+    def fail(self, message: str) -> "VerilogParseError":
+        tok = self.peek()
+        return VerilogParseError(message, tok.loc, token=tok.value or "<eof>")
+
+    # -- grammar -------------------------------------------------------
+    def parse_netlist(self) -> RawNetlist:
+        netlist = RawNetlist()
+        if self.peek().kind == "eof" or not self.at_keyword("module"):
+            raise VerilogParseError(
+                "no module declaration found", self.peek().loc,
+                token=self.peek().value or "<eof>",
+            )
+        while self.peek().kind != "eof":
+            if not self.at_keyword("module"):
+                raise self.fail("expected 'module'")
+            netlist.add_module(self.parse_module())
+        return netlist
+
+    def parse_module(self) -> RawModule:
+        kw = self.next()  # 'module'
+        name_tok = self.expect_id("module name")
+        module = RawModule(name=name_tok.value, loc=kw.loc)
+
+        if self.accept_symbol("#"):
+            self.expect_symbol("(", "after '#'")
+            self._parse_param_decls(module, terminator=")")
+            self.expect_symbol(")", "closing the parameter list")
+
+        self.expect_symbol("(", "opening the port list")
+        self._parse_port_list(module)
+        self.expect_symbol(")", "closing the port list")
+        self.expect_symbol(";", "after the port list")
+
+        while not self.at_keyword("endmodule"):
+            tok = self.peek()
+            if tok.kind == "eof":
+                raise self.fail(f"unterminated module {module.name!r}: "
+                                f"missing 'endmodule'")
+            if tok.value in ("input", "output"):
+                self._parse_direction_decl(module)
+            elif tok.value == "wire":
+                self._parse_wire_decl(module)
+            elif tok.value == "parameter":
+                self.next()
+                self._parse_param_decls(module, terminator=";")
+                self.expect_symbol(";", "after parameter declaration")
+            elif tok.value == "assign":
+                self._parse_assign(module)
+            elif tok.value == "inout":
+                raise self.fail("'inout' ports are not supported")
+            elif tok.kind == "id":
+                module.add_instance(self._parse_instance())
+            else:
+                raise self.fail("expected a declaration, assign, instance "
+                                "or 'endmodule'")
+        self.next()  # 'endmodule'
+        return module
+
+    def _parse_param_decls(self, module: RawModule, terminator: str) -> None:
+        while True:
+            if self.at_keyword("parameter"):
+                self.next()
+            name = self.expect_id("parameter name")
+            self.expect_symbol("=", f"after parameter {name.value!r}")
+            module.params[name.value] = self._parse_index_expr()
+            if not self.accept_symbol(","):
+                break
+        if not self.at_symbol(terminator):
+            raise self.fail(f"expected {terminator!r} after parameters")
+
+    def _parse_range(self) -> tuple:
+        """``[msb:lsb]`` -> (msb, lsb) index expressions."""
+        self.expect_symbol("[")
+        msb = self._parse_index_expr()
+        self.expect_symbol(":", "in range")
+        lsb = self._parse_index_expr()
+        self.expect_symbol("]", "closing range")
+        return msb, lsb
+
+    def _parse_decl_name(self) -> str:
+        """A declared name, allowing a literal ``[int]`` suffix.
+
+        Our own writer emits bit-blasted nets whose *names* contain
+        brackets (``a[3]``); accepting the literal form keeps flattened
+        output re-parseable.
+        """
+        name = self.expect_id("net name").value
+        while (
+            self.at_symbol("[")
+            and self.peek(1).kind == "number"
+            and self.peek(2).kind == "symbol"
+            and self.peek(2).value == "]"
+        ):
+            self.next()
+            idx = self.next().value
+            self.next()
+            name += f"[{idx}]"
+        return name
+
+    def _parse_port_list(self, module: RawModule) -> None:
+        if self.at_symbol(")"):
+            return
+        direction: Optional[str] = None
+        rng: Optional[tuple] = None
+        while True:
+            tok = self.peek()
+            if tok.value in ("input", "output"):
+                direction = tok.value
+                self.next()
+                rng = self._parse_range() if self.at_symbol("[") else None
+            elif tok.value == "inout":
+                raise self.fail("'inout' ports are not supported")
+            loc = self.peek().loc
+            name = self._parse_decl_name()
+            if direction is not None:  # ANSI style
+                msb, lsb = rng if rng is not None else (None, None)
+                module.add_port(name, direction, msb, lsb, loc=loc)
+            else:  # non-ANSI: direction comes from body declarations
+                if name in module.port_order:
+                    raise VerilogParseError(
+                        f"port {name!r} listed twice", loc, token=name
+                    )
+                module.port_order.append(name)
+            if not self.accept_symbol(","):
+                break
+
+    def _parse_direction_decl(self, module: RawModule) -> None:
+        direction = self.next().value  # 'input' | 'output'
+        rng = self._parse_range() if self.at_symbol("[") else None
+        msb, lsb = rng if rng is not None else (None, None)
+        while True:
+            loc = self.peek().loc
+            name = self._parse_decl_name()
+            module.add_port(name, direction, msb, lsb, loc=loc)
+            if not self.accept_symbol(","):
+                break
+        self.expect_symbol(";", f"after {direction} declaration")
+
+    def _parse_wire_decl(self, module: RawModule) -> None:
+        self.next()  # 'wire'
+        rng = self._parse_range() if self.at_symbol("[") else None
+        msb, lsb = rng if rng is not None else (None, None)
+        while True:
+            loc = self.peek().loc
+            name = self._parse_decl_name()
+            module.add_wire(name, msb, lsb, loc=loc)
+            if not self.accept_symbol(","):
+                break
+        self.expect_symbol(";", "after wire declaration")
+
+    def _parse_assign(self, module: RawModule) -> None:
+        loc = self.next().loc  # 'assign'
+        lhs = self._parse_net_expr()
+        self.expect_symbol("=", "in assign")
+        rhs = self._parse_net_expr()
+        self.expect_symbol(";", "after assign")
+        module.add_assign(lhs, rhs, loc=loc)
+
+    def _parse_instance(self) -> RawInstance:
+        target_tok = self.expect_id("cell or module name")
+        overrides: Dict[str, IndexExpr] = {}
+        if self.accept_symbol("#"):
+            self.expect_symbol("(", "after '#'")
+            while not self.at_symbol(")"):
+                self.expect_symbol(".", "in parameter override")
+                pname = self.expect_id("parameter name").value
+                self.expect_symbol("(", f"after .{pname}")
+                overrides[pname] = self._parse_index_expr()
+                self.expect_symbol(")", f"closing .{pname}(...)")
+                if not self.accept_symbol(","):
+                    break
+            self.expect_symbol(")", "closing the parameter overrides")
+        name_tok = self.expect_id("instance name")
+        loc = name_tok.loc
+        self.expect_symbol("(", f"opening connections of {name_tok.value!r}")
+
+        named: Optional[Dict[str, Optional[NetExpr]]] = None
+        positional: Optional[List[NetExpr]] = None
+        if self.at_symbol(")"):
+            positional = []
+        elif self.at_symbol("."):
+            named = {}
+            while True:
+                self.expect_symbol(".", "in named connection")
+                pin = self.expect_id("pin name").value
+                if pin in named:
+                    raise VerilogParseError(
+                        f"pin {pin!r} connected twice on instance "
+                        f"{name_tok.value!r}", self.peek().loc, token=pin,
+                    )
+                self.expect_symbol("(", f"after .{pin}")
+                named[pin] = None if self.at_symbol(")") \
+                    else self._parse_net_expr()
+                self.expect_symbol(")", f"closing .{pin}(...)")
+                if not self.accept_symbol(","):
+                    break
+        else:
+            positional = [self._parse_net_expr()]
+            while self.accept_symbol(","):
+                positional.append(self._parse_net_expr())
+        self.expect_symbol(")", f"closing connections of {name_tok.value!r}")
+        self.expect_symbol(";", "after instantiation")
+        return RawInstance(
+            name=name_tok.value,
+            target=target_tok.value,
+            named=named,
+            positional=positional,
+            param_overrides=overrides,
+            loc=loc,
         )
-    return circuit
+
+    # -- expressions ---------------------------------------------------
+    def _parse_net_expr(self) -> NetExpr:
+        if self.accept_symbol("{"):
+            parts = [self._parse_net_expr()]
+            while self.accept_symbol(","):
+                parts.append(self._parse_net_expr())
+            self.expect_symbol("}", "closing concatenation")
+            return Concat(tuple(parts))
+        tok = self.peek()
+        if tok.kind == "number":
+            raise self.fail("constant literals are not supported on nets")
+        name = self.expect_id("net name").value
+        if self.at_symbol("["):
+            self.next()
+            msb = self._parse_index_expr()
+            lsb = None
+            if self.accept_symbol(":"):
+                lsb = self._parse_index_expr()
+            self.expect_symbol("]", "closing select")
+            return Select(name, msb, lsb)
+        return Id(name)
+
+    def _parse_index_expr(self, min_prec: int = 0) -> IndexExpr:
+        left = self._parse_index_primary()
+        while True:
+            tok = self.peek()
+            if tok.kind != "symbol":
+                return left
+            prec = {"+": 1, "-": 1, "*": 2, "/": 2, "%": 2}.get(tok.value)
+            if prec is None or prec < min_prec:
+                return left
+            op = self.next().value
+            right = self._parse_index_expr(prec + 1)
+            left = (op, left, right)
+
+    def _parse_index_primary(self) -> IndexExpr:
+        tok = self.next()
+        if tok.kind == "number":
+            return int(tok.value)
+        if tok.kind == "id" and tok.value not in _KEYWORDS:
+            return tok.value  # parameter reference
+        if tok.kind == "symbol" and tok.value == "-":
+            return ("neg", self._parse_index_primary())
+        if tok.kind == "symbol" and tok.value == "(":
+            inner = self._parse_index_expr()
+            self.expect_symbol(")", "closing parenthesized expression")
+            return inner
+        raise VerilogParseError(
+            "expected an index expression", tok.loc, token=tok.value or "<eof>"
+        )
+
+
+# ---------------------------------------------------------------------------
+# Public API
+# ---------------------------------------------------------------------------
+def parse_verilog_raw(text: str) -> RawNetlist:
+    """Parse structural Verilog into the raw front-end IR (no elaboration)."""
+    return _Parser(_tokenize(text)).parse_netlist()
+
+
+def parse_verilog(text: str, top: Optional[str] = None) -> Circuit:
+    """Parse structural Verilog and elaborate it into a :class:`Circuit`.
+
+    Hierarchy is flattened, buses are bit-blasted and ``assign`` aliases are
+    canonicalized; ``top`` selects the root module when the file holds more
+    than one (default: the unique module no other module instantiates).
+    """
+    raw = parse_verilog_raw(text)
+    try:
+        return elaborate(raw, top=top)
+    except VerilogParseError:
+        raise
+    except FrontendError as exc:
+        raise VerilogParseError(exc.message, exc.loc, exc.token) from exc
+
+
+def parse_verilog_file(path: Union[str, Path],
+                       top: Optional[str] = None) -> Circuit:
+    """Parse a structural-Verilog file from disk."""
+    return parse_verilog(Path(path).read_text(), top=top)
 
 
 def write_verilog(circuit: Circuit) -> str:
@@ -113,3 +502,58 @@ def write_verilog(circuit: Circuit) -> str:
         lines.append(f"  {gate.cell_type} {gate.name} ({', '.join(conns)});")
     lines.append("endmodule")
     return "\n".join(lines) + "\n"
+
+
+def _format_range(msb: Optional[IndexExpr], lsb: Optional[IndexExpr]) -> str:
+    if msb is None:
+        return ""
+    low = format_index(lsb) if lsb is not None else format_index(msb)
+    return f"[{format_index(msb)}:{low}] "
+
+
+def write_verilog_netlist(netlist: RawNetlist) -> str:
+    """Serialise a (possibly hierarchical) raw netlist back to Verilog.
+
+    The output re-parses with :func:`parse_verilog_raw` to an equivalent
+    netlist: module order, port order, declarations, parameter defaults,
+    instances (named or positional) and assigns are all preserved.
+    """
+    lines: List[str] = []
+    for module in netlist.modules.values():
+        lines.append(f"module {module.name} ({', '.join(module.port_order)});")
+        for pname, default in module.params.items():
+            lines.append(f"  parameter {pname} = {format_index(default)};")
+        for direction in ("input", "output"):
+            for port in module.ports.values():
+                if port.direction == direction:
+                    rng = _format_range(port.msb, port.lsb)
+                    lines.append(f"  {direction} {rng}{port.name};")
+        for net in module.nets.values():
+            rng = _format_range(net.msb, net.lsb)
+            lines.append(f"  wire {rng}{net.name};")
+        for assign in module.assigns:
+            lines.append(
+                f"  assign {format_expr(assign.lhs)} = "
+                f"{format_expr(assign.rhs)};"
+            )
+        for inst in module.instances:
+            prefix = f"  {inst.target} "
+            if inst.param_overrides:
+                overrides = ", ".join(
+                    f".{k}({format_index(v)})"
+                    for k, v in inst.param_overrides.items()
+                )
+                prefix += f"#({overrides}) "
+            if inst.named is not None:
+                conns = ", ".join(
+                    f".{pin}({format_expr(expr)})" if expr is not None
+                    else f".{pin}()"
+                    for pin, expr in inst.named.items()
+                )
+            else:
+                conns = ", ".join(format_expr(e)
+                                  for e in (inst.positional or []))
+            lines.append(f"{prefix}{inst.name} ({conns});")
+        lines.append("endmodule")
+        lines.append("")
+    return "\n".join(lines)

@@ -36,7 +36,7 @@ source of truth for structural invariants.
 
 from __future__ import annotations
 
-from collections import Counter, deque
+from collections import deque
 from typing import (
     TYPE_CHECKING,
     Dict,
@@ -263,9 +263,12 @@ class MultiDriverRule(Rule):
     title = "multi-driver net"
 
     def check(self, ctx: RuleContext) -> Iterator[Diagnostic]:
-        counts = Counter(gate.output for gate in ctx.gates)
-        for net, count in sorted(counts.items()):
-            names = sorted(g.name for g in ctx.gates if g.output == net)
+        drivers: Dict[str, List[str]] = {}
+        for gate in ctx.gates:
+            drivers.setdefault(gate.output, []).append(gate.name)
+        for net in sorted(drivers):
+            names = sorted(drivers[net])
+            count = len(names)
             if count > 1:
                 yield self.diag(
                     f"net {net!r} is driven by {count} gates: {names}",

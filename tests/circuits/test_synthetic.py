@@ -1,0 +1,134 @@
+"""Tests for the parameterized synthetic big-circuit generator."""
+
+import pytest
+
+from repro.circuits.registry import GENERATED_SPECS, build_benchmark
+from repro.circuits.synthetic import (
+    SyntheticSpec,
+    generate,
+    parse_generated_spec,
+    synthetic_circuit,
+)
+from repro.netlist.validate import validate_circuit
+from repro.verify import lint_circuit
+
+
+class TestSpec:
+    def test_gate_count_is_depth_times_width(self):
+        spec = SyntheticSpec(depth=7, width=13)
+        assert spec.num_gates == 91
+
+    def test_display_name(self):
+        assert SyntheticSpec(depth=5, width=9, seed=3).display_name == "gen_d5_w9_s3"
+        assert SyntheticSpec(depth=5, width=9, name="x").display_name == "x"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SyntheticSpec(depth=0, width=10)
+        with pytest.raises(ValueError):
+            SyntheticSpec(depth=1, width=1, fanin_min=3, fanin_max=2)
+
+
+class TestParseSpec:
+    def test_positional(self):
+        spec = parse_generated_spec("8,50")
+        assert (spec.depth, spec.width, spec.seed) == (8, 50, 0)
+
+    def test_positional_with_seed(self):
+        spec = parse_generated_spec("8, 50, 7")
+        assert (spec.depth, spec.width, spec.seed) == (8, 50, 7)
+
+    def test_keyword_form(self):
+        spec = parse_generated_spec("depth=4,width=10,reconvergence=0.5")
+        assert spec.depth == 4 and spec.reconvergence == 0.5
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ValueError, match="unknown generator spec field"):
+            parse_generated_spec("depth=4,width=10,bogus=1")
+
+    def test_missing_dims_rejected(self):
+        with pytest.raises(ValueError):
+            parse_generated_spec("depth=4")
+        with pytest.raises(ValueError):
+            parse_generated_spec("1,2,3,4")
+
+
+class TestGeneration:
+    def test_deterministic_for_seed(self):
+        a = generate(6, 30, seed=5)
+        b = generate(6, 30, seed=5)
+        assert sorted(a.gates) == sorted(b.gates)
+        for name, gate in a.gates.items():
+            twin = b.gates[name]
+            assert gate.inputs == twin.inputs and gate.output == twin.output
+
+    def test_seed_changes_structure(self):
+        a = generate(6, 30, seed=1)
+        b = generate(6, 30, seed=2)
+        assert any(
+            a.gates[n].inputs != b.gates[n].inputs
+            for n in a.gates if n in b.gates
+        )
+
+    def test_structure_matches_spec(self):
+        circuit = generate(6, 30)
+        assert circuit.num_gates() == 180
+        assert len(circuit.primary_outputs) == 30
+        assert circuit.logic_depth() == 6
+
+    def test_structurally_valid(self):
+        circuit = generate(8, 40, seed=3)
+        assert validate_circuit(circuit, raise_on_error=False) == []
+
+    def test_drc_clean_with_library(self, library):
+        report = lint_circuit(generate(10, 50, seed=17), library=library)
+        assert [str(d) for d in report.diagnostics] == []
+
+    def test_max_fanout_respected(self):
+        spec = SyntheticSpec(depth=8, width=40, seed=9, max_fanout=6)
+        circuit = synthetic_circuit(spec)
+        stats = circuit.stats()
+        assert stats.max_fanout <= 6
+
+    def test_no_floating_nets(self):
+        circuit = generate(5, 25, seed=11)
+        read = set()
+        for gate in circuit.gates.values():
+            read.update(gate.inputs)
+        for pi in circuit.primary_inputs:
+            assert pi in read
+        for gate in circuit.gates.values():
+            if gate.output not in circuit.primary_outputs:
+                assert gate.output in read
+
+    def test_aliases_are_canonicalized_away(self):
+        spec = SyntheticSpec(depth=6, width=50, seed=2, alias_fraction=0.2)
+        circuit = synthetic_circuit(spec)
+        nets = {g.output for g in circuit.gates.values()}
+        for gate in circuit.gates.values():
+            nets.update(gate.inputs)
+        assert not any(net.startswith("a") and "_" in net for net in nets
+                       if net not in circuit.primary_inputs)
+
+
+class TestRegistryIntegration:
+    def test_named_scale_points_resolve(self):
+        circuit = build_benchmark("gen1k")
+        spec = GENERATED_SPECS["gen1k"]
+        assert circuit.num_gates() == spec.num_gates
+        assert circuit.name == "gen1k"
+
+    def test_inline_spec_positional(self):
+        assert build_benchmark("gen:4,25").num_gates() == 100
+
+    def test_inline_spec_keyword(self):
+        circuit = build_benchmark("gen:depth=3,width=10,seed=4")
+        assert circuit.num_gates() == 30
+
+    def test_bad_inline_spec_raises_keyerror(self):
+        with pytest.raises(KeyError, match="bad generator spec"):
+            build_benchmark("gen:nope=1")
+
+    def test_unknown_name_lists_generated(self):
+        with pytest.raises(KeyError, match="gen1k"):
+            build_benchmark("definitely_not_a_circuit")

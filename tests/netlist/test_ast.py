@@ -1,0 +1,163 @@
+"""Tests for the raw front-end IR (``repro.netlist.ast``)."""
+
+import pytest
+
+from repro.circuits.registry import c17
+from repro.netlist.ast import (
+    Concat,
+    FrontendError,
+    Id,
+    RawInstance,
+    RawModule,
+    RawNetlist,
+    Select,
+    SourceLoc,
+    bus_bits,
+    eval_index,
+    expand_range,
+    format_expr,
+)
+from repro.netlist.elaborate import elaborate
+
+
+class TestFrontendError:
+    def test_plain_message(self):
+        err = FrontendError("boom")
+        assert str(err) == "boom"
+        assert err.line is None and err.col is None
+
+    def test_location_formatting(self):
+        err = FrontendError("bad token", loc=SourceLoc(line=3, col=7))
+        assert str(err) == "line 3, column 7: bad token"
+        assert err.line == 3 and err.col == 7
+
+    def test_token_formatting(self):
+        err = FrontendError("unexpected", loc=SourceLoc(4, 1), token="endmodule")
+        assert str(err) == "line 4, column 1: unexpected (at 'endmodule')"
+        assert err.message == "unexpected"
+
+
+class TestEvalIndex:
+    def test_int_passthrough(self):
+        assert eval_index(5, {}, None) == 5
+
+    def test_parameter_lookup(self):
+        assert eval_index("N", {"N": 8}, None) == 8
+
+    def test_arithmetic_tree(self):
+        # (N - 1) * 2 as a nested tuple expression
+        expr = ("*", ("-", "N", 1), 2)
+        assert eval_index(expr, {"N": 5}, None) == 8
+
+    def test_unary_negation(self):
+        assert eval_index(("neg", "N"), {"N": 3}, None) == -3
+
+    def test_unknown_parameter(self):
+        with pytest.raises(FrontendError, match="unknown parameter"):
+            eval_index("M", {"N": 8}, SourceLoc(2, 4))
+
+    def test_division_by_zero(self):
+        with pytest.raises(FrontendError, match="division by zero"):
+            eval_index(("/", 4, ("-", "N", "N")), {"N": 1}, None)
+
+
+class TestRanges:
+    def test_expand_range_descending(self):
+        assert expand_range(3, 0) == [3, 2, 1, 0]
+
+    def test_expand_range_ascending(self):
+        assert expand_range(0, 2) == [0, 1, 2]
+
+    def test_bus_bits_msb_first(self):
+        assert bus_bits("a", 2, 0) == ["a[2]", "a[1]", "a[0]"]
+
+
+class TestFormatExpr:
+    def test_id(self):
+        assert format_expr(Id("clk")) == "clk"
+
+    def test_bit_select(self):
+        assert format_expr(Select("a", 3)) == "a[3]"
+
+    def test_part_select(self):
+        assert format_expr(Select("a", 3, 1)) == "a[3:1]"
+
+    def test_concat(self):
+        expr = Concat((Id("x"), Select("y", 0)))
+        assert format_expr(expr) == "{x, y[0]}"
+
+
+class TestRawModule:
+    def test_duplicate_port_rejected(self):
+        module = RawModule(name="m")
+        module.add_port("a", "input")
+        with pytest.raises(FrontendError, match="declared twice"):
+            module.add_port("a", "output")
+
+    def test_port_direction_filters(self):
+        module = RawModule(name="m")
+        module.add_port("a", "input")
+        module.add_port("y", "output")
+        assert [p.name for p in module.input_ports()] == ["a"]
+        assert [p.name for p in module.output_ports()] == ["y"]
+
+
+class TestRawNetlist:
+    def _one_module(self, name="m"):
+        module = RawModule(name=name)
+        module.add_port("a", "input")
+        module.add_port("y", "output")
+        module.add_instance(
+            RawInstance(name="u0", target="BUF", positional=["y", "a"])
+        )
+        return module
+
+    def test_duplicate_module_rejected(self):
+        netlist = RawNetlist()
+        netlist.add_module(self._one_module())
+        with pytest.raises(FrontendError, match="defined twice"):
+            netlist.add_module(self._one_module())
+
+    def test_top_module_unique_uninstantiated(self):
+        netlist = RawNetlist()
+        netlist.add_module(self._one_module("alone"))
+        assert netlist.top_module().name == "alone"
+
+    def test_top_module_explicit_wins(self):
+        netlist = RawNetlist()
+        netlist.add_module(self._one_module("a"))
+        netlist.add_module(self._one_module("b"))
+        assert netlist.top_module("b").name == "b"
+
+    def test_top_module_ambiguous(self):
+        netlist = RawNetlist()
+        netlist.add_module(self._one_module("a"))
+        netlist.add_module(self._one_module("b"))
+        with pytest.raises(FrontendError, match="cannot infer the top module"):
+            netlist.top_module()
+
+    def test_top_module_unknown(self):
+        netlist = RawNetlist()
+        netlist.add_module(self._one_module("a"))
+        with pytest.raises(FrontendError, match="no module named"):
+            netlist.top_module("zzz")
+
+
+class TestFromCircuit:
+    def test_roundtrip_preserves_structure(self):
+        original = c17()
+        rebuilt = elaborate(RawNetlist.from_circuit(original))
+        assert rebuilt.primary_inputs == original.primary_inputs
+        assert rebuilt.primary_outputs == original.primary_outputs
+        assert sorted(rebuilt.gates) == sorted(original.gates)
+        for name, gate in original.gates.items():
+            twin = rebuilt.gate(name)
+            assert twin.cell_type == gate.cell_type
+            assert twin.inputs == gate.inputs
+            assert twin.output == gate.output
+
+    def test_sizes_survive(self):
+        original = c17()
+        original.set_size("g10", 3)
+        rebuilt = elaborate(RawNetlist.from_circuit(original))
+        assert rebuilt.gate("g10").size_index == 3

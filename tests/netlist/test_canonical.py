@@ -1,0 +1,202 @@
+"""Tests for net canonicalization (``repro.netlist.canonical``)."""
+
+import pytest
+
+from repro.netlist.ast import CanonicalizationError, FlatDesign, FlatGate
+from repro.netlist.canonical import (
+    CONFLICT_SUFFIX,
+    REPAIR_PREFIX,
+    DisjointSets,
+    canonicalize_design,
+)
+from repro.netlist.validate import validate_circuit
+
+
+def _design(**kwargs):
+    defaults = dict(name="t", primary_inputs=[], primary_outputs=[], gates=[])
+    defaults.update(kwargs)
+    return FlatDesign(**defaults)
+
+
+class TestDisjointSets:
+    def test_find_is_reflexive(self):
+        dsu = DisjointSets()
+        assert dsu.find("a") == "a"
+
+    def test_union_chains_collapse(self):
+        dsu = DisjointSets()
+        dsu.union("a", "b")
+        dsu.union("b", "c")
+        dsu.union("c", "d")
+        assert len({dsu.find(n) for n in "abcd"}) == 1
+
+    def test_classes_only_multi_member(self):
+        dsu = DisjointSets()
+        dsu.add("lone")
+        dsu.union("a", "b")
+        classes = dsu.classes()
+        assert len(classes) == 1
+        assert sorted(classes[0]) == ["a", "b"]
+
+
+class TestAliasMerging:
+    def test_chain_merges_to_driven_net(self):
+        design = _design(
+            primary_inputs=["i"],
+            primary_outputs=["o"],
+            gates=[
+                FlatGate("g0", "INV", ["i"], "n1"),
+                FlatGate("g1", "INV", ["n3"], "o"),
+            ],
+        )
+        design.add_alias("n2", "n1")
+        design.add_alias("n3", "n2")
+        result = canonicalize_design(design)
+        assert result.net_map == {"n2": "n1", "n3": "n1"}
+        assert result.circuit.gate("g1").inputs == ["n1"]
+        assert validate_circuit(result.circuit, raise_on_error=False) == []
+
+    def test_pi_wins_over_wire(self):
+        design = _design(
+            primary_inputs=["i"],
+            primary_outputs=["o"],
+            gates=[FlatGate("g0", "BUF", ["w"], "o")],
+        )
+        design.add_alias("w", "i")
+        result = canonicalize_design(design)
+        assert result.net_map == {"w": "i"}
+        assert result.circuit.gate("g0").inputs == ["i"]
+
+    def test_election_ignores_alias_direction(self):
+        for lhs, rhs in (("w", "i"), ("i", "w")):
+            design = _design(
+                primary_inputs=["i"],
+                primary_outputs=["o"],
+                gates=[FlatGate("g0", "BUF", ["w"], "o")],
+            )
+            design.add_alias(lhs, rhs)
+            assert canonicalize_design(design).net_map == {"w": "i"}
+
+    def test_shorted_pis_warn(self):
+        design = _design(
+            primary_inputs=["a", "b"],
+            primary_outputs=["o"],
+            gates=[FlatGate("g0", "BUF", ["b"], "o")],
+        )
+        design.add_alias("a", "b")
+        result = canonicalize_design(design)
+        assert result.net_map == {"b": "a"}
+        assert result.circuit.gate("g0").inputs == ["a"]
+        warnings = [d for d in result.diagnostics if d.severity == "warning"]
+        assert len(warnings) == 1 and warnings[0].rule == "FE001"
+
+
+class TestPoRepair:
+    def test_aliased_po_gets_buffer(self):
+        design = _design(
+            primary_inputs=["i"],
+            primary_outputs=["y", "z"],
+            gates=[FlatGate("g0", "INV", ["i"], "y")],
+        )
+        design.add_alias("z", "y")
+        result = canonicalize_design(design)
+        buf = REPAIR_PREFIX + "z"
+        assert result.repairs == [buf]
+        gate = result.circuit.gate(buf)
+        assert gate.cell_type == "BUF"
+        assert gate.inputs == ["y"] and gate.output == "z"
+        assert validate_circuit(result.circuit, raise_on_error=False) == []
+
+    def test_po_to_po_alias_keeps_both_observable(self):
+        design = _design(
+            primary_inputs=["i"],
+            primary_outputs=["p", "q"],
+            gates=[FlatGate("g0", "BUF", ["i"], "p")],
+        )
+        design.add_alias("q", "p")
+        circuit = canonicalize_design(design).circuit
+        assert circuit.primary_outputs == ["p", "q"]
+        assert validate_circuit(circuit, raise_on_error=False) == []
+
+    def test_repaired_po_not_in_net_map(self):
+        design = _design(
+            primary_inputs=["i"],
+            primary_outputs=["y", "z"],
+            gates=[FlatGate("g0", "INV", ["i"], "y")],
+        )
+        design.add_alias("z", "y")
+        result = canonicalize_design(design)
+        # z is driven by the repair buffer, not merged away.
+        assert "z" not in result.net_map
+
+
+class TestDriverConflicts:
+    def _parallel(self, second_type="INV"):
+        design = _design(
+            primary_inputs=["i"],
+            primary_outputs=["o"],
+            gates=[
+                FlatGate("g0", "INV", ["i"], "n"),
+                FlatGate("g1", second_type, ["i"], "m"),
+                FlatGate("g2", "BUF", ["n"], "o"),
+            ],
+        )
+        design.add_alias("m", "n")
+        return design
+
+    def test_identical_parallel_drivers_deduplicated(self):
+        result = canonicalize_design(self._parallel())
+        assert result.deduplicated == ["g1"]
+        assert not result.circuit.has_gate("g1")
+        assert validate_circuit(result.circuit, raise_on_error=False) == []
+
+    def test_distinct_drivers_raise_in_strict_mode(self):
+        with pytest.raises(CanonicalizationError, match="DRC003"):
+            canonicalize_design(self._parallel(second_type="BUF"))
+
+    def test_distinct_drivers_parked_in_nonstrict_mode(self):
+        result = canonicalize_design(
+            self._parallel(second_type="BUF"), strict=False
+        )
+        assert len(result.errors()) == 1
+        parked = result.circuit.gate("g1").output
+        assert parked.startswith("n" + CONFLICT_SUFFIX)
+
+    def test_gate_driving_pi_raises(self):
+        design = _design(
+            primary_inputs=["i"],
+            primary_outputs=["o"],
+            gates=[
+                FlatGate("g0", "INV", ["i"], "w"),
+                FlatGate("g1", "BUF", ["w"], "o"),
+            ],
+        )
+        design.add_alias("w", "i")
+        with pytest.raises(CanonicalizationError, match="drive primary input"):
+            canonicalize_design(design)
+
+
+class TestIdempotence:
+    def test_canonical_design_is_fixed_point(self):
+        design = _design(
+            primary_inputs=["i"],
+            primary_outputs=["o"],
+            gates=[
+                FlatGate("g0", "INV", ["i"], "n1"),
+                FlatGate("g1", "INV", ["n2"], "o"),
+            ],
+        )
+        design.add_alias("n2", "n1")
+        first = canonicalize_design(design).circuit
+        rerun = _design(
+            primary_inputs=list(first.primary_inputs),
+            primary_outputs=list(first.primary_outputs),
+            gates=[
+                FlatGate(g.name, g.cell_type, list(g.inputs), g.output,
+                         g.size_index)
+                for g in first.gates.values()
+            ],
+        )
+        second = canonicalize_design(rerun)
+        assert second.merged_nets == 0
+        assert sorted(second.circuit.gates) == sorted(first.gates)

@@ -1,0 +1,277 @@
+"""Tests for hierarchy elaboration (``repro.netlist.elaborate``).
+
+Most cases build :class:`RawNetlist` structures through the Verilog parser
+(the densest way to write them); a few build the IR directly to pin the
+pure-API behaviour.
+"""
+
+import pytest
+
+from repro.netlist.ast import (
+    FrontendError,
+    RawInstance,
+    RawModule,
+    RawNetlist,
+    Select,
+)
+from repro.netlist.elaborate import flatten_netlist
+from repro.netlist.verilog import parse_verilog, parse_verilog_raw
+
+HIER = """
+module half (input a, input b, output s, output c);
+  XOR2 ux (.Y(s), .A(a), .B(b));
+  AND2 uc (.Y(c), .A(a), .B(b));
+endmodule
+
+module top (input x, input y, output sum, output carry);
+  half u0 (.a(x), .b(y), .s(sum), .c(carry));
+endmodule
+"""
+
+
+class TestHierarchy:
+    def test_instance_paths_prefix_gates_and_nets(self):
+        circuit = parse_verilog(HIER, top="top")
+        assert sorted(circuit.gates) == ["u0.uc", "u0.ux"]
+        assert circuit.gate("u0.ux").inputs == ["x", "y"]
+        assert circuit.gate("u0.ux").output == "sum"
+
+    def test_ports_bind_without_extra_gates(self):
+        circuit = parse_verilog(HIER, top="top")
+        # Connecting through a port costs nothing: 2 gates total.
+        assert circuit.num_gates() == 2
+
+    def test_nested_hierarchy(self):
+        text = HIER + """
+module wrap (input p, input q, output o1, output o2);
+  top inner (.x(p), .y(q), .sum(o1), .carry(o2));
+endmodule
+"""
+        circuit = parse_verilog(text, top="wrap")
+        assert sorted(circuit.gates) == ["inner.u0.uc", "inner.u0.ux"]
+
+    def test_top_inferred_as_uninstantiated_root(self):
+        circuit = parse_verilog(HIER)  # 'top' instantiates 'half'
+        assert circuit.name == "top"
+
+    def test_recursion_detected(self):
+        text = """
+module a (input i, output o);
+  a u (.i(i), .o(o));
+endmodule
+"""
+        with pytest.raises(FrontendError, match="recursive"):
+            parse_verilog(text)
+
+
+class TestParameters:
+    TEXT = """
+module rotate #(parameter N = 2) (input [N-1:0] d, output [N-1:0] q);
+  assign q = {d[0], d[N-1:1]};
+endmodule
+
+module top (input [3:0] d, output [3:0] q);
+  rotate #(.N(4)) u (.d(d), .q(q));
+endmodule
+"""
+
+    def test_override_widens_bus(self):
+        design = flatten_netlist(parse_verilog_raw(self.TEXT), top="top")
+        assert design.primary_inputs == ["d[3]", "d[2]", "d[1]", "d[0]"]
+        # q = {d[0], d[3:1]} — four alias pairs, MSB first.
+        assert design.aliases == [
+            ("q[3]", "d[0]"),
+            ("q[2]", "d[3]"),
+            ("q[1]", "d[2]"),
+            ("q[0]", "d[1]"),
+        ]
+
+    def test_unknown_override_rejected(self):
+        text = """
+module leaf #(parameter N = 1) (input a, output y);
+  BUF u (.Y(y), .A(a));
+endmodule
+module top (input a, output y);
+  leaf #(.M(2)) u (.a(a), .y(y));
+endmodule
+"""
+        with pytest.raises(FrontendError, match="unknown parameter 'M'"):
+            parse_verilog(text, top="top")
+
+    def test_default_may_reference_earlier_parameter(self):
+        module = RawModule(name="m", params={"N": 3, "W": ("+", "N", 1)})
+        module.add_port("a", "input", msb=("-", "W", 1), lsb=0)
+        module.add_port("y", "output")
+        module.add_instance(
+            RawInstance(
+                name="u", target="AND4",
+                positional=["y", Select("a", 3), Select("a", 2),
+                            Select("a", 1), Select("a", 0)],
+            )
+        )
+        design = flatten_netlist(RawNetlist(modules={"m": module}, top="m"))
+        assert design.primary_inputs == ["a[3]", "a[2]", "a[1]", "a[0]"]
+        assert design.gates[0].inputs == ["a[3]", "a[2]", "a[1]", "a[0]"]
+
+
+class TestPortBinding:
+    def test_width_mismatch_rejected(self):
+        text = """
+module leaf (input [1:0] a, output y);
+  AND2 u (.Y(y), .A(a[1]), .B(a[0]));
+endmodule
+module top (input [2:0] a, output y);
+  leaf u (.a(a), .y(y));
+endmodule
+"""
+        with pytest.raises(FrontendError,
+                           match="2 bit\\(s\\) wide but is connected to 3"):
+            parse_verilog(text, top="top")
+
+    def test_unknown_port_rejected(self):
+        text = """
+module leaf (input a, output y);
+  BUF u (.Y(y), .A(a));
+endmodule
+module top (input a, output y);
+  leaf u (.a(a), .b(a), .y(y));
+endmodule
+"""
+        with pytest.raises(FrontendError, match="unknown port 'b'"):
+            parse_verilog(text, top="top")
+
+    def test_too_many_positional_rejected(self):
+        text = """
+module leaf (input a, output y);
+  BUF u (.Y(y), .A(a));
+endmodule
+module top (input a, output y);
+  leaf u (a, y, a);
+endmodule
+"""
+        with pytest.raises(FrontendError, match="has 3 connections"):
+            parse_verilog(text, top="top")
+
+    def test_unconnected_port_gets_fresh_nets(self):
+        text = """
+module leaf (input a, input b, output y);
+  AND2 u (.Y(y), .A(a), .B(b));
+endmodule
+module top (input a, output y);
+  leaf u0 (.a(a), .y(y));
+endmodule
+"""
+        design = flatten_netlist(parse_verilog_raw(text), top="top")
+        # Port b is unconnected: the gate reads a fresh per-instance net.
+        assert design.gates[0].inputs == ["a", "u0.b"]
+
+
+class TestSelectsAndConcats:
+    def test_bit_select_respects_declared_range(self):
+        text = """
+module top (input [4:1] a, output y);
+  AND2 u (.Y(y), .A(a[4]), .B(a[1]));
+endmodule
+"""
+        circuit = parse_verilog(text)
+        assert circuit.gate("u").inputs == ["a[4]", "a[1]"]
+
+    def test_ascending_range(self):
+        text = """
+module top (input [0:2] a, output y);
+  AND3 u (.Y(y), .A(a[0]), .B(a[1]), .C(a[2]))
+  ;
+endmodule
+"""
+        circuit = parse_verilog(text)
+        assert circuit.primary_inputs == ["a[0]", "a[1]", "a[2]"]
+
+    def test_out_of_range_index_rejected(self):
+        text = """
+module top (input [1:0] a, output y);
+  BUF u (.Y(y), .A(a[5]));
+endmodule
+"""
+        with pytest.raises(FrontendError, match="out of range"):
+            parse_verilog(text)
+
+    def test_bit_select_on_scalar_rejected(self):
+        text = """
+module top (input a, output y);
+  wire w;
+  BUF u (.Y(y), .A(w[0]));
+endmodule
+"""
+        with pytest.raises(FrontendError, match="bit-select on scalar"):
+            parse_verilog(text)
+
+    def test_part_select_on_undeclared_rejected(self):
+        text = """
+module top (input a, output [1:0] y);
+  assign y = ghost[1:0];
+endmodule
+"""
+        with pytest.raises(FrontendError, match="part-select on undeclared"):
+            parse_verilog(text)
+
+    def test_assign_width_mismatch_rejected(self):
+        text = """
+module top (input [2:0] a, output [1:0] y);
+  assign y = a;
+endmodule
+"""
+        with pytest.raises(FrontendError, match="width mismatch"):
+            parse_verilog(text)
+
+    def test_concat_orders_msb_first(self):
+        text = """
+module top (input [1:0] a, input b, output [2:0] y);
+  assign y = {a, b};
+endmodule
+"""
+        design = flatten_netlist(parse_verilog_raw(text))
+        assert design.aliases == [
+            ("y[2]", "a[1]"),
+            ("y[1]", "a[0]"),
+            ("y[0]", "b"),
+        ]
+
+
+class TestLeafConventions:
+    def test_named_pins_sorted_as_inputs(self):
+        text = """
+module top (input a, input b, input c, output y);
+  AND3 u (.C(c), .Y(y), .A(a), .B(b));
+endmodule
+"""
+        circuit = parse_verilog(text)
+        assert circuit.gate("u").inputs == ["a", "b", "c"]
+
+    def test_missing_output_pin_rejected(self):
+        text = """
+module top (input a, output y);
+  BUF u (.A(a));
+endmodule
+"""
+        with pytest.raises(FrontendError, match="no output pin"):
+            parse_verilog(text)
+
+    def test_positional_output_first(self):
+        text = """
+module top (input a, input b, output y);
+  NAND2 u (y, a, b);
+endmodule
+"""
+        circuit = parse_verilog(text)
+        gate = circuit.gate("u")
+        assert gate.output == "y"
+        assert gate.inputs == ["a", "b"]
+
+    def test_wide_pin_on_leaf_rejected(self):
+        text = """
+module top (input [1:0] a, output y);
+  BUF u (.Y(y), .A(a));
+endmodule
+"""
+        with pytest.raises(FrontendError, match="must be one bit wide"):
+            parse_verilog(text)

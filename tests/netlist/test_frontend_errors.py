@@ -1,0 +1,109 @@
+"""Every malformed-netlist path raises with line/column and offending token.
+
+Complements ``test_verilog.py`` / ``test_bench.py`` (which pin the error
+*types*): here the :class:`FrontendError` location contract is pinned — the
+reported line/column must point at the construct that caused the failure,
+and the offending token must be carried when one exists.
+"""
+
+import pytest
+
+from repro.netlist.ast import FrontendError
+from repro.netlist.bench import BenchParseError, parse_bench
+from repro.netlist.verilog import VerilogParseError, parse_verilog
+
+
+def _verilog_error(text) -> VerilogParseError:
+    with pytest.raises(VerilogParseError) as exc_info:
+        parse_verilog(text)
+    return exc_info.value
+
+
+def _bench_error(text) -> BenchParseError:
+    with pytest.raises(BenchParseError) as exc_info:
+        parse_bench(text)
+    return exc_info.value
+
+
+class TestVerilogErrorLocations:
+    def test_no_module_points_at_first_token(self):
+        err = _verilog_error("wire x;")
+        assert (err.line, err.col, err.token) == (1, 1, "wire")
+        assert str(err).startswith("line 1, column 1:")
+
+    def test_port_list_error_points_at_bad_token(self):
+        err = _verilog_error("module m (input a output y);\nendmodule")
+        assert (err.line, err.col, err.token) == (1, 19, "output")
+        assert "')'" in err.message
+
+    def test_missing_semicolon_points_at_next_token(self):
+        err = _verilog_error(
+            "module m (input a, output y);\n  BUF u (.Y(y), .A(a))\nendmodule"
+        )
+        assert (err.line, err.col, err.token) == (3, 1, "endmodule")
+
+    def test_unterminated_module_reports_eof(self):
+        err = _verilog_error("module m (input a, output y);\n  BUF u (.Y(y), .A(a));")
+        assert err.token == "<eof>"
+        assert "unterminated module 'm'" in err.message
+
+    def test_constant_literal_on_net(self):
+        err = _verilog_error("module m (input a, output y);\n  assign y = 1;\nendmodule")
+        assert (err.line, err.col, err.token) == (2, 14, "1")
+
+    def test_inout_port_rejected_with_location(self):
+        err = _verilog_error("module m (inout a, output y);\nendmodule")
+        assert (err.line, err.col, err.token) == (1, 11, "inout")
+
+    def test_duplicate_pin_names_instance_and_pin(self):
+        err = _verilog_error(
+            "module m (input a, output y);\n  BUF u (.Y(y), .Y(a));\nendmodule"
+        )
+        assert (err.line, err.token) == (2, "Y")
+        assert "connected twice on instance 'u'" in err.message
+
+    def test_bad_parameter_expression(self):
+        err = _verilog_error("module m #(parameter N = )(input a, output y);\nendmodule")
+        assert err.token == ")"
+        assert "index expression" in err.message
+
+    def test_elaboration_errors_carry_instance_location(self):
+        # The failing construct is the instance on line 3.
+        err = _verilog_error(
+            "module m (input a, output y);\n"
+            "  wire w;\n"
+            "  BUF u (.A(a));\n"
+            "endmodule"
+        )
+        assert err.line == 3
+        assert "no output pin" in err.message
+
+    def test_is_a_frontend_error(self):
+        assert issubclass(VerilogParseError, FrontendError)
+
+
+class TestBenchErrorLocations:
+    def test_dff_points_at_function_token(self):
+        err = _bench_error("INPUT(a)\nOUTPUT(y)\ny = DFF(a)\n")
+        assert (err.line, err.col, err.token) == (3, 5, "DFF")
+        assert "sequential element" in err.message
+
+    def test_unknown_function_carries_name(self):
+        err = _bench_error("INPUT(a)\nOUTPUT(y)\ny = MAJ(a, a, a)\n")
+        assert (err.line, err.col, err.token) == (3, 5, "MAJ")
+
+    def test_operand_count_points_at_function(self):
+        err = _bench_error("INPUT(a)\nOUTPUT(y)\ny = AND(a)\n")
+        assert (err.line, err.col, err.token) == (3, 5, "AND")
+        assert "at least two operands" in err.message
+
+    def test_unparsable_line_points_at_line_start(self):
+        err = _bench_error("INPUT(a)\nOUTPUT(y)\nthis is garbage\n")
+        assert (err.line, err.col, err.token) == (3, 1, "this")
+
+    def test_blank_and_comment_lines_keep_numbering(self):
+        err = _bench_error("# header\n\nINPUT(a)\n\n# note\ny = XYZ(a)\n")
+        assert err.line == 6
+
+    def test_is_a_frontend_error(self):
+        assert issubclass(BenchParseError, FrontendError)

@@ -1,0 +1,115 @@
+"""Property-based tests for net canonicalization (hypothesis).
+
+The representative election is a pure function of alias-class *membership*,
+so canonicalization must be (a) independent of the order and orientation of
+the ``assign`` statements and (b) idempotent — re-running the front end on
+its own output changes nothing.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.netlist.ast import FlatDesign, FlatGate, RawNetlist
+from repro.netlist.canonical import canonicalize_design
+from repro.netlist.elaborate import elaborate_design
+
+
+def _fingerprint(circuit):
+    return (
+        tuple(circuit.primary_inputs),
+        tuple(circuit.primary_outputs),
+        tuple(sorted(
+            (g.name, g.cell_type, tuple(g.inputs), g.output)
+            for g in circuit.gates.values()
+        )),
+    )
+
+
+@st.composite
+def designs(draw):
+    """A random conflict-free FlatDesign with alias chains.
+
+    Alias left-hand sides are always fresh names, so every alias class holds
+    at most one driven net and canonicalization never has to reject the
+    design — the properties then quantify over the full strategy domain.
+    """
+    n_pis = draw(st.integers(min_value=1, max_value=4))
+    pis = [f"i{k}" for k in range(n_pis)]
+    nets = list(pis)  # referencable names: real nets plus alias names
+    gates = []
+    aliases = []
+
+    n_stmts = draw(st.integers(min_value=1, max_value=10))
+    for k in range(n_stmts):
+        make_alias = draw(st.booleans()) and nets
+        if make_alias:
+            target = draw(st.sampled_from(nets))
+            alias = f"a{k}"
+            aliases.append((alias, target))
+            nets.append(alias)
+        else:
+            cell, fanin = draw(st.sampled_from(
+                [("INV", 1), ("BUF", 1), ("NAND2", 2), ("AND2", 2)]
+            ))
+            inputs = [draw(st.sampled_from(nets)) for _ in range(fanin)]
+            out = f"n{k}"
+            gates.append(FlatGate(f"g{k}", cell, inputs, out))
+            nets.append(out)
+
+    gate_outputs = [g.output for g in gates]
+    pos = gate_outputs[-1:] if gate_outputs else []
+    design = FlatDesign(
+        name="prop", primary_inputs=pis, primary_outputs=pos, gates=gates
+    )
+    for lhs, rhs in aliases:
+        design.add_alias(lhs, rhs)
+    return design
+
+
+def _copy_with_aliases(design, alias_pairs):
+    twin = FlatDesign(
+        name=design.name,
+        primary_inputs=list(design.primary_inputs),
+        primary_outputs=list(design.primary_outputs),
+        gates=[FlatGate(g.name, g.cell_type, list(g.inputs), g.output,
+                        g.size_index) for g in design.gates],
+    )
+    for lhs, rhs in alias_pairs:
+        twin.add_alias(lhs, rhs)
+    return twin
+
+
+class TestOrderIndependence:
+    @given(designs(), st.randoms(use_true_random=False))
+    @settings(max_examples=60, deadline=None)
+    def test_alias_order_does_not_matter(self, design, rng):
+        baseline = canonicalize_design(design)
+        shuffled_pairs = list(design.aliases)
+        rng.shuffle(shuffled_pairs)
+        shuffled = canonicalize_design(
+            _copy_with_aliases(design, shuffled_pairs)
+        )
+        assert _fingerprint(shuffled.circuit) == _fingerprint(baseline.circuit)
+        assert shuffled.net_map == baseline.net_map
+
+    @given(designs())
+    @settings(max_examples=60, deadline=None)
+    def test_alias_orientation_does_not_matter(self, design):
+        baseline = canonicalize_design(design)
+        flipped = canonicalize_design(
+            _copy_with_aliases(design,
+                               [(r, l) for l, r in design.aliases])
+        )
+        assert _fingerprint(flipped.circuit) == _fingerprint(baseline.circuit)
+        assert flipped.net_map == baseline.net_map
+
+
+class TestIdempotence:
+    @given(designs())
+    @settings(max_examples=60, deadline=None)
+    def test_frontend_is_idempotent_on_its_output(self, design):
+        first = canonicalize_design(design).circuit
+        again = elaborate_design(RawNetlist.from_circuit(first))
+        assert again.merged_nets == 0
+        assert not again.repairs and not again.deduplicated
+        assert _fingerprint(again.circuit) == _fingerprint(first)

@@ -5,6 +5,7 @@ import pytest
 from repro.cli import build_parser, load_circuit, main
 from repro.circuits.registry import c17
 from repro.netlist.bench import write_bench
+from repro.netlist.verilog import write_verilog
 
 
 class TestLoadCircuit:
@@ -21,6 +22,32 @@ class TestLoadCircuit:
     def test_unknown_name(self):
         with pytest.raises(KeyError):
             load_circuit("not_a_circuit")
+
+    def test_verilog_file(self, tmp_path):
+        path = tmp_path / "mini.v"
+        path.write_text(write_verilog(c17()))
+        circuit = load_circuit(str(path))
+        assert circuit.num_gates() == 6
+
+    def test_verilog_file_with_top(self, tmp_path):
+        path = tmp_path / "pair.v"
+        path.write_text(
+            "module one (input a, output y);\n"
+            "  BUF u (.Y(y), .A(a));\n"
+            "endmodule\n"
+            "module two (input a, output y);\n"
+            "  INV u0 (.Y(w), .A(a));\n"
+            "  INV u1 (.Y(y), .A(w));\n"
+            "endmodule\n"
+        )
+        assert load_circuit(str(path), top="one").num_gates() == 1
+        assert load_circuit(str(path), top="two").num_gates() == 2
+
+    def test_generated_spec(self):
+        assert load_circuit("gen:3,10").num_gates() == 30
+
+    def test_named_scale_point(self):
+        assert load_circuit("gen1k").num_gates() == 1000
 
 
 class TestParser:
@@ -117,6 +144,35 @@ class TestCommands:
         path.write_text(write_bench(c17()))
         assert main(["info", str(path)]) == 0
         assert "gates          : 6" in capsys.readouterr().out
+
+    def test_info_on_verilog_file_with_frontend_report(self, tmp_path, capsys):
+        path = tmp_path / "hier.v"
+        path.write_text(
+            "module leaf (input a, input b, output y);\n"
+            "  AND2 u (.Y(y), .A(a), .B(b));\n"
+            "endmodule\n"
+            "module top (input p, input q, output o, output o2);\n"
+            "  wire w;\n"
+            "  leaf u0 (.a(p), .b(q), .y(w));\n"
+            "  assign o = w;\n"
+            "  assign o2 = o;\n"
+            "endmodule\n"
+        )
+        assert main(["info", str(path), "--top", "top", "--frontend"]) == 0
+        out = capsys.readouterr().out
+        assert "front end:" in out
+        assert "merged nets" in out
+        assert "repair buffers: 1" in out
+
+    def test_sta_on_generated_circuit(self, capsys):
+        assert main(["sta", "gen:3,10"]) == 0
+        assert "worst arrival" in capsys.readouterr().out
+
+    def test_lint_on_verilog_file(self, tmp_path, capsys):
+        path = tmp_path / "mini.v"
+        path.write_text(write_verilog(c17()))
+        assert main(["lint", str(path)]) == 0
+        assert "clean" in capsys.readouterr().out
 
     def test_size_explain_path(self, capsys):
         assert main(["size", "c17", "--max-iterations", "2",
