@@ -30,7 +30,6 @@ from __future__ import annotations
 
 import argparse
 import sys
-import time
 from pathlib import Path
 from typing import List, Optional, Tuple
 
@@ -49,6 +48,7 @@ from repro.criticality import (  # noqa: E402
 )
 from repro.library.delay_model import LookupTableDelayModel  # noqa: E402
 from repro.library.synthetic90nm import make_synthetic_90nm_library  # noqa: E402
+from repro.obs import clock  # noqa: E402
 from repro.variation.model import VariationModel  # noqa: E402
 
 #: Agreement-section circuits: the largest registry stand-ins (full mode).
@@ -88,17 +88,17 @@ def _bench_agreement(
         engine = FASSTA(delay_model, variation_model, vectorized=True)
         analysis = engine.analyze(circuit)  # warm the levelized plan
         analyzer = CriticalityAnalyzer(circuit)
-        start = time.perf_counter()
+        start = clock()
         analysis = engine.analyze(circuit)
         crit = analyzer.analyze(analysis.arrivals)
-        t_analytic = time.perf_counter() - start
+        t_analytic = clock() - start
         paths = extract_top_paths(circuit, crit, analysis.arrivals, k=5)
 
-        start = time.perf_counter()
+        start = clock()
         mc = MonteCarloCriticality(delay_model, variation_model).run(
             circuit, num_samples=mc_samples, seed=0, paths=paths
         )
-        t_mc = time.perf_counter() - start
+        t_mc = clock() - start
 
         mass = crit.total_source_mass()
         mean_err = mc.mean_abs_gate_error(crit.gate_criticality)
@@ -153,11 +153,11 @@ def _bench_sizer(
             max_iterations=max_iterations,
             criticality_threshold=threshold,
         )
-        start = time.perf_counter()
+        start = clock()
         result = StatisticalGreedySizer(
             delay_model, variation_model, config
         ).optimize(circuit)
-        elapsed = time.perf_counter() - start
+        elapsed = clock() - start
         if threshold == 0.0:
             baseline_time = elapsed
         results.append((threshold, elapsed, result, circuit.sizes()))

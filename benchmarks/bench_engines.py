@@ -44,9 +44,7 @@ Run directly::
 from __future__ import annotations
 
 import argparse
-import json
 import sys
-import time
 from pathlib import Path
 from typing import Dict, List, Optional, Tuple
 
@@ -54,13 +52,16 @@ import numpy as np
 
 # Allow running as a plain script from the repo root.
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
 
+from benchmarks.trajectory import append_entry  # noqa: E402
 from repro.circuits.registry import build_benchmark  # noqa: E402
 from repro.core.fassta import FASSTA  # noqa: E402
 from repro.core.fullssta import FULLSSTA  # noqa: E402
 from repro.library.delay_model import LookupTableDelayModel  # noqa: E402
 from repro.library.synthetic90nm import make_synthetic_90nm_library  # noqa: E402
 from repro.montecarlo.mc import MonteCarloTimer, propagate_levelized  # noqa: E402
+from repro.obs import clock  # noqa: E402
 from repro.sta.dsta import DeterministicSTA  # noqa: E402
 from repro.variation.model import VariationModel  # noqa: E402
 
@@ -84,9 +85,9 @@ def _best_of(fn, rounds: int) -> Tuple[float, object]:
     best = float("inf")
     value = None
     for _ in range(rounds):
-        start = time.perf_counter()
+        start = clock()
         value = fn()
-        best = min(best, time.perf_counter() - start)
+        best = min(best, clock() - start)
     return best, value
 
 
@@ -314,22 +315,22 @@ def bench_generated(
     spec = parse_generated_spec(spec_text)
     stages: Dict[str, float] = {}
 
-    start = time.perf_counter()
+    start = clock()
     raw = synthetic_raw(spec)
-    stages["generate_s"] = time.perf_counter() - start
+    stages["generate_s"] = clock() - start
 
-    start = time.perf_counter()
+    start = clock()
     circuit = elaborate(raw, name=spec.display_name)
-    stages["elaborate_s"] = time.perf_counter() - start
+    stages["elaborate_s"] = clock() - start
 
-    start = time.perf_counter()
+    start = clock()
     lint = lint_circuit(circuit, library=delay_model.library)
-    stages["lint_s"] = time.perf_counter() - start
+    stages["lint_s"] = clock() - start
     ok = lint.ok
 
-    start = time.perf_counter()
+    start = clock()
     circuit.compiled()
-    stages["compile_s"] = time.perf_counter() - start
+    stages["compile_s"] = clock() - start
 
     dsta = DeterministicSTA(delay_model, vectorized=True)
     stages["dsta_levelized_s"], _ = _best_of(
@@ -358,19 +359,10 @@ def bench_generated(
 
 def append_trajectory(records: List[Dict[str, object]], mode: str) -> None:
     """Append one entry to the checked-in BENCH_engines.json trajectory."""
-    if TRAJECTORY_PATH.exists():
-        trajectory = json.loads(TRAJECTORY_PATH.read_text())
-    else:
-        trajectory = {"description": "scalar vs IR-levelized engine runtimes "
-                                     "(bench_engines.py)", "entries": []}
-    trajectory["entries"].append(
-        {
-            "date": time.strftime("%Y-%m-%d"),
-            "mode": mode,
-            "circuits": records,
-        }
+    append_entry(
+        "engines", records, mode,
+        description="scalar vs IR-levelized engine runtimes (bench_engines.py)",
     )
-    TRAJECTORY_PATH.write_text(json.dumps(trajectory, indent=2) + "\n")
 
 
 def run(

@@ -29,7 +29,6 @@ from __future__ import annotations
 
 import argparse
 import sys
-import time
 from pathlib import Path
 from typing import List, Optional, Tuple
 
@@ -37,13 +36,16 @@ import numpy as np
 
 # Allow running as a plain script from the repo root.
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
 
+from benchmarks.trajectory import append_entry  # noqa: E402
 from repro.circuits.registry import build_benchmark  # noqa: E402
 from repro.core.fassta import FASSTA  # noqa: E402
 from repro.core.fullssta import FULLSSTA, IncrementalReanalysis  # noqa: E402
 from repro.core.sizer import SizerConfig, SizerResult, StatisticalGreedySizer  # noqa: E402
 from repro.library.delay_model import LookupTableDelayModel  # noqa: E402
 from repro.library.synthetic90nm import make_synthetic_90nm_library  # noqa: E402
+from repro.obs import clock  # noqa: E402
 from repro.variation.model import VariationModel  # noqa: E402
 
 #: Default circuit for the full benchmark: the largest registry circuit.
@@ -75,12 +77,12 @@ def _run_sizer(
         vectorized_fassta=fast,
     )
     sizer = StatisticalGreedySizer(delay_model, variation_model, config)
-    start = time.perf_counter()
+    start = clock()
     result = sizer.optimize(circuit)
-    return result, time.perf_counter() - start
+    return result, clock() - start
 
 
-def _time_engines(circuit_name: str, delay_model, variation_model) -> List[str]:
+def _time_engines(circuit_name: str, delay_model, variation_model):
     """Raw-engine comparison: FASSTA scalar/vectorized, FULLSSTA scratch/incremental."""
     circuit = build_benchmark(circuit_name)
     rounds = 3
@@ -89,14 +91,14 @@ def _time_engines(circuit_name: str, delay_model, variation_model) -> List[str]:
     vectorized = FASSTA(delay_model, variation_model, vectorized=True)
     scalar.analyze(circuit)
     vectorized.analyze(circuit)  # warm the levelized plan
-    start = time.perf_counter()
+    start = clock()
     for _ in range(rounds):
         ref = scalar.analyze(circuit)
-    t_scalar = (time.perf_counter() - start) / rounds
-    start = time.perf_counter()
+    t_scalar = (clock() - start) / rounds
+    start = clock()
     for _ in range(rounds):
         vec = vectorized.analyze(circuit)
-    t_vector = (time.perf_counter() - start) / rounds
+    t_vector = (clock() - start) / rounds
     moment_err = abs(ref.mean - vec.mean) + abs(ref.sigma - vec.sigma)
 
     engine = FULLSSTA(delay_model, variation_model)
@@ -109,22 +111,40 @@ def _time_engines(circuit_name: str, delay_model, variation_model) -> List[str]:
     for _ in range(steps):
         for gate in rng.choice(names, size=3, replace=False):
             circuit.set_size(str(gate), int(rng.integers(0, 7)))
-        start = time.perf_counter()
+        start = clock()
         inc_result = incremental.analyze()
-        t_inc += time.perf_counter() - start
-        start = time.perf_counter()
+        t_inc += clock() - start
+        start = clock()
         full_result = engine.analyze(circuit)
-        t_full += time.perf_counter() - start
+        t_full += clock() - start
         assert abs(inc_result.mean - full_result.mean) <= MOMENT_TOLERANCE
         assert abs(inc_result.sigma - full_result.sigma) <= MOMENT_TOLERANCE
 
-    return [
+    lines = [
         f"Raw engines on {circuit_name} ({circuit.num_gates()} gates):",
         f"  FASSTA   scalar {t_scalar * 1e3:8.1f} ms   vectorized {t_vector * 1e3:8.1f} ms   "
         f"speedup {t_scalar / max(t_vector, 1e-12):.2f}x   moment err {moment_err:.2e}",
         f"  FULLSSTA scratch {t_full / steps * 1e3:7.1f} ms   incremental {t_inc / steps * 1e3:7.1f} ms   "
         f"speedup {t_full / max(t_inc, 1e-12):.2f}x   (3 random resizes per step)",
     ]
+    record = {
+        "circuit": circuit_name,
+        "gates": circuit.num_gates(),
+        "kind": "engines",
+        "fassta": {
+            "scalar_ms": t_scalar * 1e3,
+            "levelized_ms": t_vector * 1e3,
+            "speedup": t_scalar / max(t_vector, 1e-12),
+            "max_moment_err": moment_err,
+            "tolerance": MOMENT_TOLERANCE,
+        },
+        "fullssta_incremental": {
+            "scratch_ms": t_full / steps * 1e3,
+            "incremental_ms": t_inc / steps * 1e3,
+            "speedup": t_full / max(t_inc, 1e-12),
+        },
+    }
+    return lines, record
 
 
 def run(
@@ -132,8 +152,8 @@ def run(
     max_iterations: int,
     lam: float,
     engine_circuit: Optional[str] = None,
-) -> Tuple[str, bool]:
-    """Run the benchmark; returns (report text, all-checks-passed)."""
+) -> Tuple[str, List[dict], bool]:
+    """Run the benchmark; returns (report text, trajectory records, ok)."""
     delay_model, variation_model = _substrates()
     lines = [
         "Incremental & vectorized SSTA evaluation pipeline",
@@ -145,6 +165,7 @@ def run(
     ]
     ok = True
     speedups = []
+    records = []
     for name in circuits:
         baseline, t_base = _run_sizer(
             name, delay_model, variation_model, max_iterations, lam, fast=False
@@ -159,6 +180,18 @@ def run(
         speedup = t_base / max(t_fast, 1e-12)
         speedups.append(speedup)
         num_gates = build_benchmark(name).num_gates()
+        records.append({
+            "circuit": name,
+            "gates": num_gates,
+            "kind": "optimizer",
+            "optimizer": {
+                "scratch_s": t_base,
+                "fast_s": t_fast,
+                "speedup": speedup,
+                "max_moment_err": max(mu_diff, sigma_diff),
+                "tolerance": MOMENT_TOLERANCE,
+            },
+        })
         lines.append(
             f"{name:8s} {num_gates:6d} {t_base:12.2f} {t_fast:10.2f} "
             f"{speedup:7.2f}x {mu_diff:9.2e} {sigma_diff:10.2e}"
@@ -172,16 +205,18 @@ def run(
         )
 
     lines.append("")
-    lines.extend(
-        _time_engines(engine_circuit or circuits[-1], delay_model, variation_model)
+    engine_lines, engine_record = _time_engines(
+        engine_circuit or circuits[-1], delay_model, variation_model
     )
+    lines.extend(engine_lines)
+    records.append(engine_record)
     if speedups:
         lines.append("")
         lines.append(
             f"Optimizer speedup: min {min(speedups):.2f}x / max {max(speedups):.2f}x "
             f"(identical sizing decisions in both configurations)"
         )
-    return "\n".join(lines), ok
+    return "\n".join(lines), records, ok
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -203,6 +238,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="outer-loop pass cap for both configurations (default: 4 quick / 10 full)",
     )
     parser.add_argument("--lam", type=float, default=3.0, help="cost weight lambda")
+    parser.add_argument(
+        "--no-trajectory",
+        action="store_true",
+        help="skip appending to BENCH_incremental.json (CI smoke uses this)",
+    )
     args = parser.parse_args(argv)
 
     circuits = (
@@ -215,12 +255,19 @@ def main(argv: Optional[List[str]] = None) -> int:
     else:
         max_iterations = 4 if args.quick else 10
 
-    report, ok = run(circuits, max_iterations, args.lam)
+    report, records, ok = run(circuits, max_iterations, args.lam)
     print(report)
 
     results_dir = Path(__file__).parent / "results"
     results_dir.mkdir(exist_ok=True)
     (results_dir / "incremental.txt").write_text(report + "\n")
+    if not args.no_trajectory:
+        path = append_entry(
+            "incremental", records, "quick" if args.quick else "full",
+            description="from-scratch vs incremental/vectorized sizing "
+                        "pipeline (bench_incremental.py)",
+        )
+        print(f"trajectory appended to {path}")
 
     if not ok:
         print("FAILED: incremental/vectorized pipeline diverged from the "

@@ -34,7 +34,6 @@ import os
 import shutil
 import sys
 import tempfile
-import time
 from pathlib import Path
 from typing import List, Optional, Tuple
 
@@ -43,6 +42,7 @@ sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
 from repro.analysis.report import format_table1  # noqa: E402
 from repro.core.sizer import SizerConfig  # noqa: E402
+from repro.obs import clock  # noqa: E402
 from repro.runner.sweep import run_cells, table1_specs  # noqa: E402
 
 #: Acceptance grid: >= 5 circuits x 2 lambdas (ISSUE 3 acceptance criteria).
@@ -95,13 +95,13 @@ def run(
         serial_dir = workdir / "serial"
         parallel_dir = workdir / "parallel"
 
-        start = time.perf_counter()
+        start = clock()
         serial = run_cells(specs, jobs=1, out_dir=serial_dir)
-        t_serial = time.perf_counter() - start
+        t_serial = clock() - start
 
-        start = time.perf_counter()
+        start = clock()
         parallel = run_cells(specs, jobs=jobs, out_dir=parallel_dir)
-        t_parallel = time.perf_counter() - start
+        t_parallel = clock() - start
 
         identical = _rows_without_runtime(serial.results) == _rows_without_runtime(
             parallel.results
@@ -137,9 +137,9 @@ def run(
             )
             lines.append(f"speedup target    : reported only ({reason})")
 
-        start = time.perf_counter()
+        start = clock()
         resumed = run_cells(specs, jobs=jobs, out_dir=parallel_dir, resume=True)
-        t_resume = time.perf_counter() - start
+        t_resume = clock() - start
         zero_recomputed = resumed.computed == 0 and resumed.skipped == len(specs)
         ok = ok and zero_recomputed
         lines.append(

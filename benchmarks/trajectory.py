@@ -1,0 +1,62 @@
+"""Normalized perf-trajectory records shared by every ``bench_*.py``.
+
+Each benchmark appends one *entry* per run to a checked-in ``BENCH_*.json``
+file at the repo root::
+
+    {
+      "description": "<what this trajectory tracks>",
+      "entries": [
+        {"date": "YYYY-MM-DD", "mode": "quick"|"full", "circuits": [...]},
+        ...
+      ]
+    }
+
+Per-circuit records are benchmark-specific, but comparable metrics follow
+one convention so ``tools/bench_tripwire.py`` can police them generically:
+
+* a dimensionless ``"speedup"`` key (scalar-vs-levelized, scratch-vs-fast,
+  ...) wherever two implementations of the same computation are compared —
+  machine-independent, so CI can compare against entries recorded anywhere;
+* ``"bit_identical"`` (bool) / ``"max_moment_err"`` (float) wherever an
+  equivalence is asserted — the accuracy half of the tripwire.
+
+Absolute wall-clock (``*_ms``, ``*_s``) is recorded for humans but never
+gated: it only reflects whichever machine ran the bench last.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from typing import Dict, List
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def trajectory_path(name: str) -> Path:
+    """Repo-root path of one trajectory file (``name`` like ``"engines"``)."""
+    return REPO_ROOT / f"BENCH_{name}.json"
+
+
+def append_entry(
+    name: str,
+    records: List[Dict[str, object]],
+    mode: str,
+    description: str,
+) -> Path:
+    """Append one normalized entry to ``BENCH_<name>.json`` and return it."""
+    path = trajectory_path(name)
+    if path.exists():
+        trajectory = json.loads(path.read_text())
+    else:
+        trajectory = {"description": description, "entries": []}
+    trajectory["entries"].append(
+        {
+            "date": time.strftime("%Y-%m-%d"),
+            "mode": mode,
+            "circuits": records,
+        }
+    )
+    path.write_text(json.dumps(trajectory, indent=2) + "\n")
+    return path

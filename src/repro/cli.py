@@ -18,6 +18,11 @@ exposes the main flows without writing any Python:
   circuit and report diagnostics as text or JSON; exit 0 when clean at the
   chosen severity threshold, 1 otherwise, 2 on usage errors;
 * ``table1`` — regenerate Table 1 rows for a list of circuits;
+* ``stats``  — summarize a ``trace.json`` (from ``size --trace`` or a sweep
+  directory): per-span aggregates, root coverage and the metrics snapshot,
+  as text or JSON;
+* ``dashboard`` — render a sweep output directory (cell artifacts, per-cell
+  traces, campaign trace, failure ledger) as one markdown or HTML page;
 * ``sweep``  — parallel, resumable, fault-tolerant (circuit, lambda) sweep:
   fans the cells across a process pool (``--jobs``), persists each
   completed cell as a JSON artifact (``--out``), skips up-to-date cells on
@@ -74,6 +79,15 @@ from repro.core.sizer import SizerConfig
 from repro.flow import run_sizing_flow
 from repro.montecarlo.mc import MonteCarloTimer
 from repro.netlist.bench import parse_bench_file
+from repro.obs import load_trace, write_trace
+from repro.obs.report import (
+    dashboard_data,
+    format_stats_text,
+    render_dashboard_html,
+    render_dashboard_markdown,
+    resolve_trace_path,
+    stats_data,
+)
 from repro.netlist.circuit import Circuit
 from repro.netlist.verilog import parse_verilog_file
 from repro.netlist.validate import validate_circuit
@@ -274,6 +288,9 @@ def cmd_size(args) -> int:
         print("run `repro-sizer lint` for the full diagnostics, or "
               "--no-preflight to proceed anyway", file=sys.stderr)
         return 1
+    if args.trace and result.trace is not None:
+        write_trace(args.trace, result.trace)
+        print(f"trace written to {args.trace}", file=sys.stderr)
     if args.objective == "yield":
         print(f"circuit {circuit.name}: {circuit.num_gates()} gates, "
               f"objective=yield target={args.target_yield:g} "
@@ -482,8 +499,30 @@ def cmd_sweep(args) -> int:
             )
         ]
 
+    # Progress goes to stderr so stdout stays a clean result table that can
+    # be piped; --quiet drops it, --progress json emits one object per cell.
     def progress(done, total, result):
+        if args.quiet:
+            return
         status = "cached" if result.from_cache else "computed"
+        if args.progress == "json":
+            import json
+
+            print(
+                json.dumps({
+                    "done": done,
+                    "total": total,
+                    "kind": result.spec.kind,
+                    "circuit": result.spec.circuit,
+                    "lam": result.spec.lam,
+                    "target_yield": result.spec.target_yield,
+                    "status": status,
+                    "runtime_seconds": result.runtime_seconds,
+                }, sort_keys=True),
+                file=sys.stderr,
+                flush=True,
+            )
+            return
         if result.spec.kind == "yield":
             axis = f"y={result.spec.target_yield:<5g}"
         elif result.spec.kind == "criticality":
@@ -494,6 +533,7 @@ def cmd_sweep(args) -> int:
             f"[{done:3d}/{total:3d}] {result.spec.kind} "
             f"{result.spec.circuit:<8s} {axis} "
             f"{status:8s} {result.runtime_seconds:8.1f} s",
+            file=sys.stderr,
             flush=True,
         )
 
@@ -578,6 +618,45 @@ def cmd_sweep(args) -> int:
     return 0
 
 
+def cmd_stats(args) -> int:
+    """Summarize one trace payload (file or sweep directory)."""
+    try:
+        payload = load_trace(resolve_trace_path(args.path))
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    data = stats_data(payload)
+    if args.format == "json":
+        import json
+
+        print(json.dumps(data, indent=2, sort_keys=True))
+    else:
+        print(format_stats_text(data, top=args.top))
+    return 0
+
+
+def cmd_dashboard(args) -> int:
+    """Render a sweep output directory as a markdown or HTML page."""
+    try:
+        data = dashboard_data(args.dir)
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.format == "html":
+        text = render_dashboard_html(data)
+    else:
+        text = render_dashboard_markdown(data)
+    if args.out:
+        Path(args.out).write_text(text)
+        print(f"dashboard written to {args.out}")
+    else:
+        print(text, end="")
+    return 0
+
+
 def cmd_benchmarks(args) -> int:
     headers = ["name", "paper gates", "generated gates", "depth"]
     rows = []
@@ -649,6 +728,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_size.add_argument("--explain-path", action="store_true",
                         help="print the final design's WNSS trace with every "
                              "dominance-vs-sensitivity decision")
+    p_size.add_argument("--trace", default=None, metavar="FILE",
+                        help="persist the flow's timing-span trace as FILE "
+                             "(inspect with `repro-sizer stats FILE`)")
     _add_frontend_options(p_size)
     _add_common_options(p_size)
     p_size.set_defaults(func=cmd_size)
@@ -759,8 +841,37 @@ def build_parser() -> argparse.ArgumentParser:
                               "circuit (defective netlists then fail inside "
                               "the workers instead of up front)")
     p_sweep.add_argument("--seed", type=int, default=0)
+    p_sweep.add_argument("--quiet", action="store_true",
+                         help="suppress per-cell progress lines (stderr)")
+    p_sweep.add_argument("--progress", choices=["text", "json"], default="text",
+                         help="per-cell progress format on stderr: aligned "
+                              "text lines or one JSON object per cell")
     _add_common_options(p_sweep)
     p_sweep.set_defaults(func=cmd_sweep)
+
+    p_stats = sub.add_parser(
+        "stats",
+        help="summarize a trace.json: per-span aggregates, coverage, metrics",
+    )
+    p_stats.add_argument("path",
+                         help="trace file, or a sweep directory holding a "
+                              "campaign trace.json")
+    p_stats.add_argument("--format", choices=["text", "json"], default="text")
+    p_stats.add_argument("--top", type=int, default=20,
+                         help="span names shown in the text table")
+    p_stats.set_defaults(func=cmd_stats)
+
+    p_dash = sub.add_parser(
+        "dashboard",
+        help="render a sweep directory (artifacts + traces + failures) as "
+             "markdown or HTML",
+    )
+    p_dash.add_argument("dir", help="sweep output directory (see sweep --out)")
+    p_dash.add_argument("--format", choices=["markdown", "html"],
+                        default="markdown")
+    p_dash.add_argument("--out", default=None, metavar="FILE",
+                        help="write the page to FILE instead of stdout")
+    p_dash.set_defaults(func=cmd_dashboard)
 
     p_bench = sub.add_parser("benchmarks", help="list available benchmark circuits")
     _add_common_options(p_bench)
@@ -773,7 +884,14 @@ def main(argv: Optional[list] = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # Downstream pipe (e.g. `| head`) closed early; not an error.
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":

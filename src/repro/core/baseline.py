@@ -25,7 +25,6 @@ comparable.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
@@ -35,6 +34,7 @@ from repro.core.rv import NormalDelay
 from repro.core.subcircuit import DEFAULT_DEPTH, extract_subcircuit
 from repro.library.delay_model import BaseDelayModel
 from repro.netlist.circuit import Circuit
+from repro.obs import clock, span
 from repro.sta.dsta import DeterministicSTA
 from repro.variation.model import VariationModel
 
@@ -95,7 +95,13 @@ class MeanDelaySizer:
     # ------------------------------------------------------------------
     def optimize(self, circuit: Circuit) -> BaselineResult:
         """Size ``circuit`` in place for minimum mean delay."""
-        start = time.perf_counter()
+        with span("baseline.optimize", circuit=circuit.name) as sp:
+            result = self._optimize(circuit)
+            sp.set(passes=result.passes)
+        return result
+
+    def _optimize(self, circuit: Circuit) -> BaselineResult:
+        start = clock()
         initial_delay = self.dsta.max_delay(circuit)
         initial_area = self.delay_model.circuit_area(circuit)
 
@@ -151,7 +157,7 @@ class MeanDelaySizer:
         if self.area_recovery:
             best_delay = self._recover_area(circuit, best_delay)
 
-        runtime = time.perf_counter() - start
+        runtime = clock() - start
         return BaselineResult(
             circuit=circuit,
             initial_delay=initial_delay,

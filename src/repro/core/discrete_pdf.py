@@ -23,6 +23,8 @@ from typing import Iterable, Sequence, Tuple
 import numpy as np
 from scipy.special import erf as _erf
 
+from repro.obs import METRICS
+
 #: Default number of samples kept per pdf, the middle of the paper's 10-15 range.
 DEFAULT_SAMPLES = 13
 
@@ -222,6 +224,7 @@ class DiscretePDF:
     # ------------------------------------------------------------------
     def add(self, other: "DiscretePDF", num_samples: int = DEFAULT_SAMPLES) -> "DiscretePDF":
         """Sum of two independent random variables (discrete convolution)."""
+        METRICS.counter("discrete_pdf.add")
         values = np.add.outer(self.values, other.values).ravel()
         probs = np.multiply.outer(self.probabilities, other.probabilities).ravel()
         return DiscretePDF(values, probs).compact(num_samples)
@@ -232,6 +235,7 @@ class DiscretePDF:
 
     def maximum(self, other: "DiscretePDF", num_samples: int = DEFAULT_SAMPLES) -> "DiscretePDF":
         """Max of two independent random variables (pairwise max reduction)."""
+        METRICS.counter("discrete_pdf.maximum")
         values = np.maximum.outer(self.values, other.values).ravel()
         probs = np.multiply.outer(self.probabilities, other.probabilities).ravel()
         return DiscretePDF(values, probs).compact(num_samples)
@@ -340,6 +344,7 @@ def batched_combine(
     samples the scalar operations produce.
     """
     num_rows = a_values.shape[0]
+    METRICS.counter(f"discrete_pdf.batched_{op}_rows", num_rows)
     if op == "add":
         pair_values = a_values[:, :, None] + b_values[:, None, :]
     elif op == "max":

@@ -40,6 +40,7 @@ from repro.core.clark import clark_max_fast_arrays
 from repro.core.rv import NormalDelay, ZERO_DELAY
 from repro.library.delay_model import BaseDelayModel
 from repro.netlist.circuit import Circuit
+from repro.obs import METRICS, span
 from repro.variation.model import VariationModel
 
 
@@ -138,11 +139,19 @@ class FASSTA:
             instead of silently timing as zero.
         """
         if self.vectorized and not self.exact_max:
-            arrivals, gate_delays = self._propagate_vectorized(
-                circuit, boundary_arrivals
-            )
+            METRICS.counter("fassta.runs.levelized")
+            with span("fassta.analyze", path="levelized") as sp:
+                arrivals, gate_delays = self._propagate_vectorized(
+                    circuit, boundary_arrivals
+                )
+                sp.set(gates=len(gate_delays))
         else:
-            arrivals, gate_delays = self._propagate_scalar(circuit, boundary_arrivals)
+            METRICS.counter("fassta.runs.scalar")
+            with span("fassta.analyze", path="scalar") as sp:
+                arrivals, gate_delays = self._propagate_scalar(
+                    circuit, boundary_arrivals
+                )
+                sp.set(gates=len(gate_delays))
         return self._build_result(circuit, arrivals, gate_delays, outputs)
 
     # ------------------------------------------------------------------

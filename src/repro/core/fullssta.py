@@ -41,6 +41,7 @@ from repro.core.discrete_pdf import (
 from repro.core.rv import NormalDelay, ZERO_DELAY
 from repro.library.delay_model import BaseDelayModel
 from repro.netlist.circuit import Circuit
+from repro.obs import METRICS, span
 from repro.variation.correlation import SpatialCorrelationModel
 from repro.variation.model import VariationModel
 
@@ -139,13 +140,19 @@ class FULLSSTA:
         zero.
         """
         if self.vectorized:
-            arrivals, gate_delay_moments = self._propagate_vectorized(
-                circuit, boundary_arrivals
-            )
+            METRICS.counter("fullssta.runs.levelized")
+            with span("fullssta.analyze", path="levelized") as sp:
+                arrivals, gate_delay_moments = self._propagate_vectorized(
+                    circuit, boundary_arrivals
+                )
+                sp.set(gates=len(gate_delay_moments))
         else:
-            arrivals, gate_delay_moments = self._propagate_scalar(
-                circuit, boundary_arrivals
-            )
+            METRICS.counter("fullssta.runs.scalar")
+            with span("fullssta.analyze", path="scalar") as sp:
+                arrivals, gate_delay_moments = self._propagate_scalar(
+                    circuit, boundary_arrivals
+                )
+                sp.set(gates=len(gate_delay_moments))
         arrival_moments = {
             net: NormalDelay(pdf.mean(), pdf.std()) for net, pdf in arrivals.items()
         }
@@ -463,6 +470,7 @@ class IncrementalReanalysis:
         self._cursor = circuit.size_change_cursor
 
         self.incremental_runs += 1
+        METRICS.counter("incremental.runs")
         if dirty:
             delta = self._compute_delta(dirty)
             self._apply_delta(delta)
@@ -496,6 +504,7 @@ class IncrementalReanalysis:
             return None
 
         self.preview_runs += 1
+        METRICS.counter("incremental.preview_runs")
         delta = self._compute_delta(dirty)
         self._pending = delta
         merged_pdfs = dict(self._arrival_pdfs)
@@ -558,6 +567,7 @@ class IncrementalReanalysis:
         self._cached_sizes = circuit.sizes()
         self.full_runs += 1
         self.gates_retimed += circuit.num_gates()
+        METRICS.counter("incremental.full_runs")
         return result
 
     # ------------------------------------------------------------------
@@ -585,6 +595,10 @@ class IncrementalReanalysis:
 
         plan = circuit.compiled()
         cone = plan.fanout_cone(plan.gate_index[name] for name in dirty_delay)
+        # The per-resize dirty-cone size is the quantity that makes (or
+        # breaks) the incremental win: its distribution is the headline
+        # observability metric of this layer.
+        METRICS.histogram("incremental.dirty_cone_gates", len(cone))
         for gid in cone:
             gate = circuit.gate(plan.gate_names[gid])
             recompute = gate.name in dirty_delay or any(

@@ -38,7 +38,6 @@ changes the optimization trajectory):
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
@@ -50,6 +49,7 @@ from repro.core.subcircuit import DEFAULT_DEPTH, SubcircuitCache
 from repro.core.wnss import WNSSTracer
 from repro.library.delay_model import BaseDelayModel
 from repro.netlist.circuit import Circuit
+from repro.obs import METRICS, clock, span
 from repro.variation.model import VariationModel
 
 
@@ -245,7 +245,18 @@ class StatisticalGreedySizer:
     # ------------------------------------------------------------------
     def optimize(self, circuit: Circuit) -> SizerResult:
         """Run StatisticalGreedy on ``circuit`` in place and return the result."""
-        start_time = time.perf_counter()
+        with span("sizer.optimize", circuit=circuit.name) as sp:
+            result = self._optimize(circuit)
+            sp.set(
+                iterations=len(result.iterations),
+                converged=result.converged,
+            )
+        return result
+
+    def _optimize(self, circuit: Circuit) -> SizerResult:
+        start_time = clock()
+        sub_hits0 = self._subcircuits.hits
+        sub_misses0 = self._subcircuits.misses
         config = self.config
         self._eval_cache.clear()
         self._eval_hits = 0
@@ -416,7 +427,7 @@ class StatisticalGreedySizer:
         # Restore the best configuration seen during the run.
         circuit.apply_sizes(best_sizes)
         final_full = best_full
-        runtime = time.perf_counter() - start_time
+        runtime = clock() - start_time
 
         diagnostics: Dict[str, int] = {
             "evaluation_cache_hits": self._eval_hits,
@@ -428,6 +439,14 @@ class StatisticalGreedySizer:
             diagnostics["criticality_pruned_gates"] = pruned_gates
         if reanalysis is not None:
             diagnostics.update(reanalysis.stats)
+        METRICS.counter("sizer.eval_cache_hits", self._eval_hits)
+        METRICS.counter("sizer.eval_cache_misses", self._eval_misses)
+        METRICS.counter("sizer.subcircuit_cache_hits", self._subcircuits.hits - sub_hits0)
+        METRICS.counter(
+            "sizer.subcircuit_cache_misses", self._subcircuits.misses - sub_misses0
+        )
+        if crit_analyzer is not None:
+            METRICS.counter("sizer.criticality_pruned_gates", pruned_gates)
 
         return SizerResult(
             circuit=circuit,

@@ -18,9 +18,8 @@ whole flow.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Any, Dict, Optional
 
 from repro.circuits.registry import build_benchmark
 from repro.core.baseline import BaselineResult, MeanDelaySizer
@@ -34,6 +33,7 @@ from repro.library.delay_model import BaseDelayModel, LookupTableDelayModel
 from repro.library.synthetic90nm import make_synthetic_90nm_library
 from repro.montecarlo.mc import MonteCarloResult, MonteCarloTimer
 from repro.netlist.circuit import Circuit
+from repro.obs import METRICS, Tracer, activate, get_tracer, span, trace_payload
 from repro.runner.errors import ensure_finite_moments
 from repro.variation.model import VariationModel
 
@@ -52,11 +52,10 @@ class FlowResult:
     final_area: float
     mc_original: Optional[MonteCarloResult] = None
     mc_final: Optional[MonteCarloResult] = None
-    #: Wall-clock of the whole flow (baseline + analyses + sizer + MC); the
-    #: paper's Table-1 runtime column only counts the sizer itself
-    #: (``sizer_result.runtime_seconds``), which hides the analysis/MC cost
-    #: from sweep accounting.
-    total_runtime_seconds: float = 0.0
+    #: Schema-1 trace payload of this flow (see :mod:`repro.obs.traceio`):
+    #: a ``flow`` root span with one child per stage (baseline, analyses,
+    #: sizer, MC), recorded even when global tracing is off.
+    trace: Optional[Dict[str, Any]] = None
     #: Circuit-level output arrival pdfs of the original and final designs
     #: (the distributions yield numbers are computed from).
     original_output_pdf: Optional[DiscretePDF] = None
@@ -66,6 +65,24 @@ class FlowResult:
     #: dominance-vs-sensitivity choice was made is inspectable through the
     #: CLI (``size --explain-path``) and reports.
     final_wnss: Optional[WNSSPath] = None
+
+    @property
+    def total_runtime_seconds(self) -> float:
+        """Wall-clock of the whole flow (baseline + analyses + sizer + MC).
+
+        Derived from the trace's root ``flow`` span — the tracer is the
+        single timing source.  The paper's Table-1 runtime column only
+        counts the sizer itself (``sizer_result.runtime_seconds``), which
+        hides the analysis/MC cost from sweep accounting.
+        """
+        if not self.trace:
+            return 0.0
+        roots = [
+            s for s in self.trace.get("spans", []) if s.get("parent") is None
+        ]
+        return max(
+            (float(s.get("duration_s", 0.0)) for s in roots), default=0.0
+        )
 
     # -- Table 1 style metrics -------------------------------------------
     @property
@@ -172,20 +189,66 @@ def run_sizing_flow(
         :class:`~repro.runner.errors.DeterministicError` up front instead
         of surfacing as mid-flow engine failures.
     """
-    flow_start = time.perf_counter()
-    if library is None and delay_model is None:
-        library = make_synthetic_90nm_library()
-    if delay_model is None:
-        delay_model = LookupTableDelayModel(library)
-    variation_model = variation_model or VariationModel()
-    config = sizer_config or SizerConfig(lam=lam)
+    # The flow always records its own span tree — FlowResult.trace feeds
+    # the runtime properties and the trace artifacts.  When a tracer is
+    # already active (e.g. inside a sweep cell) its spans land there too,
+    # so the cell trace sees the flow stages without double bookkeeping.
+    current = get_tracer()
+    local = current if current.enabled else Tracer(enabled=True)
+    mark = local.mark()
+    with activate(local):
+        with local.span(
+            "flow",
+            circuit=circuit.name,
+            lam=(sizer_config.lam if sizer_config is not None else lam),
+        ):
+            result = _run_flow_stages(
+                circuit,
+                lam=lam,
+                library=library,
+                delay_model=delay_model,
+                variation_model=variation_model,
+                sizer_config=sizer_config,
+                run_baseline=run_baseline,
+                monte_carlo_samples=monte_carlo_samples,
+                seed=seed,
+                preflight=preflight,
+            )
+    result.trace = trace_payload(
+        f"flow {circuit.name}",
+        local.records_since(mark),
+        metrics=METRICS.snapshot(),
+    )
+    return result
+
+
+def _run_flow_stages(
+    circuit: Circuit,
+    lam: float,
+    library: Optional[Library],
+    delay_model: Optional[BaseDelayModel],
+    variation_model: Optional[VariationModel],
+    sizer_config: Optional[SizerConfig],
+    run_baseline: bool,
+    monte_carlo_samples: int,
+    seed: Optional[int],
+    preflight: bool,
+) -> FlowResult:
+    with span("flow.setup"):
+        if library is None and delay_model is None:
+            library = make_synthetic_90nm_library()
+        if delay_model is None:
+            delay_model = LookupTableDelayModel(library)
+        variation_model = variation_model or VariationModel()
+        config = sizer_config or SizerConfig(lam=lam)
 
     if preflight:
-        # Imported lazily: repro.verify is a leaf consumer of the netlist
-        # and library layers, and flow is imported by nearly everything.
-        from repro.verify.preflight import preflight_circuit
+        with span("flow.preflight"):
+            # Imported lazily: repro.verify is a leaf consumer of the netlist
+            # and library layers, and flow is imported by nearly everything.
+            from repro.verify.preflight import preflight_circuit
 
-        preflight_circuit(circuit, library=library or delay_model.library)
+            preflight_circuit(circuit, library=library or delay_model.library)
 
     baseline_sizer = MeanDelaySizer(delay_model)
     if run_baseline:
@@ -209,15 +272,16 @@ def run_sizing_flow(
     fullssta = FULLSSTA(
         delay_model, variation_model, num_samples=config.pdf_samples, vectorized=True
     )
-    original_full = fullssta.analyze(circuit)
-    original_rv = original_full.output_rv
-    original_area = delay_model.circuit_area(circuit)
-    # Fail loudly on numerically-poisoned analyses: a NaN here would
-    # otherwise flow silently into every downstream metric and artifact.
-    ensure_finite_moments(
-        original_rv.mean, original_rv.sigma,
-        context=f"{circuit.name}: original FULLSSTA", area=original_area,
-    )
+    with span("flow.analyze_original"):
+        original_full = fullssta.analyze(circuit)
+        original_rv = original_full.output_rv
+        original_area = delay_model.circuit_area(circuit)
+        # Fail loudly on numerically-poisoned analyses: a NaN here would
+        # otherwise flow silently into every downstream metric and artifact.
+        ensure_finite_moments(
+            original_rv.mean, original_rv.sigma,
+            context=f"{circuit.name}: original FULLSSTA", area=original_area,
+        )
 
     mc_original = None
     if monte_carlo_samples > 0:
@@ -228,17 +292,19 @@ def run_sizing_flow(
     sizer = StatisticalGreedySizer(delay_model, variation_model, config)
     sizer_result = sizer.optimize(circuit)
 
-    final_full = fullssta.analyze(circuit)
-    final_rv = final_full.output_rv
-    final_area = delay_model.circuit_area(circuit)
-    ensure_finite_moments(
-        final_rv.mean, final_rv.sigma,
-        context=f"{circuit.name}: final FULLSSTA", area=final_area,
-    )
+    with span("flow.analyze_final"):
+        final_full = fullssta.analyze(circuit)
+        final_rv = final_full.output_rv
+        final_area = delay_model.circuit_area(circuit)
+        ensure_finite_moments(
+            final_rv.mean, final_rv.sigma,
+            context=f"{circuit.name}: final FULLSSTA", area=final_area,
+        )
 
     # Trace the final design's WNSS path with the sizer's own tracer so the
     # recorded TraceDecisions use the exact lambda/coupling the run used.
-    final_wnss = sizer.tracer.trace(circuit, final_full.arrival_moments)
+    with span("flow.wnss_trace"):
+        final_wnss = sizer.tracer.trace(circuit, final_full.arrival_moments)
 
     mc_final = None
     if monte_carlo_samples > 0:
@@ -257,7 +323,6 @@ def run_sizing_flow(
         final_area=final_area,
         mc_original=mc_original,
         mc_final=mc_final,
-        total_runtime_seconds=time.perf_counter() - flow_start,
         original_output_pdf=original_full.output_pdf,
         final_output_pdf=final_full.output_pdf,
         final_wnss=final_wnss,

@@ -38,6 +38,7 @@ import numpy as np
 from repro.ir.compiled import CompiledCircuit
 from repro.library.delay_model import BaseDelayModel
 from repro.netlist.circuit import Circuit
+from repro.obs import METRICS, span
 from repro.variation.correlation import SpatialCorrelationModel
 from repro.variation.model import VariationModel
 
@@ -152,6 +153,21 @@ class MonteCarloTimer:
         """
         if num_samples < 2:
             raise ValueError("num_samples must be at least 2")
+        METRICS.counter("mc.runs")
+        METRICS.counter("mc.samples", num_samples)
+        with span(
+            "mc.run", circuit=circuit.name, samples=num_samples
+        ) as mc_span:
+            result = self._run(circuit, num_samples, seed)
+            mc_span.set(mean=result.mean, sigma=result.sigma)
+        return result
+
+    def _run(
+        self,
+        circuit: Circuit,
+        num_samples: int,
+        seed: Optional[int],
+    ) -> MonteCarloResult:
         rng = np.random.default_rng(seed)
 
         # Draw order is part of the pinned RNG stream contract (bit-compat

@@ -1,0 +1,239 @@
+"""Nested timing spans with near-zero overhead when disabled.
+
+Design constraints (in priority order):
+
+1. **Free when off.**  The default tracer is disabled; its ``span()``
+   returns one shared :data:`NULL_SPAN` instance whose enter/exit are
+   no-ops, so an instrumented hot path costs one attribute check and one
+   call — no allocation, no clock read.  ``bench_engines.py`` timings with
+   tracing off are the acceptance test for this.
+2. **Correct nesting everywhere.**  The current span stack lives in a
+   ``contextvars.ContextVar`` shared by every tracer, so spans nest
+   correctly across threads and regardless of which tracer records them
+   (a flow's local tracer and the global tracer interleave into one tree).
+3. **Mergeable across processes.**  Span ids embed the pid, and every span
+   carries a wall-clock ``start_unix`` (``time.time``) next to its
+   monotonic ``duration_s`` (``perf_counter`` delta), so worker spans
+   shipped over a pipe align with the parent's timeline.
+
+``clock`` (the bare :func:`time.perf_counter`) and :func:`stopwatch` are
+the blessed primitives for code that needs a raw duration without a span
+(repo lint RL005 forbids ``time.perf_counter()`` outside this package).
+"""
+
+from __future__ import annotations
+
+import functools
+import itertools
+import os
+import time
+from contextlib import contextmanager
+from contextvars import ContextVar
+from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
+
+#: The one monotonic clock every duration in the repository comes from.
+clock = time.perf_counter
+
+#: Current span-id stack (immutable tuple: cheap to read, contextvar-safe).
+_STACK: ContextVar[Tuple[str, ...]] = ContextVar("repro_obs_span_stack", default=())
+
+
+class Span:
+    """One timed region.  Use as a context manager; reentrant it is not."""
+
+    __slots__ = (
+        "tracer", "name", "attrs", "id", "parent_id",
+        "start_unix", "duration_s", "_t0", "_token",
+    )
+
+    def __init__(self, tracer: "Tracer", name: str, attrs: Dict[str, Any]) -> None:
+        self.tracer = tracer
+        self.name = name
+        self.attrs = attrs
+        self.id: Optional[str] = None
+        self.parent_id: Optional[str] = None
+        self.start_unix = 0.0
+        self.duration_s = 0.0
+
+    def set(self, **attrs: Any) -> "Span":
+        """Attach attributes mid-span (e.g. counts known only at the end)."""
+        self.attrs.update(attrs)
+        return self
+
+    def __enter__(self) -> "Span":
+        stack = _STACK.get()
+        self.parent_id = stack[-1] if stack else None
+        self.id = f"{os.getpid():x}.{next(self.tracer._ids):x}"
+        self._token = _STACK.set(stack + (self.id,))
+        self.start_unix = time.time()
+        self._t0 = clock()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.duration_s = clock() - self._t0
+        _STACK.reset(self._token)
+        self.tracer._records.append(self)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "id": self.id,
+            "parent": self.parent_id,
+            "name": self.name,
+            "start_unix": self.start_unix,
+            "duration_s": self.duration_s,
+            "attrs": self.attrs,
+        }
+
+
+class _NullSpan:
+    """Shared no-op span returned by disabled tracers (never recorded)."""
+
+    __slots__ = ()
+    id = None
+    parent_id = None
+    name = ""
+    start_unix = 0.0
+    duration_s = 0.0
+
+    def set(self, **attrs: Any) -> "_NullSpan":
+        return self
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        return None
+
+
+NULL_SPAN = _NullSpan()
+
+
+class Tracer:
+    """Collects finished spans (append-only; thread-safe under the GIL)."""
+
+    def __init__(self, enabled: bool = True, name: str = "trace") -> None:
+        self.enabled = enabled
+        self.name = name
+        self._records: List[Span] = []
+        self._ids = itertools.count(1)
+
+    # -- recording ---------------------------------------------------------
+    def span(self, name: str, **attrs: Any):
+        if not self.enabled:
+            return NULL_SPAN
+        return Span(self, name, attrs)
+
+    def wrap(self, name: Optional[str] = None) -> Callable:
+        """Decorator form: the whole call body becomes one span."""
+
+        def decorate(fn: Callable) -> Callable:
+            label = name or fn.__qualname__
+
+            @functools.wraps(fn)
+            def inner(*args: Any, **kwargs: Any) -> Any:
+                with self.span(label):
+                    return fn(*args, **kwargs)
+
+            return inner
+
+        return decorate
+
+    # -- reading -----------------------------------------------------------
+    def mark(self) -> int:
+        """Bookmark the record list (see :meth:`records_since`)."""
+        return len(self._records)
+
+    def records_since(self, mark: int = 0) -> List[Dict[str, Any]]:
+        """Finished spans recorded after ``mark``, as plain dicts."""
+        return [span.to_dict() for span in self._records[mark:]]
+
+    @property
+    def spans(self) -> List[Span]:
+        return list(self._records)
+
+    def clear(self) -> None:
+        self._records.clear()
+
+
+# ---------------------------------------------------------------------------
+# Current tracer (module-level so instrumented code needs no plumbing)
+# ---------------------------------------------------------------------------
+def _env_enabled() -> bool:
+    return os.environ.get("REPRO_TRACE", "").strip().lower() in ("1", "true", "on", "yes")
+
+
+_current: Tracer = Tracer(enabled=_env_enabled())
+
+
+def get_tracer() -> Tracer:
+    return _current
+
+
+def set_tracer(tracer: Tracer) -> Tracer:
+    global _current
+    _current = tracer
+    return tracer
+
+
+def tracing_enabled() -> bool:
+    return _current.enabled
+
+
+@contextmanager
+def activate(tracer: Tracer) -> Iterator[Tracer]:
+    """Install ``tracer`` as the current one for the duration of the block."""
+    global _current
+    previous = _current
+    _current = tracer
+    try:
+        yield tracer
+    finally:
+        _current = previous
+
+
+def span(name: str, **attrs: Any):
+    """A span on the *current* tracer (the null span when disabled)."""
+    tracer = _current
+    if not tracer.enabled:
+        return NULL_SPAN
+    return Span(tracer, name, attrs)
+
+
+def traced(name: Optional[str] = None) -> Callable:
+    """Decorator recording one span per call on the tracer current *at call time*."""
+
+    def decorate(fn: Callable) -> Callable:
+        label = name or fn.__qualname__
+
+        @functools.wraps(fn)
+        def inner(*args: Any, **kwargs: Any) -> Any:
+            with span(label):
+                return fn(*args, **kwargs)
+
+        return inner
+
+    return decorate
+
+
+# ---------------------------------------------------------------------------
+# Raw durations without a span
+# ---------------------------------------------------------------------------
+class Stopwatch:
+    """Context manager measuring one wall-clock duration (``.elapsed_s``)."""
+
+    __slots__ = ("started_at", "elapsed_s")
+
+    def __init__(self) -> None:
+        self.started_at = 0.0
+        self.elapsed_s = 0.0
+
+    def __enter__(self) -> "Stopwatch":
+        self.started_at = clock()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.elapsed_s = clock() - self.started_at
+
+
+def stopwatch() -> Stopwatch:
+    return Stopwatch()

@@ -36,6 +36,7 @@ import traceback
 from dataclasses import dataclass
 from typing import Any, Callable, List, Optional, Tuple
 
+from repro.obs import METRICS, clock
 from repro.runner.errors import classify_exception
 
 
@@ -77,7 +78,7 @@ def _worker_main(conn, task_fn: Callable) -> None:
         if task is None:
             return
         tag, args = task
-        start = time.perf_counter()
+        start = clock()
         try:
             result = task_fn(*args)
         except BaseException as exc:
@@ -90,10 +91,10 @@ def _worker_main(conn, task_fn: Callable) -> None:
                     traceback=traceback.format_exc(),
                     category=classify_exception(exc),
                 ),
-                time.perf_counter() - start,
+                clock() - start,
             )
         else:
-            payload = ("ok", tag, result, time.perf_counter() - start)
+            payload = ("ok", tag, result, clock() - start)
         try:
             conn.send(payload)
         except (BrokenPipeError, OSError):
@@ -137,6 +138,7 @@ class FaultTolerantPool:
         return _Worker(process, parent_conn)
 
     def _respawn(self, worker: _Worker) -> None:
+        METRICS.counter("pool.respawns")
         try:
             worker.conn.close()
         except OSError:

@@ -64,6 +64,17 @@ from repro.circuits.registry import build_benchmark
 from repro.core.sizer import SizerConfig
 from repro.library.delay_model import LookupTableDelayModel
 from repro.library.synthetic90nm import make_synthetic_90nm_library
+from repro.obs import (
+    METRICS,
+    MetricsRegistry,
+    Tracer,
+    activate,
+    clock,
+    load_trace,
+    merge_traces,
+    trace_payload,
+    write_trace,
+)
 from repro.runner.artifacts import (
     DIGEST_LEN,
     artifact_path,
@@ -231,6 +242,10 @@ class CellResult:
     result: Dict[str, Any]
     runtime_seconds: float
     from_cache: bool = False
+    #: Schema-1 trace payload of this cell's evaluation (span tree + the
+    #: worker's per-cell metrics snapshot); ships back to the parent over
+    #: the existing result pipe and is persisted beside the artifact.
+    trace: Optional[Dict[str, Any]] = field(default=None, compare=False, repr=False)
 
     def table1_row(self) -> "Table1Row":
         """Reconstruct the Table-1 row of a ``kind == "table1"`` cell."""
@@ -264,6 +279,9 @@ class SweepReport:
     retries: int = 0               #: extra attempts scheduled across all cells
     interrupted: bool = False      #: SIGINT drained the sweep early
     failures: List[FailureRecord] = field(default_factory=list)
+    #: Campaign-level metrics snapshot: every cell's registry merged, plus
+    #: the orchestrator's own counters (retries, backoff waits, respawns).
+    metrics: Dict[str, Any] = field(default_factory=dict)
 
     @property
     def pending(self) -> int:
@@ -572,17 +590,42 @@ def evaluate_cell(spec: CellSpec, attempt: int = 0) -> CellResult:
     :class:`~repro.runner.errors.NumericalHealthError`.
     """
     inject_evaluation_faults(spec, attempt)
-    start = time.perf_counter()
-    result = _EVALUATORS[spec.kind](spec)
-    runtime = time.perf_counter() - start
+    # Each attempt records its own span tree and metrics from scratch: the
+    # process-wide registry is reset so a worker reused across cells ships
+    # per-cell (not cumulative) numbers back over the result pipe.
+    METRICS.reset()
+    tracer = Tracer(enabled=True)
+    with activate(tracer):
+        with tracer.span(
+            "cell",
+            kind=spec.kind,
+            circuit=spec.circuit,
+            lam=spec.lam,
+            attempt=attempt,
+        ) as cell_span:
+            result = _EVALUATORS[spec.kind](spec)
     check_payload_health(result, context=spec.describe())
-    return CellResult(spec=spec, key=spec.key(), result=result, runtime_seconds=runtime)
+    trace = trace_payload(
+        f"cell {spec.artifact_stem()}", tracer.spans, metrics=METRICS.snapshot()
+    )
+    return CellResult(
+        spec=spec,
+        key=spec.key(),
+        result=result,
+        runtime_seconds=cell_span.duration_s,
+        trace=trace,
+    )
 
 
 # ---------------------------------------------------------------------------
 # Orchestration
 # ---------------------------------------------------------------------------
 ProgressFn = Callable[[int, int, CellResult], None]
+
+
+def _cell_trace_path(artifact: Path) -> Path:
+    """The per-cell trace file living beside ``artifact`` (``*.trace.json``)."""
+    return artifact.with_suffix(".trace.json")
 
 
 def _preflight_cells(specs: Sequence[CellSpec]) -> None:
@@ -697,7 +740,10 @@ def run_cells(
         raise ValueError("max_retries must be >= 0")
     if on_error not in ("fail", "continue"):
         raise ValueError(f"on_error must be 'fail' or 'continue', got {on_error!r}")
-    start = time.perf_counter()
+    start = clock()
+    start_unix = time.time()
+    respawn_base = METRICS.get_counter("pool.respawns")
+    campaign_metrics = MetricsRegistry()
     out_path = Path(out_dir) if out_dir is not None else None
     if out_path is not None:
         out_path.mkdir(parents=True, exist_ok=True)
@@ -724,12 +770,20 @@ def run_cells(
                     )
                 )
             elif status == "ok" and artifact["key"] == spec.key():
+                trace = None
+                trace_file = _cell_trace_path(path)
+                if trace_file.exists():
+                    try:
+                        trace = load_trace(trace_file)
+                    except (ValueError, OSError):
+                        trace = None
                 cached = CellResult(
                     spec=spec,
                     key=artifact["key"],
                     result=artifact["result"],
                     runtime_seconds=float(artifact.get("runtime_seconds", 0.0)),
                     from_cache=True,
+                    trace=trace,
                 )
         if cached is not None:
             results[i] = cached
@@ -745,6 +799,7 @@ def run_cells(
     computed = 0
     retries = 0
     final_failures: List[FailureRecord] = []
+    all_failures: List[FailureRecord] = []
 
     def _finish(index: int, result: CellResult, attempt: int = 0) -> None:
         nonlocal done, computed
@@ -758,6 +813,8 @@ def run_cells(
                 result=result.result,
                 runtime_seconds=result.runtime_seconds,
             )
+            if result.trace is not None:
+                write_trace(_cell_trace_path(path), result.trace)
             corrupt_artifact_if_injected(result.spec, attempt, path)
         done += 1
         computed += 1
@@ -797,8 +854,13 @@ def run_cells(
             retried=will_retry,
         )
         ledger.record_failure(record)
+        all_failures.append(record)
+        campaign_metrics.counter(f"sweep.failures.{category}")
         if will_retry:
             retries += 1
+            campaign_metrics.histogram(
+                "sweep.backoff_wait_s", _backoff_delay(attempt)
+            )
         else:
             final_failures.append(record)
         return will_retry
@@ -822,11 +884,30 @@ def run_cells(
             _backoff_delay,
         )
 
+    # Fold every cell's shipped metrics (cached cells included, so the
+    # campaign numbers describe the whole grid) plus the orchestrator's own
+    # counters into one registry; the snapshot rides on the report and the
+    # campaign trace.
+    completed = [r for r in results if r is not None]
+    for result in completed:
+        if result.trace is not None:
+            campaign_metrics.merge(result.trace.get("metrics", {}))
+    campaign_metrics.counter("sweep.cells_total", total)
+    campaign_metrics.counter("sweep.cells_computed", computed)
+    campaign_metrics.counter("sweep.cells_cached", done - computed)
+    campaign_metrics.counter("sweep.retries", retries)
+    campaign_metrics.counter("sweep.failed", len(final_failures))
+    campaign_metrics.counter("sweep.quarantined", quarantined)
+    # Serial sweeps reset the process registry per cell, so clamp the delta.
+    respawns = max(0, METRICS.get_counter("pool.respawns") - respawn_base)
+    if respawns:
+        campaign_metrics.counter("pool.respawns", respawns)
+
     report = SweepReport(
-        results=[r for r in results if r is not None],
+        results=completed,
         computed=computed,
         skipped=done - computed,
-        wall_seconds=time.perf_counter() - start,
+        wall_seconds=clock() - start,
         jobs=jobs,
         out_dir=out_path,
         total=total,
@@ -835,7 +916,41 @@ def run_cells(
         retries=retries,
         interrupted=interrupted,
         failures=final_failures,
+        metrics=campaign_metrics.snapshot(),
     )
+
+    # One merged campaign trace: every completed cell's span tree under a
+    # synthetic root, plus one synthesized span per failed attempt
+    # (crashed/hung workers can never ship theirs).  A fully-cached resume
+    # leaves the existing file untouched — nothing ran, nothing changed.
+    if out_path is not None and (
+        computed or all_failures or not (out_path / "trace.json").exists()
+    ):
+        failure_spans = [
+            {
+                "id": f"fail.{n}",
+                "parent": None,
+                "name": "cell.failure",
+                "start_unix": start_unix,
+                "duration_s": max(0.0, float(record.elapsed_seconds)),
+                "attrs": {
+                    "cell": record.cell,
+                    "category": record.category,
+                    "attempt": record.attempt,
+                    "retried": record.retried,
+                },
+            }
+            for n, record in enumerate(all_failures)
+        ]
+        write_trace(
+            out_path / "trace.json",
+            merge_traces(
+                [r.trace for r in completed if r.trace is not None],
+                name="sweep",
+                metrics=report.metrics,
+                extra_spans=failure_spans,
+            ),
+        )
 
     if interrupted:
         if out_path is not None:
@@ -886,13 +1001,13 @@ def _run_serial(
         for i in pending:
             attempt = 0
             while True:
-                cell_start = time.perf_counter()
+                cell_start = clock()
                 try:
                     result = evaluate_cell(specs[i], attempt=attempt)
                 except KeyboardInterrupt:
                     raise
                 except Exception as exc:
-                    elapsed = time.perf_counter() - cell_start
+                    elapsed = clock() - cell_start
                     if record_failure(
                         i,
                         attempt,

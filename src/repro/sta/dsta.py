@@ -23,6 +23,7 @@ import numpy as np
 
 from repro.library.delay_model import BaseDelayModel
 from repro.netlist.circuit import Circuit
+from repro.obs import METRICS, span
 
 
 @dataclass
@@ -75,14 +76,21 @@ class DeterministicSTA:
         time 0.
         """
         if self.vectorized:
-            return self._arrival_times_vectorized(circuit)
-        arrival: Dict[str, float] = {net: 0.0 for net in circuit.primary_inputs}
-        gate_delays: Dict[str, float] = {}
-        for gate in circuit:
-            delay = self.delay_model.gate_delay(circuit, gate)
-            gate_delays[gate.name] = delay
-            input_arrival = max(arrival.get(net, 0.0) for net in gate.inputs)
-            arrival[gate.output] = input_arrival + delay
+            METRICS.counter("dsta.runs.levelized")
+            with span("dsta.arrival_times", path="levelized") as sp:
+                arrival, gate_delays = self._arrival_times_vectorized(circuit)
+                sp.set(gates=len(gate_delays))
+            return arrival, gate_delays
+        METRICS.counter("dsta.runs.scalar")
+        with span("dsta.arrival_times", path="scalar") as sp:
+            arrival = {net: 0.0 for net in circuit.primary_inputs}
+            gate_delays: Dict[str, float] = {}
+            for gate in circuit:
+                delay = self.delay_model.gate_delay(circuit, gate)
+                gate_delays[gate.name] = delay
+                input_arrival = max(arrival.get(net, 0.0) for net in gate.inputs)
+                arrival[gate.output] = input_arrival + delay
+            sp.set(gates=len(gate_delays))
         return arrival, gate_delays
 
     # ------------------------------------------------------------------

@@ -1,0 +1,101 @@
+"""MetricsRegistry semantics: updates, snapshots, cross-process merge."""
+
+from __future__ import annotations
+
+from repro.obs import MetricsRegistry
+
+
+class TestUpdates:
+    def test_counter_accumulates(self):
+        reg = MetricsRegistry()
+        reg.counter("hits")
+        reg.counter("hits", 4)
+        assert reg.get_counter("hits") == 5
+        assert reg.get_counter("unknown") == 0
+
+    def test_gauge_last_write_wins(self):
+        reg = MetricsRegistry()
+        reg.gauge("queue_depth", 3)
+        reg.gauge("queue_depth", 1.5)
+        assert reg.get_gauge("queue_depth") == 1.5
+        assert reg.get_gauge("unknown") is None
+
+    def test_histogram_summary(self):
+        reg = MetricsRegistry()
+        for value in (4.0, 6.0, 2.0):
+            reg.histogram("cone_gates", value)
+        hist = reg.get_histogram("cone_gates")
+        assert hist == {"count": 3, "sum": 12.0, "min": 2.0, "max": 6.0,
+                        "mean": 4.0}
+        assert reg.get_histogram("unknown") is None
+
+    def test_bool_and_reset(self):
+        reg = MetricsRegistry()
+        assert not reg
+        reg.counter("x")
+        assert reg
+        reg.reset()
+        assert not reg
+        assert reg.get_counter("x") == 0
+
+
+class TestSnapshotAndMerge:
+    def test_snapshot_shape(self):
+        reg = MetricsRegistry()
+        reg.counter("c", 2)
+        reg.gauge("g", 7.0)
+        reg.histogram("h", 1.0)
+        snap = reg.snapshot()
+        assert snap["counters"] == {"c": 2}
+        assert snap["gauges"] == {"g": 7.0}
+        assert snap["histograms"]["h"]["count"] == 1
+
+    def test_snapshot_is_a_copy(self):
+        reg = MetricsRegistry()
+        reg.counter("c")
+        snap = reg.snapshot()
+        reg.counter("c")
+        assert snap["counters"]["c"] == 1
+
+    def test_merge_combines_worker_snapshots(self):
+        # The campaign pattern: two workers each snapshot their registry,
+        # the parent folds both into one campaign-level registry.
+        worker_a = MetricsRegistry()
+        worker_a.counter("cache_hits", 10)
+        worker_a.gauge("last_lam", 3.0)
+        worker_a.histogram("cone", 4.0)
+
+        worker_b = MetricsRegistry()
+        worker_b.counter("cache_hits", 5)
+        worker_b.gauge("last_lam", 9.0)
+        worker_b.histogram("cone", 8.0)
+        worker_b.histogram("cone", 2.0)
+
+        campaign = MetricsRegistry()
+        campaign.merge(worker_a.snapshot())
+        campaign.merge(worker_b.snapshot())
+
+        assert campaign.get_counter("cache_hits") == 15
+        assert campaign.get_gauge("last_lam") == 9.0  # last write wins
+        hist = campaign.get_histogram("cone")
+        assert hist["count"] == 3
+        assert hist["sum"] == 14.0
+        assert hist["min"] == 2.0
+        assert hist["max"] == 8.0
+
+    def test_merge_ignores_empty_histograms(self):
+        campaign = MetricsRegistry()
+        campaign.merge({"histograms": {"h": None}})
+        campaign.merge({"histograms": {"h": {"count": 0}}})
+        assert campaign.get_histogram("h") is None
+
+    def test_merge_roundtrips_through_json_types(self):
+        import json
+
+        reg = MetricsRegistry()
+        reg.counter("c", 3)
+        reg.histogram("h", 2.5)
+        wire = json.loads(json.dumps(reg.snapshot()))
+        other = MetricsRegistry()
+        other.merge(wire)
+        assert other.snapshot() == reg.snapshot()

@@ -1,0 +1,161 @@
+"""Tracer semantics: free when disabled, correct nesting when enabled."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import (
+    NULL_SPAN,
+    Stopwatch,
+    Tracer,
+    activate,
+    clock,
+    get_tracer,
+    span,
+    stopwatch,
+    traced,
+    tracing_enabled,
+)
+
+
+class TestDisabledTracer:
+    def test_disabled_span_is_the_shared_null_singleton(self):
+        # No allocation when tracing is off: every disabled span() call
+        # returns the one shared NULL_SPAN instance.
+        tracer = Tracer(enabled=False)
+        assert tracer.span("x") is NULL_SPAN
+        assert tracer.span("y", attr=1) is NULL_SPAN
+
+    def test_disabled_tracer_records_nothing(self):
+        tracer = Tracer(enabled=False)
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        assert tracer.spans == []
+        assert tracer.records_since(0) == []
+
+    def test_module_span_uses_null_when_current_disabled(self):
+        with activate(Tracer(enabled=False)):
+            assert not tracing_enabled()
+            assert span("anything") is NULL_SPAN
+
+    def test_disabled_overhead_bounded(self):
+        # The acceptance bound is deliberately generous (no CI flakes): a
+        # hot path carrying a disabled span must stay within microseconds
+        # per call — orders of magnitude under any engine's gate loop.
+        tracer = Tracer(enabled=False)
+        n = 50_000
+        start = clock()
+        for _ in range(n):
+            with tracer.span("hot"):
+                pass
+        per_call = (clock() - start) / n
+        assert per_call < 20e-6
+        assert tracer.spans == []
+
+    def test_null_span_set_is_noop(self):
+        assert NULL_SPAN.set(gates=7) is NULL_SPAN
+
+
+class TestEnabledTracer:
+    def test_nesting_records_parent_ids(self):
+        tracer = Tracer(enabled=True)
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                pass
+        # Children finish first: records are in completion order.
+        assert [s.name for s in tracer.spans] == ["inner", "outer"]
+        assert inner.parent_id == outer.id
+        assert outer.parent_id is None
+
+    def test_sibling_spans_share_parent(self):
+        tracer = Tracer(enabled=True)
+        with tracer.span("root") as root:
+            with tracer.span("a") as a:
+                pass
+            with tracer.span("b") as b:
+                pass
+        assert a.parent_id == root.id
+        assert b.parent_id == root.id
+        assert a.id != b.id
+
+    def test_span_ids_embed_pid(self):
+        import os
+
+        tracer = Tracer(enabled=True)
+        with tracer.span("x") as sp:
+            pass
+        assert sp.id.startswith(f"{os.getpid():x}.")
+
+    def test_duration_and_attrs(self):
+        tracer = Tracer(enabled=True)
+        with tracer.span("x", circuit="c17") as sp:
+            sp.set(gates=6)
+        assert sp.duration_s >= 0.0
+        assert sp.attrs == {"circuit": "c17", "gates": 6}
+        record = sp.to_dict()
+        assert record["name"] == "x"
+        assert record["parent"] is None
+
+    def test_mark_and_records_since(self):
+        tracer = Tracer(enabled=True)
+        with tracer.span("before"):
+            pass
+        mark = tracer.mark()
+        with tracer.span("after"):
+            pass
+        names = [r["name"] for r in tracer.records_since(mark)]
+        assert names == ["after"]
+
+    def test_activate_restores_previous_tracer(self):
+        previous = get_tracer()
+        local = Tracer(enabled=True)
+        with activate(local):
+            assert get_tracer() is local
+            with span("inside"):
+                pass
+        assert get_tracer() is previous
+        assert [s.name for s in local.spans] == ["inside"]
+
+    def test_nesting_across_tracers_interleaves_into_one_tree(self):
+        # The span stack is shared by every tracer, so a local tracer's
+        # span correctly parents under an enclosing global span.
+        outer_tracer = Tracer(enabled=True)
+        inner_tracer = Tracer(enabled=True)
+        with outer_tracer.span("outer") as outer:
+            with inner_tracer.span("inner") as inner:
+                pass
+        assert inner.parent_id == outer.id
+        assert [s.name for s in outer_tracer.spans] == ["outer"]
+        assert [s.name for s in inner_tracer.spans] == ["inner"]
+
+    def test_traced_decorator_records_per_call(self):
+        local = Tracer(enabled=True)
+
+        @traced("work")
+        def work(x):
+            return x + 1
+
+        with activate(local):
+            assert work(1) == 2
+            assert work(2) == 3
+        assert [s.name for s in local.spans] == ["work", "work"]
+
+    def test_span_records_even_when_body_raises(self):
+        tracer = Tracer(enabled=True)
+        with pytest.raises(ValueError):
+            with tracer.span("boom"):
+                raise ValueError("x")
+        assert [s.name for s in tracer.spans] == ["boom"]
+        # The stack unwound: a fresh span is a root again.
+        with tracer.span("next") as sp:
+            pass
+        assert sp.parent_id is None
+
+
+class TestStopwatch:
+    def test_measures_elapsed(self):
+        with stopwatch() as sw:
+            pass
+        assert isinstance(sw, Stopwatch)
+        assert sw.elapsed_s >= 0.0

@@ -240,12 +240,17 @@ class TestSweepCommand:
         assert main(argv) == 0
         first = capsys.readouterr().out
         assert "2 computed, 0 reused" in first
-        assert len(list(out_dir.glob("table1__c17__lam*.json"))) == 2
+        artifacts = [p for p in out_dir.glob("table1__c17__lam*.json")
+                     if not p.name.endswith(".trace.json")]
+        assert len(artifacts) == 2
+        # Every computed cell gets a span trace written beside its artifact.
+        assert all(p.with_suffix(".trace.json").is_file() for p in artifacts)
 
         assert main([*argv, "--resume"]) == 0
-        second = capsys.readouterr().out
+        captured = capsys.readouterr()
+        second = captured.out
         assert "0 computed, 2 reused" in second
-        assert "cached" in second
+        assert "cached" in captured.err  # progress lines go to stderr
         # The resumed table is identical to the computed one.
         table = lambda text: [l for l in text.splitlines() if l.startswith("c17")]
         assert table(first) == table(second)
@@ -277,7 +282,8 @@ class TestSweepCommand:
         assert "2 computed, 0 reused" in first
         assert "source_mass" in first
         assert "mc_max_err" in first
-        assert len(list(out_dir.glob("criticality__*__lam0.0__*.json"))) == 2
+        assert len([p for p in out_dir.glob("criticality__*__lam0.0__*.json")
+                    if not p.name.endswith(".trace.json")]) == 2
         assert main([*argv, "--resume"]) == 0
         second = capsys.readouterr().out
         assert "0 computed, 2 reused" in second
@@ -305,7 +311,8 @@ class TestSweepCommand:
         first = capsys.readouterr().out
         assert "2 computed, 0 reused" in first
         assert "orig_period" in first
-        assert len(list(out_dir.glob("yield__c17__lam0.0__y*.json"))) == 2
+        assert len([p for p in out_dir.glob("yield__c17__lam0.0__y*.json")
+                    if not p.name.endswith(".trace.json")]) == 2
         assert main([*argv, "--resume"]) == 0
         second = capsys.readouterr().out
         assert "0 computed, 2 reused" in second

@@ -1,0 +1,131 @@
+"""Tests for the trajectory tripwire (tools/bench_tripwire.py).
+
+The tool is not a package; load it by path (same pattern as the repro_lint
+tests).  Synthetic BENCH_*.json trajectories are written into tmp dirs so
+every gate — perf drop, accuracy drift, lint errors, no-baseline skip,
+malformed input — is exercised deterministically.
+"""
+
+import importlib.util
+import json
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent.parent
+TOOL = REPO_ROOT / "tools" / "bench_tripwire.py"
+
+spec = importlib.util.spec_from_file_location("bench_tripwire", TOOL)
+bench_tripwire = importlib.util.module_from_spec(spec)
+spec.loader.exec_module(bench_tripwire)
+
+
+def _entry(speedup, mode="quick", circuit="c432", **metric_extra):
+    metric = {"speedup": speedup, "scalar_ms": 10.0, "levelized_ms": 10.0 / speedup}
+    metric.update(metric_extra)
+    return {"date": "2026-01-01", "mode": mode,
+            "circuits": [{"circuit": circuit, "fullssta": metric}]}
+
+
+def _write(tmp_path, entries, name="BENCH_t.json"):
+    path = tmp_path / name
+    path.write_text(json.dumps({"description": "test", "entries": entries}))
+    return path
+
+
+class TestSpeedupDiscovery:
+    def test_nested_metrics_get_dotted_paths(self):
+        record = {
+            "circuit": "c432",
+            "fassta": {"speedup": 2.0},
+            "optimizer": {"inner": {"speedup": 3.0}},
+            "gates": 160,
+        }
+        found = dict(bench_tripwire.iter_speedup_metrics(record))
+        assert set(found) == {"fassta", "optimizer.inner"}
+        assert found["optimizer.inner"]["speedup"] == 3.0
+
+
+class TestPerfGate:
+    def test_clean_candidate_passes(self, tmp_path, capsys):
+        path = _write(tmp_path, [_entry(3.0), _entry(3.1), _entry(2.9)])
+        assert bench_tripwire.main([str(path)]) == 0
+        assert "tripwire clean" in capsys.readouterr().out
+
+    def test_slowed_candidate_trips(self, tmp_path, capsys):
+        path = _write(tmp_path, [_entry(3.0), _entry(3.1), _entry(1.0)])
+        assert bench_tripwire.main([str(path)]) == 1
+        err = capsys.readouterr().err
+        assert "TRIPWIRE" in err
+        assert "fell below" in err
+
+    def test_drop_within_tolerance_passes(self, tmp_path):
+        # 2.5 vs a 3.0 baseline is a 17% drop: inside the 20% tolerance.
+        path = _write(tmp_path, [_entry(3.0), _entry(2.5)])
+        assert bench_tripwire.main([str(path)]) == 0
+
+    def test_near_unity_baselines_are_not_gated(self, tmp_path):
+        # A 1.05x "speedup" collapsing to 0.5x is noise around parity, not
+        # a regression in a claimed win.
+        path = _write(tmp_path, [_entry(1.05), _entry(0.5)])
+        assert bench_tripwire.main([str(path)]) == 0
+
+    def test_other_modes_never_baseline_each_other(self, tmp_path):
+        # Full-mode history must not gate a quick-mode candidate.
+        path = _write(tmp_path, [_entry(5.0, mode="full"), _entry(1.0)])
+        assert bench_tripwire.main([str(path)]) == 0
+
+    def test_first_entry_skips_perf_gate_with_note(self, tmp_path, capsys):
+        path = _write(tmp_path, [_entry(2.0)])
+        assert bench_tripwire.main([str(path)]) == 0
+        assert "perf gate skipped" in capsys.readouterr().out
+
+
+class TestAccuracyGate:
+    def test_bit_identical_false_trips(self, tmp_path, capsys):
+        path = _write(tmp_path, [_entry(3.0, bit_identical=False)])
+        assert bench_tripwire.main([str(path)]) == 1
+        assert "bit_identical" in capsys.readouterr().err
+
+    def test_moment_err_over_tolerance_trips(self, tmp_path, capsys):
+        path = _write(tmp_path, [_entry(3.0, max_moment_err=1e-6)])
+        assert bench_tripwire.main([str(path)]) == 1
+        assert "max_moment_err" in capsys.readouterr().err
+
+    def test_record_level_tolerance_wins(self, tmp_path):
+        path = _write(
+            tmp_path, [_entry(3.0, max_moment_err=1e-6, tolerance=1e-5)]
+        )
+        assert bench_tripwire.main([str(path)]) == 0
+
+    def test_lint_errors_trip(self, tmp_path, capsys):
+        entry = _entry(3.0)
+        entry["circuits"][0]["lint_errors"] = 2
+        path = _write(tmp_path, [entry])
+        assert bench_tripwire.main([str(path)]) == 1
+        assert "lint error" in capsys.readouterr().err
+
+
+class TestUsageErrors:
+    def test_missing_file_exits_two(self, tmp_path, capsys):
+        assert bench_tripwire.main([str(tmp_path / "BENCH_nope.json")]) == 2
+        assert "does not exist" in capsys.readouterr().err
+
+    def test_malformed_trajectory_exits_two(self, tmp_path, capsys):
+        path = tmp_path / "BENCH_bad.json"
+        # entries must be a list of entry objects; a bare object breaks
+        # candidate selection and must surface as a usage error, not a pass.
+        path.write_text(json.dumps({"entries": {"mode": "quick"}}))
+        assert bench_tripwire.main([str(path)]) == 2
+        assert "malformed" in capsys.readouterr().err
+
+    def test_empty_trajectory_is_a_note_not_an_error(self, tmp_path, capsys):
+        path = _write(tmp_path, [])
+        assert bench_tripwire.main([str(path)]) == 0
+        assert "empty trajectory" in capsys.readouterr().out
+
+
+class TestCheckedInTrajectories:
+    def test_repo_trajectories_are_clean(self):
+        """The invariant the CI job enforces on every checked-in BENCH file."""
+        paths = sorted(REPO_ROOT.glob("BENCH_*.json"))
+        assert paths, "expected at least BENCH_engines.json at the repo root"
+        assert bench_tripwire.main([str(p) for p in paths]) == 0

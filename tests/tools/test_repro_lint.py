@@ -144,6 +144,38 @@ class TestRL004:
         assert "RL004" not in _rules(repro_lint.lint_file(path))
 
 
+class TestRL005:
+    def test_perf_counter_in_src_flagged(self, tmp_path):
+        path = _write(tmp_path, "src/repro/flow.py",
+                      "import time\ndef f():\n    return time.perf_counter()\n")
+        assert _rules(repro_lint.lint_file(path)) == ["RL005"]
+
+    def test_reference_without_call_flagged(self, tmp_path):
+        # `clock = time.perf_counter` aliases outside obs/ dodge the one
+        # timing source just as effectively as direct calls.
+        path = _write(tmp_path, "src/repro/core/x.py",
+                      "import time\nclock = time.perf_counter\n")
+        assert _rules(repro_lint.lint_file(path)) == ["RL005"]
+
+    def test_inside_obs_allowed(self, tmp_path):
+        path = _write(tmp_path, "src/repro/obs/trace.py",
+                      "import time\nclock = time.perf_counter\n")
+        assert repro_lint.lint_file(path) == []
+
+    def test_outside_src_allowed(self, tmp_path):
+        path = _write(tmp_path, "benchmarks/bench_x.py",
+                      "import time\nt = time.perf_counter()\n")
+        assert "RL005" not in _rules(repro_lint.lint_file(path))
+
+    def test_pragma_suppresses(self, tmp_path):
+        path = _write(
+            tmp_path, "src/repro/flow.py",
+            "import time\n"
+            "t = time.perf_counter()  # repro-lint: allow=RL005\n",
+        )
+        assert repro_lint.lint_file(path) == []
+
+
 class TestDriver:
     def test_syntax_error_reported_not_raised(self, tmp_path):
         path = _write(tmp_path, "src/repro/core/x.py", "def broken(:\n")

@@ -1,0 +1,200 @@
+"""CI tripwire over the checked-in ``BENCH_*.json`` perf/accuracy trajectories.
+
+Every ``benchmarks/bench_*.py`` appends normalized entries to a trajectory
+file at the repo root (see ``benchmarks/trajectory.py``).  This tool makes
+regressions in those trajectories a CI failure instead of commit-message
+prose:
+
+* **Performance** is gated on the dimensionless ``"speedup"`` metrics only
+  (scalar-vs-levelized, scratch-vs-incremental, ...), never on absolute
+  wall-clock: speedups compare two implementations on the *same* machine in
+  the *same* run, so they are comparable across the heterogeneous machines
+  that wrote the trajectory.  The newest entry is the candidate; its
+  baseline is the median of every earlier same-mode entry's value for the
+  same (circuit, metric).  A speedup that drops more than
+  ``--drop-tolerance`` (default 20%) below a baseline that meaningfully
+  exceeded 1.0 (``--min-speedup``, default 1.2x) fails — near-1.0 ratios
+  are noise, not a claim worth guarding.
+* **Accuracy** is absolute and checked on the candidate alone: any
+  ``"bit_identical": false``, any ``"max_moment_err"`` above the record's
+  own ``"tolerance"`` (default ``--moment-tolerance`` = 1e-9), and any
+  nonzero ``"lint_errors"`` fail immediately.
+
+Exit status: 0 clean, 1 tripped, 2 usage/malformed trajectory.
+
+Re-baselining after an intentional trade-off: rerun the bench so the new
+entry documents the new level, then delete the stale entries it should no
+longer be compared against (the diff of ``BENCH_*.json`` is the reviewable
+record of the decision).
+
+Run from the repo root::
+
+    python tools/bench_tripwire.py                     # every BENCH_*.json
+    python tools/bench_tripwire.py BENCH_engines.json  # one trajectory
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+import sys
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Tuple
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+DEFAULT_DROP_TOLERANCE = 0.20
+DEFAULT_MIN_SPEEDUP = 1.2
+DEFAULT_MOMENT_TOLERANCE = 1e-9
+
+
+def iter_speedup_metrics(record: Dict) -> Iterator[Tuple[str, Dict]]:
+    """Yield ``(dotted.path, metric_dict)`` for every nested speedup block."""
+    for key, value in record.items():
+        if not isinstance(value, dict):
+            continue
+        if "speedup" in value:
+            yield key, value
+        for sub_path, sub_value in iter_speedup_metrics(value):
+            yield f"{key}.{sub_path}", sub_value
+
+
+def check_accuracy(
+    circuit: str, path: str, metric: Dict, moment_tolerance: float
+) -> List[str]:
+    """Absolute accuracy violations of one candidate metric block."""
+    problems = []
+    if metric.get("bit_identical") is False:
+        problems.append(f"{circuit} {path}: bit_identical is false")
+    err = metric.get("max_moment_err")
+    if err is not None:
+        bound = float(metric.get("tolerance", moment_tolerance))
+        if float(err) > bound:
+            problems.append(
+                f"{circuit} {path}: max_moment_err {err:.3e} exceeds {bound:g}"
+            )
+    return problems
+
+
+def check_trajectory(
+    path: Path,
+    drop_tolerance: float,
+    min_speedup: float,
+    moment_tolerance: float,
+) -> Tuple[List[str], List[str]]:
+    """Check one trajectory file; returns (violations, notes)."""
+    trajectory = json.loads(path.read_text())
+    entries = trajectory.get("entries", [])
+    if not entries:
+        return [], [f"{path.name}: empty trajectory, nothing to check"]
+
+    candidate = entries[-1]
+    mode = candidate.get("mode")
+    pool = [e for e in entries[:-1] if e.get("mode") == mode]
+
+    # Baseline per (circuit, metric path): median speedup across the pool.
+    baselines: Dict[Tuple[str, str], List[float]] = {}
+    for entry in pool:
+        for record in entry.get("circuits", []):
+            for metric_path, metric in iter_speedup_metrics(record):
+                key = (record.get("circuit", "?"), metric_path)
+                baselines.setdefault(key, []).append(float(metric["speedup"]))
+
+    violations: List[str] = []
+    notes: List[str] = []
+    checked = 0
+    for record in candidate.get("circuits", []):
+        circuit = record.get("circuit", "?")
+        if record.get("lint_errors"):
+            violations.append(
+                f"{circuit}: {record['lint_errors']} lint error(s) in the "
+                f"candidate entry"
+            )
+        for metric_path, metric in iter_speedup_metrics(record):
+            violations.extend(
+                check_accuracy(circuit, metric_path, metric, moment_tolerance)
+            )
+            history = baselines.get((circuit, metric_path))
+            if not history:
+                continue
+            baseline = statistics.median(history)
+            if baseline < min_speedup:
+                continue  # near-1.0 ratios are noise, not a guarded claim
+            checked += 1
+            current = float(metric["speedup"])
+            floor = (1.0 - drop_tolerance) * baseline
+            if current < floor:
+                violations.append(
+                    f"{circuit} {metric_path}: speedup {current:.2f}x fell "
+                    f"below {floor:.2f}x (baseline {baseline:.2f}x over "
+                    f"{len(history)} prior '{mode}' entr(y/ies), "
+                    f"tolerance {100 * drop_tolerance:.0f}%)"
+                )
+    if not pool:
+        notes.append(
+            f"{path.name}: no prior '{mode}' entries — accuracy checked, "
+            f"perf gate skipped"
+        )
+    else:
+        notes.append(
+            f"{path.name}: {checked} speedup metric(s) gated against "
+            f"{len(pool)} prior '{mode}' entr(y/ies)"
+        )
+    return violations, notes
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "trajectories", nargs="*", type=Path,
+        help="BENCH_*.json files (default: every BENCH_*.json at the repo root)",
+    )
+    parser.add_argument(
+        "--drop-tolerance", type=float, default=DEFAULT_DROP_TOLERANCE,
+        help="fractional speedup drop that trips (default 0.2 = 20%%)",
+    )
+    parser.add_argument(
+        "--min-speedup", type=float, default=DEFAULT_MIN_SPEEDUP,
+        help="only gate metrics whose baseline speedup reaches this "
+             "(default 1.2x)",
+    )
+    parser.add_argument(
+        "--moment-tolerance", type=float, default=DEFAULT_MOMENT_TOLERANCE,
+        help="max_moment_err bound for records that carry no own tolerance",
+    )
+    args = parser.parse_args(argv)
+
+    paths = args.trajectories or sorted(REPO_ROOT.glob("BENCH_*.json"))
+    if not paths:
+        print("error: no BENCH_*.json trajectories found", file=sys.stderr)
+        return 2
+
+    all_violations: List[str] = []
+    for path in paths:
+        if not path.exists():
+            print(f"error: {path} does not exist", file=sys.stderr)
+            return 2
+        try:
+            violations, notes = check_trajectory(
+                path, args.drop_tolerance, args.min_speedup,
+                args.moment_tolerance,
+            )
+        except (ValueError, KeyError, TypeError) as exc:
+            print(f"error: {path}: malformed trajectory ({exc})", file=sys.stderr)
+            return 2
+        for note in notes:
+            print(note)
+        all_violations.extend(violations)
+
+    if all_violations:
+        print(f"\nTRIPWIRE: {len(all_violations)} regression(s):", file=sys.stderr)
+        for violation in all_violations:
+            print(f"  - {violation}", file=sys.stderr)
+        return 1
+    print("tripwire clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

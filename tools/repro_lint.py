@@ -19,6 +19,9 @@ RL004  no float-literal equality on statistical moments in ``tests/``:
        ``sigma`` / ``variance`` / ``cv`` against a float literal) are
        brittle; use ``pytest.approx``.  Exact-by-construction comparisons
        carry an explicit pragma instead.
+RL005  one timing source: no raw ``time.perf_counter`` in ``src/`` outside
+       ``repro/obs/`` — use ``repro.obs.clock`` / ``stopwatch`` / spans so
+       every duration flows through the instrumentation layer.
 
 Suppression: append ``# repro-lint: allow=RL00x`` (comma-separate several
 ids) to the offending line, or put the comment alone on the line directly
@@ -207,7 +210,29 @@ def check_rl004(tree: ast.AST, path: Path) -> Iterator[Finding]:
                 break
 
 
-ALL_CHECKS = (check_rl001, check_rl002, check_rl003, check_rl004)
+def check_rl005(tree: ast.AST, path: Path) -> Iterator[Finding]:
+    """One timing source: raw ``time.perf_counter`` only inside repro/obs/."""
+    parts = path.parts
+    if "repro" not in parts:
+        return  # src/-only rule; benchmarks and tools time themselves freely
+    pkg = parts[parts.index("repro"):]
+    if len(pkg) >= 2 and pkg[1] == "obs":
+        return  # the blessed home of the clock
+    for node in ast.walk(tree):
+        if (
+            isinstance(node, ast.Attribute)
+            and node.attr == "perf_counter"
+            and isinstance(node.value, ast.Name)
+            and node.value.id == "time"
+        ):
+            yield Finding(
+                path, node.lineno, "RL005",
+                "raw time.perf_counter outside repro/obs/ -- use "
+                "repro.obs.clock / stopwatch / spans so timing stays unified",
+            )
+
+
+ALL_CHECKS = (check_rl001, check_rl002, check_rl003, check_rl004, check_rl005)
 
 
 # ---------------------------------------------------------------------------
@@ -241,7 +266,7 @@ def iter_python_files(paths: Sequence[Path]) -> Iterator[Path]:
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = argparse.ArgumentParser(
-        description="Repo-invariant AST lints (RL001-RL004)."
+        description="Repo-invariant AST lints (RL001-RL005)."
     )
     parser.add_argument(
         "paths", nargs="*", type=Path,
